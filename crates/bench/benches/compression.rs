@@ -1,0 +1,46 @@
+//! Criterion benchmarks of the BBS compression kernels: the costs an
+//! end user pays at model-preparation time (the paper reports ~15 s for
+//! all of ResNet-50 on a GPU; these are the single-group CPU numbers).
+
+use bbs_core::averaging::rounded_averaging;
+use bbs_core::encoding::CompressedGroup;
+use bbs_core::prune::BinaryPruner;
+use bbs_core::shifting::zero_point_shifting;
+use bbs_core::zero_col::sign_magnitude_zero_column;
+use bbs_tensor::rng::SeededRng;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn group32(seed: u64) -> Vec<i8> {
+    let mut rng = SeededRng::new(seed);
+    (0..32).map(|_| rng.gaussian_i8(0.0, 30.0)).collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let g = group32(1);
+    c.bench_function("rounded_averaging/32x2col", |b| {
+        b.iter(|| rounded_averaging(black_box(&g), 2))
+    });
+    c.bench_function("zero_point_shifting/32x4col", |b| {
+        b.iter(|| zero_point_shifting(black_box(&g), 4))
+    });
+    c.bench_function("zero_column/32x3col", |b| {
+        b.iter(|| sign_magnitude_zero_column(black_box(&g), 3))
+    });
+    c.bench_function("lossless_encode_decode/32", |b| {
+        b.iter(|| CompressedGroup::lossless(black_box(&g)).decode())
+    });
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let mut rng = SeededRng::new(2);
+    let channel: Vec<i8> = (0..4096).map(|_| rng.gaussian_i8(0.0, 30.0)).collect();
+    c.bench_function("moderate_channel/4096", |b| {
+        b.iter(|| BinaryPruner::moderate().compress_channel(black_box(&channel), 32))
+    });
+    c.bench_function("conservative_channel/4096", |b| {
+        b.iter(|| BinaryPruner::conservative().compress_channel(black_box(&channel), 32))
+    });
+}
+
+criterion_group!(benches, bench_kernels, bench_channel);
+criterion_main!(benches);

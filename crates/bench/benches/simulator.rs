@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the cycle-accurate simulators and the
+//! functional BitVert datapath.
+
+use bbs_models::zoo;
+use bbs_sim::accel::{bitvert::BitVert, stripes::Stripes, Accelerator};
+use bbs_sim::bitvert_func::pe::group_dot;
+use bbs_sim::bitvert_func::scheduler::schedule_subgroup;
+use bbs_sim::config::ArrayConfig;
+use bbs_sim::engine::simulate;
+use bbs_sim::workload::lower_model;
+use bbs_tensor::rng::SeededRng;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_scheduler(c: &mut Criterion) {
+    c.bench_function("scheduler/all_patterns", |b| {
+        b.iter(|| {
+            for bits in 0u16..=255 {
+                black_box(schedule_subgroup(bits as u8));
+            }
+        })
+    });
+}
+
+fn bench_functional_pe(c: &mut Criterion) {
+    let mut rng = SeededRng::new(3);
+    let w: Vec<i8> = (0..32).map(|_| rng.gaussian_i8(0.0, 30.0)).collect();
+    let a: Vec<i32> = (0..32).map(|_| rng.any_i8() as i32).collect();
+    let enc = bbs_core::shifting::zero_point_shifting(&w, 4);
+    c.bench_function("bitvert_pe/group32_dot", |b| {
+        b.iter(|| group_dot(black_box(&enc), black_box(&a)))
+    });
+}
+
+fn bench_layer_sim(c: &mut Criterion) {
+    let cfg = ArrayConfig::paper_16x32();
+    let model = zoo::vit_small();
+    let wl = lower_model(&model, 7, 4 * 1024);
+    c.bench_function("sim/stripes_layer", |b| {
+        let s = Stripes::new();
+        b.iter(|| s.layer_performance(black_box(&wl[1]), &cfg))
+    });
+    c.bench_function("sim/bitvert_layer", |b| {
+        let s = BitVert::moderate();
+        b.iter(|| s.layer_performance(black_box(&wl[1]), &cfg))
+    });
+}
+
+fn bench_model_sim(c: &mut Criterion) {
+    let cfg = ArrayConfig::paper_16x32();
+    let model = zoo::resnet34();
+    c.bench_function("sim/resnet34_stripes_full", |b| {
+        b.iter(|| simulate(&Stripes::new(), black_box(&model), &cfg, 7, 2 * 1024))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_scheduler,
+    bench_functional_pe,
+    bench_layer_sim,
+    bench_model_sim
+);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Runs the ablation studies (group size, beta, sync granularity,
+//! strategy crossover) — see `bbs_bench::experiments::ablations`.
+fn main() {
+    bbs_bench::experiments::ablations::run();
+}

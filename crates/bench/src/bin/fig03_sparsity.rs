@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig03 (see `bbs_bench::experiments::fig03`).
+fn main() {
+    bbs_bench::experiments::fig03::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig06 (see `bbs_bench::experiments::fig06`).
+fn main() {
+    bbs_bench::experiments::fig06::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig11 (see `bbs_bench::experiments::fig11`).
+fn main() {
+    bbs_bench::experiments::fig11::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig12 (see `bbs_bench::experiments::fig12`).
+fn main() {
+    bbs_bench::experiments::fig12::run();
+}

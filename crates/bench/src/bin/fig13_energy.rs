@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig13 (see `bbs_bench::experiments::fig13`).
+fn main() {
+    bbs_bench::experiments::fig13::run();
+}

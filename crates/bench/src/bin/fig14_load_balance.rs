@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig14 (see `bbs_bench::experiments::fig14`).
+fn main() {
+    bbs_bench::experiments::fig14::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig15 (see `bbs_bench::experiments::fig15`).
+fn main() {
+    bbs_bench::experiments::fig15::run();
+}

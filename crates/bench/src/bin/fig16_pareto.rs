@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig16 (see `bbs_bench::experiments::fig16`).
+fn main() {
+    bbs_bench::experiments::fig16::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig17 (see `bbs_bench::experiments::fig17`).
+fn main() {
+    bbs_bench::experiments::fig17::run();
+}

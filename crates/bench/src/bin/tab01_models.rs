@@ -1,0 +1,4 @@
+//! Regenerates the paper's tab01 (see `bbs_bench::experiments::tab01`).
+fn main() {
+    bbs_bench::experiments::tab01::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's tab02 (see `bbs_bench::experiments::tab02`).
+fn main() {
+    bbs_bench::experiments::tab02::run();
+}

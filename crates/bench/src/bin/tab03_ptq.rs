@@ -1,0 +1,4 @@
+//! Regenerates the paper's tab03 (see `bbs_bench::experiments::tab03`).
+fn main() {
+    bbs_bench::experiments::tab03::run();
+}

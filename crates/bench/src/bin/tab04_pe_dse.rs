@@ -1,0 +1,4 @@
+//! Regenerates the paper's tab04 (see `bbs_bench::experiments::tab04`).
+fn main() {
+    bbs_bench::experiments::tab04::run();
+}

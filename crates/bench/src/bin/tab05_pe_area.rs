@@ -1,0 +1,4 @@
+//! Regenerates the paper's tab05 (see `bbs_bench::experiments::tab05`).
+fn main() {
+    bbs_bench::experiments::tab05::run();
+}

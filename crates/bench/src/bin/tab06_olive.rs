@@ -1,0 +1,4 @@
+//! Regenerates the paper's tab06 (see `bbs_bench::experiments::tab06`).
+fn main() {
+    bbs_bench::experiments::tab06::run();
+}

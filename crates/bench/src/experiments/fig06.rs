@@ -1,0 +1,65 @@
+//! Figure 6: normalized KL divergence of the three bit-level pruning
+//! techniques (zero-column, rounded averaging, zero-point shifting) on
+//! ResNet-34 and ViT-Base at 2 and 4 pruned columns, group size 32.
+
+use crate::{f, print_table, weight_cap, SEED};
+use bbs_core::averaging::rounded_averaging;
+use bbs_core::shifting::zero_point_shifting;
+use bbs_core::zero_col::sign_magnitude_zero_column;
+use bbs_models::synth::synthesize_weights_sampled;
+use bbs_models::zoo;
+use bbs_tensor::metrics::kl_divergence_i8_binned;
+
+/// KL of one whole-model compression with the given per-group kernel.
+fn model_kl(model: &bbs_models::ModelSpec, kernel: impl Fn(&[i8]) -> Vec<i32>) -> f64 {
+    let mut orig: Vec<i8> = Vec::new();
+    let mut recon: Vec<i32> = Vec::new();
+    for (i, spec) in model.layers.iter().enumerate() {
+        let synth = synthesize_weights_sampled(
+            spec,
+            model.family,
+            SEED.wrapping_add(i as u64),
+            weight_cap(),
+        );
+        let qt = &synth.weights;
+        for c in 0..qt.channels() {
+            for group in qt.channel(c).chunks(32) {
+                orig.extend_from_slice(group);
+                recon.extend(kernel(group));
+            }
+        }
+    }
+    kl_divergence_i8_binned(&orig, &recon, 4)
+}
+
+/// The three techniques at one pruning level.
+pub fn technique_kls(model: &bbs_models::ModelSpec, columns: usize) -> [f64; 3] {
+    [
+        model_kl(model, |g| sign_magnitude_zero_column(g, columns).decode()),
+        model_kl(model, |g| rounded_averaging(g, columns).decode()),
+        model_kl(model, |g| zero_point_shifting(g, columns).decode()),
+    ]
+}
+
+/// Regenerates Fig. 6.
+pub fn run() {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for model in [zoo::resnet34(), zoo::vit_base()] {
+        for columns in [2usize, 4] {
+            let [zc, avg, zps] = technique_kls(&model, columns);
+            let max = zc.max(avg).max(zps).max(1e-12);
+            rows.push(vec![
+                model.name.to_string(),
+                columns.to_string(),
+                format!("{} ({})", f(zc / max, 3), f(zc, 5)),
+                format!("{} ({})", f(avg / max, 3), f(avg, 5)),
+                format!("{} ({})", f(zps / max, 3), f(zps, 5)),
+            ]);
+        }
+    }
+    print_table(
+        "Fig. 6 — normalized KL divergence, lower is better (paper: averaging wins at 2 cols, shifting wins at 4, zero-column worst)",
+        &["model", "cols", "zero-col norm (raw)", "rounded-avg norm (raw)", "zps norm (raw)"],
+        &rows,
+    );
+}

@@ -1,0 +1,72 @@
+//! Figure 12: end-to-end speedup over Stripes for all accelerators on the
+//! seven benchmarks.
+
+use crate::{f, print_table, weight_cap, SEED};
+use bbs_models::zoo;
+use bbs_sim::accel::{
+    ant::Ant, bitlet::Bitlet, bitvert::BitVert, bitwave::BitWave, pragmatic::Pragmatic,
+    sparten::SparTen, stripes::Stripes, Accelerator,
+};
+use bbs_sim::config::ArrayConfig;
+use bbs_sim::engine::simulate;
+use bbs_tensor::metrics::geomean;
+
+/// The Fig. 12 accelerator lineup (Stripes is the normalization baseline).
+pub fn lineup() -> Vec<Box<dyn Accelerator>> {
+    vec![
+        Box::new(SparTen::new()),
+        Box::new(Ant::new()),
+        Box::new(Pragmatic::new()),
+        Box::new(Bitlet::new()),
+        Box::new(BitWave::new()),
+        Box::new(BitVert::conservative()),
+        Box::new(BitVert::moderate()),
+    ]
+}
+
+/// Speedups over Stripes for one model, in lineup order.
+pub fn model_speedups(model: &bbs_models::ModelSpec, cfg: &ArrayConfig) -> Vec<f64> {
+    let cap = weight_cap();
+    let base = simulate(&Stripes::new(), model, cfg, SEED, cap).total_cycles() as f64;
+    lineup()
+        .iter()
+        .map(|a| base / simulate(a.as_ref(), model, cfg, SEED, cap).total_cycles() as f64)
+        .collect()
+}
+
+/// Regenerates Fig. 12.
+pub fn run() {
+    let cfg = ArrayConfig::paper_16x32();
+    let models = zoo::paper_benchmarks();
+    let names: Vec<String> = lineup().iter().map(|a| a.name()).collect();
+    let mut header = vec!["model".to_string()];
+    header.extend(names);
+
+    let mut per_accel: Vec<Vec<f64>> = vec![Vec::new(); lineup().len()];
+    let mut rows = Vec::new();
+    for model in &models {
+        let speedups = model_speedups(model, &cfg);
+        let mut row = vec![model.name.to_string()];
+        for (col, &s) in speedups.iter().enumerate() {
+            per_accel[col].push(s);
+            row.push(f(s, 2));
+        }
+        rows.push(row);
+    }
+    let mut geo = vec!["geomean".to_string()];
+    geo.extend(per_accel.iter().map(|v| f(geomean(v), 2)));
+    rows.push(geo);
+    let mut paper = vec!["paper geomean".to_string()];
+    paper.extend(
+        ["~1.0", "~1.5", "~1.3", "~1.5", "~1.8", "2.48", "3.03"]
+            .iter()
+            .map(|s| s.to_string()),
+    );
+    rows.push(paper);
+
+    print_table(
+        "Fig. 12 — speedup normalized to Stripes (higher is better)",
+        &header,
+        &rows,
+    );
+}

@@ -1,0 +1,72 @@
+//! Figure 13: energy consumption breakdown (off-chip memory vs on-chip
+//! compute) normalized to SparTen.
+
+use crate::{f, print_table, weight_cap, SEED};
+use bbs_models::zoo;
+use bbs_sim::accel::{
+    ant::Ant, bitlet::Bitlet, bitvert::BitVert, bitwave::BitWave, pragmatic::Pragmatic,
+    sparten::SparTen, stripes::Stripes, Accelerator,
+};
+use bbs_sim::config::ArrayConfig;
+use bbs_sim::engine::simulate;
+use bbs_tensor::metrics::geomean;
+
+/// The Fig. 13 lineup (SparTen first — it is the normalization baseline).
+fn lineup() -> Vec<Box<dyn Accelerator>> {
+    vec![
+        Box::new(SparTen::new()),
+        Box::new(Ant::new()),
+        Box::new(Stripes::new()),
+        Box::new(Pragmatic::new()),
+        Box::new(Bitlet::new()),
+        Box::new(BitWave::new()),
+        Box::new(BitVert::conservative()),
+        Box::new(BitVert::moderate()),
+    ]
+}
+
+/// Regenerates Fig. 13.
+pub fn run() {
+    let cfg = ArrayConfig::paper_16x32();
+    let cap = weight_cap();
+    let models = zoo::paper_benchmarks();
+    let mut header = vec!["model".to_string()];
+    header.extend(lineup().iter().map(|a| a.name()));
+
+    let mut norm_totals: Vec<Vec<f64>> = vec![Vec::new(); lineup().len()];
+    let mut rows = Vec::new();
+    for model in &models {
+        let sparten = simulate(&SparTen::new(), model, &cfg, SEED, cap);
+        let base = sparten.total_energy_pj();
+        let mut row = vec![model.name.to_string()];
+        for (col, accel) in lineup().iter().enumerate() {
+            let r = simulate(accel.as_ref(), model, &cfg, SEED, cap);
+            let b = r.energy_breakdown();
+            let total = b.total_pj() / base;
+            norm_totals[col].push(total);
+            row.push(format!(
+                "{} ({}/{})",
+                f(total, 2),
+                f(b.dram_pj / base, 2),
+                f(b.on_chip_pj() / base, 2)
+            ));
+        }
+        rows.push(row);
+    }
+    let mut geo = vec!["geomean".to_string()];
+    geo.extend(norm_totals.iter().map(|v| f(geomean(v), 2)));
+    rows.push(geo);
+    let mut paper = vec!["paper geomean".to_string()];
+    paper.extend(
+        ["1.00", "~0.6", "0.57", "0.59", "0.63", "0.52", "0.47", "0.41"]
+            .iter()
+            .map(|s| s.to_string()),
+    );
+    rows.push(paper);
+
+    print_table(
+        "Fig. 13 — total energy normalized to SparTen, cells show total (off-chip/on-chip); lower is better",
+        &header,
+        &rows,
+    );
+}

@@ -1,0 +1,43 @@
+//! Figure 15: execution-cycle breakdown (useful PE work, intra-PE stall,
+//! inter-PE stall) as PE columns scale.
+
+use crate::{f, print_table, weight_cap, SEED};
+use bbs_models::zoo;
+use bbs_sim::accel::{
+    bitlet::Bitlet, bitvert::BitVert, bitwave::BitWave, pragmatic::Pragmatic, Accelerator,
+};
+use bbs_sim::config::ArrayConfig;
+use bbs_sim::engine::simulate;
+
+/// Regenerates Fig. 15.
+pub fn run() {
+    let cap = weight_cap();
+    let model = zoo::resnet50();
+    let accels: Vec<Box<dyn Accelerator>> = vec![
+        Box::new(Pragmatic::new()),
+        Box::new(Bitlet::new()),
+        Box::new(BitWave::new()),
+        Box::new(BitVert::moderate()),
+    ];
+    let mut rows = Vec::new();
+    for &cols in &[8usize, 16, 32] {
+        let cfg = ArrayConfig::paper_16x32().with_pe_cols(cols);
+        for accel in &accels {
+            let r = simulate(accel.as_ref(), &model, &cfg, SEED, cap);
+            let (useful, intra, inter) = r.stall_breakdown();
+            rows.push(vec![
+                cols.to_string(),
+                accel.name(),
+                format!("{}%", f(useful * 100.0, 1)),
+                format!("{}%", f(intra * 100.0, 1)),
+                format!("{}%", f(inter * 100.0, 1)),
+                format!("{}%", f(r.memory_stall_fraction() * 100.0, 1)),
+            ]);
+        }
+    }
+    print_table(
+        "Fig. 15 (ResNet-50) — cycle breakdown vs PE columns (paper: Pragmatic/Bitlet lose to intra+inter stalls as columns grow; BitVert keeps inter-PE minimal)",
+        &["PE cols", "accelerator", "useful", "intra-PE", "inter-PE", "mem stall"],
+        &rows,
+    );
+}

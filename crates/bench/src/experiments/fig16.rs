@@ -1,0 +1,152 @@
+//! Figure 16: EDP vs accuracy-loss Pareto frontier on ResNet-50.
+//!
+//! Each method contributes points from a pruning/precision sweep; EDP is
+//! normalized to the dense Stripes baseline, accuracy loss is the
+//! documented fidelity estimate.
+
+use crate::{f, print_table, weight_cap, SEED};
+use bbs_core::global::GlobalPruneConfig;
+use bbs_core::prune::{BinaryPruner, PruneStrategy};
+use bbs_models::accuracy::{evaluate_model_fidelity, CompressionKind, CompressionMethod};
+use bbs_models::zoo;
+use bbs_sim::accel::{
+    ant::Ant, bitlet::Bitlet, bitvert::BitVert, bitwave::BitWave, stripes::Stripes,
+};
+use bbs_sim::config::ArrayConfig;
+use bbs_sim::engine::simulate;
+
+/// One Pareto point.
+#[derive(Debug, Clone)]
+pub struct ParetoPoint {
+    /// Series name (accelerator/method).
+    pub series: &'static str,
+    /// Configuration label.
+    pub config: String,
+    /// EDP normalized to Stripes.
+    pub norm_edp: f64,
+    /// Estimated accuracy loss, %.
+    pub acc_loss_pct: f64,
+}
+
+fn bitvert_label(cols: usize) -> &'static str {
+    match cols {
+        1 => "1col",
+        2 => "2col",
+        3 => "3col",
+        4 => "4col",
+        5 => "5col",
+        _ => "6col",
+    }
+}
+
+/// Computes the Fig. 16 point cloud.
+pub fn pareto_points() -> Vec<ParetoPoint> {
+    let model = zoo::resnet50();
+    let cfg = ArrayConfig::paper_16x32();
+    let cap = weight_cap();
+    let base = simulate(&Stripes::new(), &model, &cfg, SEED, cap);
+    let base_edp = base.edp();
+    let mut points = Vec::new();
+
+    // BitVert: pruning sweep (averaging below 3 columns, shifting above —
+    // the strategy choice Algorithm 2 makes).
+    for cols in 1..=6usize {
+        let strategy = if cols <= 2 {
+            PruneStrategy::RoundedAveraging
+        } else {
+            PruneStrategy::ZeroPointShifting
+        };
+        let prune = GlobalPruneConfig {
+            beta: if cols <= 2 { 0.10 } else { 0.20 },
+            ch: 32,
+            pruner: BinaryPruner::new(strategy, cols),
+            group_size: 32,
+        };
+        let accel = BitVert::with_config(prune, bitvert_label(cols));
+        let sim = simulate(&accel, &model, &cfg, SEED, cap);
+        let method = CompressionMethod::new(CompressionKind::Bbs(strategy, cols), prune.beta);
+        let fit = evaluate_model_fidelity(&model, &method, SEED, cap);
+        points.push(ParetoPoint {
+            series: "BitVert",
+            config: format!("{cols} cols"),
+            norm_edp: sim.edp() / base_edp,
+            acc_loss_pct: fit.est_accuracy_loss_pct,
+        });
+    }
+
+    // BitWave: zero-column sweep.
+    for cols in 1..=5usize {
+        let sim = simulate(&BitWave::with_columns(cols), &model, &cfg, SEED, cap);
+        let method = CompressionMethod::new(CompressionKind::ZeroColumn(cols), 0.10);
+        let fit = evaluate_model_fidelity(&model, &method, SEED, cap);
+        points.push(ParetoPoint {
+            series: "BitWave",
+            config: format!("{cols} cols"),
+            norm_edp: sim.edp() / base_edp,
+            acc_loss_pct: fit.est_accuracy_loss_pct,
+        });
+    }
+
+    // Bitlet: lossless (no compression), one point.
+    let bitlet = simulate(&Bitlet::new(), &model, &cfg, SEED, cap);
+    points.push(ParetoPoint {
+        series: "Bitlet",
+        config: "lossless".into(),
+        norm_edp: bitlet.edp() / base_edp,
+        acc_loss_pct: 0.0,
+    });
+
+    // ANT at 6 bits.
+    let ant = simulate(&Ant::new(), &model, &cfg, SEED, cap);
+    let ant_fit = evaluate_model_fidelity(&model, &CompressionMethod::ant6(), SEED, cap);
+    points.push(ParetoPoint {
+        series: "ANT",
+        config: "6b".into(),
+        norm_edp: ant.edp() / base_edp,
+        acc_loss_pct: ant_fit.est_accuracy_loss_pct,
+    });
+
+    // PTQ running on reduced-precision Stripes.
+    for bits in [4u32, 5, 6] {
+        let sim = simulate(&Stripes::with_bits(bits), &model, &cfg, SEED, cap);
+        let method = CompressionMethod::new(CompressionKind::Ptq(bits as u8), 0.0);
+        let fit = evaluate_model_fidelity(&model, &method, SEED, cap);
+        points.push(ParetoPoint {
+            series: "PTQ",
+            config: format!("{bits}b"),
+            norm_edp: sim.edp() / base_edp,
+            acc_loss_pct: fit.est_accuracy_loss_pct,
+        });
+    }
+    points
+}
+
+/// Checks whether a point is on the Pareto frontier of the cloud.
+pub fn on_frontier(points: &[ParetoPoint], p: &ParetoPoint) -> bool {
+    !points.iter().any(|q| {
+        (q.norm_edp < p.norm_edp && q.acc_loss_pct <= p.acc_loss_pct)
+            || (q.norm_edp <= p.norm_edp && q.acc_loss_pct < p.acc_loss_pct)
+    })
+}
+
+/// Regenerates Fig. 16.
+pub fn run() {
+    let points = pareto_points();
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.series.to_string(),
+                p.config.clone(),
+                f(p.norm_edp, 3),
+                format!("{}%", f(p.acc_loss_pct, 2)),
+                if on_frontier(&points, p) { "*".into() } else { "".into() },
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 16 (ResNet-50) — EDP vs estimated accuracy loss (paper: BitVert always sits on the Pareto frontier); * marks frontier points",
+        &["series", "config", "norm EDP", "acc loss", "frontier"],
+        &rows,
+    );
+}

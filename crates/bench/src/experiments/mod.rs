@@ -1,0 +1,39 @@
+//! One module per regenerated table/figure. Each exposes `run()`, invoked
+//! by the matching binary and by the `repro` driver.
+
+pub mod ablations;
+pub mod fig03;
+pub mod fig06;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod tab01;
+pub mod tab02;
+pub mod tab03;
+pub mod tab04;
+pub mod tab05;
+pub mod tab06;
+
+/// Runs every experiment in paper order.
+pub fn run_all() {
+    tab01::run();
+    fig03::run();
+    fig06::run();
+    fig11::run();
+    tab02::run();
+    tab03::run();
+    fig12::run();
+    fig13::run();
+    fig14::run();
+    fig15::run();
+    tab04::run();
+    tab05::run();
+    fig16::run();
+    fig17::run();
+    tab06::run();
+    ablations::run();
+}

@@ -1,0 +1,30 @@
+//! Table II: BBS moderate pruning vs 6-bit ANT — accuracy loss and
+//! effective weight bit width, without fine-tuning.
+
+use crate::{f, print_table, weight_cap, SEED};
+use bbs_models::accuracy::{evaluate_model_fidelity, CompressionMethod};
+use bbs_models::zoo;
+
+/// Regenerates Table II.
+pub fn run() {
+    let mut rows = Vec::new();
+    for model in [zoo::vgg16(), zoo::resnet50()] {
+        let bbs = evaluate_model_fidelity(&model, &CompressionMethod::bbs_moderate(), SEED, weight_cap());
+        let ant = evaluate_model_fidelity(&model, &CompressionMethod::ant6(), SEED, weight_cap());
+        rows.push(vec![
+            model.name.to_string(),
+            format!("{}% ({} bits)", f(bbs.est_accuracy_loss_pct, 2), f(bbs.effective_bits, 2)),
+            format!("{}% ({} bits)", f(ant.est_accuracy_loss_pct, 2), f(ant.effective_bits, 2)),
+        ]);
+    }
+    rows.push(vec![
+        "paper".to_string(),
+        "0.20-0.23% (4.3-4.8 bits)".to_string(),
+        "0.68-0.89% (6 bits)".to_string(),
+    ]);
+    print_table(
+        "Table II — BBS (mod) vs ANT-6b: estimated accuracy loss and effective bits",
+        &["model", "BBS (mod)", "ANT-6b"],
+        &rows,
+    );
+}

@@ -1,0 +1,36 @@
+//! Table V: PE area and power of BitVert vs prior bit-serial accelerators
+//! (28 nm, 800 MHz, 8 bit-serial multipliers per PE).
+
+use crate::{f, print_table};
+use bbs_hw::explore::pe_comparison;
+use bbs_hw::gates::Technology;
+
+/// Regenerates Table V.
+pub fn run() {
+    let mut rows: Vec<Vec<String>> = pe_comparison(&Technology::tsmc28())
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                f(r.mult_area_um2, 1),
+                f(r.other_area_um2, 1),
+                f(r.total_area_um2, 1),
+                format!("{}x", f(r.ratio_vs_stripes, 2)),
+                f(r.power_mw, 2),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        "paper".to_string(),
+        "(Stripes 286/BitVert 332)".to_string(),
+        "(247/407)".to_string(),
+        "533/923/1666/702/740".to_string(),
+        "1.00/1.73/3.13/1.32/1.39x".to_string(),
+        "0.37/0.51/0.57/0.49/0.45".to_string(),
+    ]);
+    print_table(
+        "Table V — PE area/power comparison (Stripes anchor = 532.8 um2, 0.37 mW)",
+        &["PE", "mult (um2)", "others (um2)", "total (um2)", "vs Stripes", "power (mW)"],
+        &rows,
+    );
+}

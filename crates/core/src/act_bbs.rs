@@ -1,0 +1,251 @@
+//! Activation-side BBS — the extension direction the paper's conclusion
+//! points at ("BBS naturally exists in a bit-vector with arbitrary length
+//! and does not depend on the operand precision").
+//!
+//! Weights were the serial operand throughout the paper; this module
+//! applies the same bi-directional identity to *activation* bit columns,
+//! enabling a dual bit-serial mode: for a dot product `Σ w_i·a_i`, the
+//! activation bit column at significance `b` contributes
+//! `2^b · Σ_{i: a_i^b=1} w_i`, and when the column has more ones than
+//! zeros it can be inverted against the group *weight* sum `ΣW`. Unsigned
+//! (post-ReLU) activations have no sign column, so all 8 columns carry
+//! positive significance.
+//!
+//! This is useful for GeLU-free CNN deployments where activations are
+//! uint8 and weight reuse is low (depthwise layers): the serial operand
+//! can be chosen per layer to whichever side compresses better.
+
+use bbs_tensor::bits::WEIGHT_BITS;
+
+/// Maximum group size for the `u64` column masks.
+pub const MAX_GROUP: usize = 64;
+
+/// Bit-plane view of a group of unsigned 8-bit activations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActBitGroup {
+    columns: [u64; WEIGHT_BITS],
+    n: usize,
+}
+
+impl ActBitGroup {
+    /// Builds the view from unsigned activations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group is empty or larger than [`MAX_GROUP`].
+    pub fn from_words(acts: &[u8]) -> Self {
+        assert!(!acts.is_empty() && acts.len() <= MAX_GROUP);
+        let mut columns = [0u64; WEIGHT_BITS];
+        for (i, &a) in acts.iter().enumerate() {
+            for (b, col) in columns.iter_mut().enumerate() {
+                if (a >> b) & 1 == 1 {
+                    *col |= 1u64 << i;
+                }
+            }
+        }
+        ActBitGroup {
+            columns,
+            n: acts.len(),
+        }
+    }
+
+    /// Group size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the group is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Column mask at significance `b`.
+    pub fn column(&self, b: usize) -> u64 {
+        self.columns[b]
+    }
+
+    /// BBS effectual terms of column `b`: `min(ones, zeros)`.
+    pub fn effectual_terms(&self, b: usize) -> usize {
+        let ones = self.columns[b].count_ones() as usize;
+        ones.min(self.n - ones)
+    }
+
+    /// Activation-serial BBS dot product against signed weights: exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != self.len()`.
+    pub fn dot(&self, weights: &[i8]) -> i64 {
+        assert_eq!(weights.len(), self.n);
+        let sum_w: i64 = weights.iter().map(|&w| w as i64).sum();
+        (0..WEIGHT_BITS)
+            .map(|b| {
+                let col = self.columns[b];
+                let ones = col.count_ones() as usize;
+                let partial = if ones * 2 <= self.n {
+                    // Eq. 2 on the activation side.
+                    weights
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| (col >> i) & 1 == 1)
+                        .map(|(_, &w)| w as i64)
+                        .sum::<i64>()
+                } else {
+                    // Eq. 3: ΣW minus the zero-bit weights.
+                    let zeros: i64 = weights
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| (col >> i) & 1 == 0)
+                        .map(|(_, &w)| w as i64)
+                        .sum();
+                    sum_w - zeros
+                };
+                // Unsigned activations: every column has positive weight.
+                (1i64 << b) * partial
+            })
+            .sum()
+    }
+
+    /// Total serial cycles a dual-mode PE with `lanes` lanes would need to
+    /// process this group activation-serially under BBS (one cycle per
+    /// column whenever effectual terms fit the lanes).
+    pub fn bbs_cycles(&self, lanes: usize) -> usize {
+        (0..WEIGHT_BITS)
+            .map(|b| self.effectual_terms(b).div_ceil(lanes).max(1))
+            .sum()
+    }
+}
+
+/// Chooses the serial operand for a layer: the side whose BBS effectual
+/// work is smaller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SerialSide {
+    /// Weight-serial (the paper's BitVert mode).
+    Weights,
+    /// Activation-serial (this extension).
+    Activations,
+}
+
+/// Picks the cheaper serial side for a (weight group, activation group)
+/// pair by comparing BBS effectual bit counts.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn choose_serial_side(weights: &[i8], acts: &[u8]) -> SerialSide {
+    assert_eq!(weights.len(), acts.len());
+    let wg = bbs_tensor::bits::BitGroup::from_words(weights);
+    let ag = ActBitGroup::from_words(acts);
+    let w_eff: usize = (0..WEIGHT_BITS)
+        .map(|b| {
+            let ones = wg.column_popcount(b);
+            ones.min(weights.len() - ones)
+        })
+        .sum();
+    let a_eff: usize = (0..WEIGHT_BITS).map(|b| ag.effectual_terms(b)).sum();
+    if a_eff < w_eff {
+        SerialSide::Activations
+    } else {
+        SerialSide::Weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbs_tensor::rng::SeededRng;
+
+    fn reference(w: &[i8], a: &[u8]) -> i64 {
+        w.iter().zip(a).map(|(&x, &y)| x as i64 * y as i64).sum()
+    }
+
+    #[test]
+    fn activation_serial_dot_is_exact() {
+        let mut rng = SeededRng::new(301);
+        for _ in 0..300 {
+            let n = rng.uniform_usize(1, 64);
+            let w: Vec<i8> = (0..n).map(|_| rng.any_i8()).collect();
+            let a: Vec<u8> = (0..n).map(|_| rng.any_i8() as u8).collect();
+            let g = ActBitGroup::from_words(&a);
+            assert_eq!(g.dot(&w), reference(&w, &a));
+        }
+    }
+
+    #[test]
+    fn effectual_terms_at_most_half() {
+        let mut rng = SeededRng::new(302);
+        for _ in 0..100 {
+            let n = rng.uniform_usize(2, 64);
+            let a: Vec<u8> = (0..n).map(|_| rng.any_i8() as u8).collect();
+            let g = ActBitGroup::from_words(&a);
+            for b in 0..8 {
+                assert!(g.effectual_terms(b) * 2 <= n + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn relu_activations_prefer_activation_serial() {
+        // Post-ReLU activations with ~50% exact zeros have dramatically
+        // sparse bit columns — the dual mode picks the activation side.
+        let mut rng = SeededRng::new(303);
+        let mut act_side = 0usize;
+        let trials = 100;
+        for _ in 0..trials {
+            let w: Vec<i8> = (0..32).map(|_| rng.gaussian_i8(0.0, 40.0)).collect();
+            let a: Vec<u8> = (0..32)
+                .map(|_| {
+                    let v = rng.gaussian(0.0, 30.0);
+                    if v <= 0.0 {
+                        0
+                    } else {
+                        v.min(127.0) as u8
+                    }
+                })
+                .collect();
+            if choose_serial_side(&w, &a) == SerialSide::Activations {
+                act_side += 1;
+            }
+        }
+        assert!(
+            act_side > trials * 7 / 10,
+            "ReLU outputs should win the serial side {act_side}/{trials}"
+        );
+    }
+
+    #[test]
+    fn dense_activations_prefer_weight_serial_or_tie() {
+        // Near-uniform dense activations have ~50% bit sparsity, same as
+        // weights — no strong preference, and the tie goes to weights.
+        let mut rng = SeededRng::new(304);
+        let mut weight_side = 0usize;
+        for _ in 0..100 {
+            let w: Vec<i8> = (0..32).map(|_| rng.gaussian_i8(0.0, 20.0)).collect();
+            let a: Vec<u8> = (0..32).map(|_| rng.any_i8() as u8).collect();
+            if choose_serial_side(&w, &a) == SerialSide::Weights {
+                weight_side += 1;
+            }
+        }
+        assert!(weight_side > 30, "no systematic activation win: {weight_side}");
+    }
+
+    #[test]
+    fn bbs_cycles_bounded_by_dense() {
+        let a: Vec<u8> = (0..16).map(|i| (i * 17) as u8).collect();
+        let g = ActBitGroup::from_words(&a);
+        // Dense bit-serial would take 8 cycles minimum; BBS cycles with 8
+        // lanes must not exceed the dense 8 (one per column).
+        assert!(g.bbs_cycles(8) <= 8);
+        assert!(g.bbs_cycles(8) >= 8, "one cycle per column floor");
+    }
+
+    #[test]
+    fn zero_activations_are_free() {
+        let g = ActBitGroup::from_words(&[0u8; 32]);
+        let w = [55i8; 32];
+        assert_eq!(g.dot(&w), 0);
+        for b in 0..8 {
+            assert_eq!(g.effectual_terms(b), 0);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Digital building blocks with gate-equivalent costs.
+//!
+//! GE costs follow standard cell-library rules of thumb (NAND2 = 1 GE):
+//! full adder ≈ 6 GE, scan flop ≈ 6 GE, 2:1 mux ≈ 2.3 GE/bit, XOR ≈ 2.3 GE.
+//! Every block also carries a switching-activity factor used by the power
+//! roll-up: datapath arithmetic toggles much more than select/control logic.
+
+use std::fmt;
+
+/// GE cost of a full adder cell (synthesis-mapped, carry-merged).
+pub const GE_FULL_ADDER: f64 = 4.5;
+/// GE cost of a D flip-flop.
+pub const GE_DFF: f64 = 5.0;
+/// GE cost of a 2:1 mux cell, per bit.
+pub const GE_MUX2: f64 = 1.4;
+/// GE cost per (input-1)·bit of a transmission-gate selection mux — the
+/// implementation style synthesis picks for wide one-hot networks.
+pub const GE_MUX_TG: f64 = 0.35;
+/// GE cost of an XOR2 gate.
+pub const GE_XOR2: f64 = 1.8;
+/// GE cost of an AND2/OR2 gate.
+pub const GE_AND2: f64 = 1.3;
+/// Carry-save sharing factor applied to multiplier reduction arrays.
+pub const MULT_CSA_FACTOR: f64 = 0.55;
+
+/// A composable hardware block: a name, a GE count and an activity factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Human-readable block name (appears in area breakdowns).
+    pub name: String,
+    /// Gate-equivalent count.
+    pub ge: f64,
+    /// Fraction of gates switching per cycle (0..=1), for dynamic power.
+    pub activity: f64,
+}
+
+impl Block {
+    /// Creates a block.
+    pub fn new(name: impl Into<String>, ge: f64, activity: f64) -> Self {
+        Block {
+            name: name.into(),
+            ge,
+            activity: activity.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Replicates the block `n` times.
+    pub fn times(mut self, n: usize) -> Self {
+        self.ge *= n as f64;
+        self.name = format!("{}x {}", n, self.name);
+        self
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {:.0} GE (a={:.2})", self.name, self.ge, self.activity)
+    }
+}
+
+/// Ripple/CLA adder of the given width.
+pub fn adder(width: usize) -> Block {
+    Block::new(format!("add{width}"), width as f64 * GE_FULL_ADDER, 0.30)
+}
+
+/// Subtractor: adder plus an inverter row.
+pub fn subtractor(width: usize) -> Block {
+    Block::new(
+        format!("sub{width}"),
+        width as f64 * (GE_FULL_ADDER + 0.7),
+        0.30,
+    )
+}
+
+/// Balanced adder tree reducing `inputs` operands of `width` bits.
+///
+/// Widths grow by one bit per level; cost is the sum over levels.
+pub fn adder_tree(inputs: usize, width: usize) -> Block {
+    assert!(inputs >= 2);
+    let mut ge = 0.0;
+    let mut remaining = inputs;
+    let mut w = width;
+    while remaining > 1 {
+        let pairs = remaining / 2;
+        ge += pairs as f64 * (w + 1) as f64 * GE_FULL_ADDER;
+        remaining -= pairs;
+        w += 1;
+    }
+    Block::new(format!("adder-tree{inputs}x{width}"), ge, 0.30)
+}
+
+/// `n`:1 mux over `width`-bit operands built from 2:1 mux cells.
+pub fn mux(n: usize, width: usize) -> Block {
+    assert!(n >= 2);
+    Block::new(
+        format!("mux{n}:1x{width}"),
+        (n - 1) as f64 * width as f64 * GE_MUX2,
+        0.15,
+    )
+}
+
+/// `n`:1 transmission-gate selection mux over `width`-bit operands — the
+/// cheap style used for wide activation-select networks (Bitlet's 64:1,
+/// BitVert's 5:1). Cost per bit is `(n-1)·0.35 + 2.0`: the fixed term
+/// covers select decode and output buffering, so small muxes do not
+/// amortize as well as wide ones.
+pub fn mux_tg(n: usize, width: usize) -> Block {
+    assert!(n >= 2);
+    Block::new(
+        format!("tgmux{n}:1x{width}"),
+        ((n - 1) as f64 * GE_MUX_TG + 2.0) * width as f64,
+        0.12,
+    )
+}
+
+/// Barrel shifter: `width`-bit operand, `positions` shift amounts.
+pub fn barrel_shifter(width: usize, positions: usize) -> Block {
+    assert!(positions >= 2);
+    let stages = (usize::BITS - (positions - 1).leading_zeros()) as f64;
+    Block::new(
+        format!("shift{width}p{positions}"),
+        stages * width as f64 * GE_MUX2,
+        0.20,
+    )
+}
+
+/// Priority encoder over `n` inputs (first-one detect + mask).
+pub fn priority_encoder(n: usize) -> Block {
+    Block::new(format!("prio-enc{n}"), n as f64 * 2.5, 0.20)
+}
+
+/// Register of the given width.
+pub fn register(width: usize) -> Block {
+    Block::new(format!("reg{width}"), width as f64 * GE_DFF, 0.15)
+}
+
+/// Two's complementer: XOR row plus increment chain (BitWave needs one per
+/// lane for sign-magnitude arithmetic).
+pub fn twos_complementer(width: usize) -> Block {
+    Block::new(
+        format!("2s-comp{width}"),
+        width as f64 * (GE_XOR2 + 2.5),
+        0.25,
+    )
+}
+
+/// Popcount of `n` single-bit inputs.
+pub fn popcount(n: usize) -> Block {
+    Block::new(format!("popcount{n}"), n as f64 * GE_FULL_ADDER * 0.9, 0.25)
+}
+
+/// Array multiplier `a_bits × b_bits` (AND matrix + carry-save reduction).
+pub fn multiplier(a_bits: usize, b_bits: usize) -> Block {
+    let partials = (a_bits * b_bits) as f64 * GE_AND2;
+    let reduce =
+        (a_bits.saturating_sub(1) * b_bits) as f64 * GE_FULL_ADDER * MULT_CSA_FACTOR;
+    Block::new(format!("mult{a_bits}x{b_bits}"), partials + reduce, 0.35)
+}
+
+/// Bit-serial multiplier lane: gates an 8-bit operand with one weight bit.
+pub fn bit_serial_lane(width: usize) -> Block {
+    Block::new(
+        format!("bs-mult{width}"),
+        width as f64 * GE_AND2,
+        0.35,
+    )
+}
+
+/// Miscellaneous control (FSM, gating, valid logic).
+pub fn control(ge: f64) -> Block {
+    Block::new("control", ge, 0.10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_tree_grows_superlinearly_with_inputs() {
+        let t8 = adder_tree(8, 8);
+        let t16 = adder_tree(16, 8);
+        assert!(t16.ge > 2.0 * t8.ge * 0.9);
+        // 8-input tree: 4*9 + 2*10 + 1*11 FAs = 67 FA.
+        assert!((t8.ge - 67.0 * GE_FULL_ADDER).abs() < 1e-9);
+    }
+
+    #[test]
+    fn big_mux_dominates() {
+        // Bitlet's 64:1 mux is an order of magnitude beyond a 5:1.
+        let m64 = mux(64, 8);
+        let m5 = mux(5, 8);
+        assert!(m64.ge > 10.0 * m5.ge);
+    }
+
+    #[test]
+    fn barrel_shifter_stages() {
+        // 8 positions -> 3 stages.
+        let s = barrel_shifter(16, 8);
+        assert!((s.ge - 3.0 * 16.0 * GE_MUX2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiplier_quadratic() {
+        let m8 = multiplier(8, 8);
+        let m4 = multiplier(4, 8);
+        assert!(m8.ge > 1.8 * m4.ge);
+    }
+
+    #[test]
+    fn times_scales() {
+        let b = adder(8).times(4);
+        assert!((b.ge - 4.0 * 8.0 * GE_FULL_ADDER).abs() < 1e-9);
+        assert!(b.name.starts_with("4x "));
+    }
+
+    #[test]
+    fn activity_is_clamped() {
+        let b = Block::new("x", 10.0, 7.0);
+        assert_eq!(b.activity, 1.0);
+    }
+
+    #[test]
+    fn display_shows_ge() {
+        let b = adder(8);
+        assert!(b.to_string().contains("36 GE"));
+    }
+
+    #[test]
+    fn tg_mux_amortizes_for_wide_selects() {
+        // Wide selection networks are where the TG style wins big.
+        assert!(mux_tg(64, 8).ge < mux(64, 8).ge / 3.0);
+        // Narrow muxes benefit much less (fixed decode/buffer cost).
+        assert!(mux_tg(5, 8).ge > mux(5, 8).ge / 3.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! PE design-space exploration (paper Table IV) and the PE comparison
+//! tables (Tables V and VI).
+
+use crate::gates::Technology;
+use crate::pe::{bitvert_pe, olive_pe, table5_designs};
+
+/// One row of Table IV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseRow {
+    /// Sub-group size (4, 8 or 16).
+    pub sub_group: usize,
+    /// Area without the circuit optimizations, µm².
+    pub area_unopt_um2: f64,
+    /// Power without the circuit optimizations, mW.
+    pub power_unopt_mw: f64,
+    /// Area with the optimizations, µm².
+    pub area_opt_um2: f64,
+    /// Power with the optimizations, mW.
+    pub power_opt_mw: f64,
+}
+
+/// Runs the Table IV sweep over sub-group sizes.
+pub fn bitvert_design_space(tech: &Technology) -> Vec<DseRow> {
+    [16usize, 8, 4]
+        .iter()
+        .map(|&sg| {
+            let unopt = bitvert_pe(sg, false);
+            let opt = bitvert_pe(sg, true);
+            DseRow {
+                sub_group: sg,
+                area_unopt_um2: unopt.area_um2(tech),
+                power_unopt_mw: unopt.power_mw(tech),
+                area_opt_um2: opt.area_um2(tech),
+                power_opt_mw: opt.power_mw(tech),
+            }
+        })
+        .collect()
+}
+
+/// One row of Table V.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeComparisonRow {
+    /// Design name.
+    pub name: &'static str,
+    /// Multiplier-section area, µm².
+    pub mult_area_um2: f64,
+    /// Non-multiplier area, µm².
+    pub other_area_um2: f64,
+    /// Total area, µm².
+    pub total_area_um2: f64,
+    /// Area ratio vs Stripes.
+    pub ratio_vs_stripes: f64,
+    /// PE power, mW.
+    pub power_mw: f64,
+}
+
+/// Builds the Table V comparison.
+pub fn pe_comparison(tech: &Technology) -> Vec<PeComparisonRow> {
+    let designs = table5_designs();
+    let stripes_area = designs[0].area_um2(tech);
+    designs
+        .into_iter()
+        .map(|pe| PeComparisonRow {
+            name: pe.name,
+            mult_area_um2: pe.multiplier_area_um2(tech),
+            other_area_um2: pe.other_area_um2(tech),
+            total_area_um2: pe.area_um2(tech),
+            ratio_vs_stripes: pe.area_um2(tech) / stripes_area,
+            power_mw: pe.power_mw(tech),
+        })
+        .collect()
+}
+
+/// Table VI: Olive vs BitVert PE with normalized performance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OliveComparison {
+    /// Olive PE area, µm².
+    pub olive_area_um2: f64,
+    /// Olive PE power, mW.
+    pub olive_power_mw: f64,
+    /// BitVert PE area, µm².
+    pub bitvert_area_um2: f64,
+    /// BitVert PE power, mW.
+    pub bitvert_power_mw: f64,
+    /// BitVert performance normalized to Olive (16 MACs / 4 cycles vs 1
+    /// MAC/cycle under moderate pruning).
+    pub bitvert_norm_perf: f64,
+    /// BitVert performance-per-area normalized to Olive.
+    pub bitvert_norm_perf_per_area: f64,
+}
+
+/// Builds the Table VI comparison.
+pub fn olive_comparison(tech: &Technology) -> OliveComparison {
+    let olive = olive_pe();
+    let bitvert = bitvert_pe(8, true);
+    let olive_area = olive.area_um2(tech);
+    let bitvert_area = bitvert.area_um2(tech);
+    // Moderate pruning: 16 multiplications in 4 cycles (4 kept columns) vs
+    // Olive's 1 multiplication per cycle.
+    let norm_perf = (16.0 / 4.0) / 1.0;
+    OliveComparison {
+        olive_area_um2: olive_area,
+        olive_power_mw: olive.power_mw(tech),
+        bitvert_area_um2: bitvert_area,
+        bitvert_power_mw: bitvert.power_mw(tech),
+        bitvert_norm_perf: norm_perf,
+        bitvert_norm_perf_per_area: norm_perf / (bitvert_area / olive_area),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dse_has_three_rows_with_optimization_gains() {
+        let rows = bitvert_design_space(&Technology::tsmc28());
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.area_opt_um2 < r.area_unopt_um2, "sub-group {}", r.sub_group);
+            assert!(r.power_opt_mw < r.power_unopt_mw);
+        }
+        // Sub-group 16 unoptimized is the worst configuration.
+        assert!(rows[0].area_unopt_um2 > rows[1].area_unopt_um2);
+    }
+
+    #[test]
+    fn comparison_normalizes_to_stripes() {
+        let rows = pe_comparison(&Technology::tsmc28());
+        assert_eq!(rows.len(), 5);
+        assert!((rows[0].ratio_vs_stripes - 1.0).abs() < 1e-12);
+        assert_eq!(rows[0].name, "Stripes");
+        assert_eq!(rows[4].name, "BitVert");
+    }
+
+    #[test]
+    fn olive_table_matches_paper_shape() {
+        // Paper Table VI: norm perf 4x, perf/area ~1.58x.
+        let cmp = olive_comparison(&Technology::tsmc28());
+        assert!((cmp.bitvert_norm_perf - 4.0).abs() < 1e-12);
+        assert!(
+            (1.1..=2.3).contains(&cmp.bitvert_norm_perf_per_area),
+            "perf/area {}",
+            cmp.bitvert_norm_perf_per_area
+        );
+        assert!(cmp.olive_area_um2 < cmp.bitvert_area_um2);
+    }
+}

@@ -1,0 +1,75 @@
+//! Technology constants: gate-equivalent area and power at 28 nm.
+//!
+//! One *gate equivalent* (GE) is the area of a NAND2 cell. The two scalar
+//! constants below are the only calibrated quantities in the whole hardware
+//! model; they are anchored to the paper's synthesized Stripes PE
+//! (532.8 µm², 0.37 mW at 800 MHz in TSMC 28 nm) and then reused unchanged
+//! for every other design.
+
+/// Process/operating-point constants for area and power roll-ups.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Technology {
+    /// Area of one gate equivalent in µm².
+    pub ge_area_um2: f64,
+    /// Dynamic power of one *switching* gate equivalent per MHz, in mW
+    /// (multiplied by each block's activity factor).
+    pub ge_power_mw_per_mhz: f64,
+    /// Static leakage power per GE in mW.
+    pub ge_leakage_mw: f64,
+    /// Clock frequency in MHz.
+    pub freq_mhz: f64,
+}
+
+impl Technology {
+    /// TSMC 28 nm at 800 MHz, calibrated against the paper's Stripes PE.
+    pub fn tsmc28() -> Self {
+        Technology {
+            ge_area_um2: 0.7078,
+            ge_power_mw_per_mhz: 2.18e-6,
+            ge_leakage_mw: 6.0e-5,
+            freq_mhz: 800.0,
+        }
+    }
+
+    /// Area of `ge` gate equivalents in µm².
+    pub fn area_um2(&self, ge: f64) -> f64 {
+        ge * self.ge_area_um2
+    }
+
+    /// Power of `ge` gate equivalents switching with the given activity, in
+    /// mW.
+    pub fn power_mw(&self, ge: f64, activity: f64) -> f64 {
+        ge * (self.ge_power_mw_per_mhz * self.freq_mhz * activity + self.ge_leakage_mw)
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::tsmc28()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_scales_linearly() {
+        let t = Technology::tsmc28();
+        assert!((t.area_um2(100.0) - 70.78).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_has_dynamic_and_leakage_parts() {
+        let t = Technology::tsmc28();
+        let idle = t.power_mw(1000.0, 0.0);
+        let active = t.power_mw(1000.0, 0.3);
+        assert!(idle > 0.0, "leakage is non-zero");
+        assert!(active > idle);
+    }
+
+    #[test]
+    fn default_is_tsmc28() {
+        assert_eq!(Technology::default(), Technology::tsmc28());
+    }
+}

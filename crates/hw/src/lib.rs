@@ -1,0 +1,39 @@
+//! # bbs-hw — hardware cost models
+//!
+//! Gate-equivalent (GE) area/power models for the processing elements of
+//! BitVert and the baseline accelerators (paper Tables IV/V/VI), plus
+//! analytic SRAM and DRAM energy models standing in for CACTI and DRAMSim3.
+//!
+//! ## Substitution note
+//!
+//! The paper synthesizes RTL with Synopsys DC in TSMC 28 nm. We replace
+//! synthesis with a structural composition model: every PE is described as a
+//! list of digital building blocks (adders, n:1 muxes, shifters, priority
+//! encoders, registers, complementers, multipliers) with well-known
+//! gate-equivalent costs. A single global GE→µm² constant is calibrated so
+//! the *Stripes* PE matches the paper's 532.8 µm²; every other number is
+//! produced by the composition, so the area/power *ratios* between designs —
+//! which is what the paper's tables compare — come from architecture, not
+//! from fitting.
+//!
+//! # Example
+//!
+//! ```
+//! use bbs_hw::pe::{stripes_pe, bitvert_pe};
+//! use bbs_hw::gates::Technology;
+//!
+//! let tech = Technology::tsmc28();
+//! let stripes = stripes_pe();
+//! let bitvert = bitvert_pe(8, true);
+//! let ratio = bitvert.area_um2(&tech) / stripes.area_um2(&tech);
+//! // The paper's Table V: BitVert costs ~1.39x Stripes.
+//! assert!(ratio > 1.1 && ratio < 1.7);
+//! ```
+
+pub mod components;
+pub mod dram;
+pub mod energy;
+pub mod explore;
+pub mod gates;
+pub mod pe;
+pub mod sram;

@@ -1,0 +1,177 @@
+//! Layer and model shape descriptions.
+//!
+//! Every weight layer is reduced to the quantities the compression and the
+//! simulators need: the weight matrix viewed as `[channels ×
+//! elems_per_channel]`, the number of output *positions* that reuse those
+//! weights (spatial sites for convs, tokens for transformer projections),
+//! and the unique input volume (for DRAM activation traffic).
+
+use std::fmt;
+
+/// Which family a model belongs to — drives weight/activation statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelFamily {
+    /// Convolutional networks with ReLU activations (VGG, ResNet).
+    Cnn,
+    /// Vision transformers with GeLU activations.
+    VisionTransformer,
+    /// BERT-style encoders.
+    Bert,
+    /// Decoder-only large language models (Llama).
+    Llm,
+}
+
+impl fmt::Display for ModelFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelFamily::Cnn => write!(f, "cnn"),
+            ModelFamily::VisionTransformer => write!(f, "vit"),
+            ModelFamily::Bert => write!(f, "bert"),
+            ModelFamily::Llm => write!(f, "llm"),
+        }
+    }
+}
+
+/// One weight layer in canonical `[channels, elems_per_channel]` form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerSpec {
+    /// Layer name (e.g. `conv4.1.3`, `layer7.mlp.fc1`).
+    pub name: String,
+    /// Output channels — weight-matrix rows (`K` dimension).
+    pub channels: usize,
+    /// Weights per channel — `in_c·k·k` for convs, fan-in for linear.
+    pub elems_per_channel: usize,
+    /// Output positions that reuse the weights (spatial sites or tokens).
+    pub positions: usize,
+    /// Unique input activations consumed (for DRAM traffic).
+    pub unique_input_elems: usize,
+}
+
+impl LayerSpec {
+    /// Describes a convolution on an `in_h × in_w` input.
+    pub fn conv2d(
+        name: impl Into<String>,
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        in_hw: usize,
+    ) -> Self {
+        let out_hw = in_hw.div_ceil(stride);
+        LayerSpec {
+            name: name.into(),
+            channels: out_c,
+            elems_per_channel: in_c * kernel * kernel,
+            positions: out_hw * out_hw,
+            unique_input_elems: in_c * in_hw * in_hw,
+        }
+    }
+
+    /// Describes a linear/projection layer applied at `tokens` positions.
+    pub fn linear(name: impl Into<String>, in_f: usize, out_f: usize, tokens: usize) -> Self {
+        LayerSpec {
+            name: name.into(),
+            channels: out_f,
+            elems_per_channel: in_f,
+            positions: tokens,
+            unique_input_elems: in_f * tokens,
+        }
+    }
+
+    /// Number of weights.
+    pub fn params(&self) -> usize {
+        self.channels * self.elems_per_channel
+    }
+
+    /// Multiply-accumulate operations for one inference.
+    pub fn macs(&self) -> u64 {
+        self.params() as u64 * self.positions as u64
+    }
+
+    /// Output activations produced.
+    pub fn output_elems(&self) -> usize {
+        self.channels * self.positions
+    }
+}
+
+impl fmt::Display for LayerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}x{}] @ {} positions",
+            self.name, self.channels, self.elems_per_channel, self.positions
+        )
+    }
+}
+
+/// A benchmark network: a named list of weight layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSpec {
+    /// Model name as used in the paper's figures.
+    pub name: &'static str,
+    /// Statistical family.
+    pub family: ModelFamily,
+    /// Weight layers in execution order.
+    pub layers: Vec<LayerSpec>,
+}
+
+impl ModelSpec {
+    /// Total parameter count.
+    pub fn params(&self) -> usize {
+        self.layers.iter().map(|l| l.params()).sum()
+    }
+
+    /// Total MACs for one inference.
+    pub fn macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs()).sum()
+    }
+}
+
+impl fmt::Display for ModelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} layers, {:.1}M params, {:.2}G MACs)",
+            self.name,
+            self.layers.len(),
+            self.params() as f64 / 1e6,
+            self.macs() as f64 / 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shape_math() {
+        let l = LayerSpec::conv2d("c", 64, 128, 3, 1, 56);
+        assert_eq!(l.channels, 128);
+        assert_eq!(l.elems_per_channel, 64 * 9);
+        assert_eq!(l.positions, 56 * 56);
+        assert_eq!(l.params(), 128 * 576);
+        assert_eq!(l.macs(), (128 * 576 * 56 * 56) as u64);
+    }
+
+    #[test]
+    fn strided_conv_shrinks_positions() {
+        let l = LayerSpec::conv2d("c", 64, 128, 3, 2, 56);
+        assert_eq!(l.positions, 28 * 28);
+    }
+
+    #[test]
+    fn linear_shape_math() {
+        let l = LayerSpec::linear("fc", 768, 3072, 197);
+        assert_eq!(l.params(), 768 * 3072);
+        assert_eq!(l.macs(), (768 * 3072 * 197) as u64);
+        assert_eq!(l.output_elems(), 3072 * 197);
+    }
+
+    #[test]
+    fn display_formats() {
+        let l = LayerSpec::linear("fc", 8, 4, 2);
+        assert_eq!(l.to_string(), "fc [4x8] @ 2 positions");
+        assert_eq!(ModelFamily::Cnn.to_string(), "cnn");
+    }
+}

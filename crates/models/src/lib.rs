@@ -1,0 +1,35 @@
+//! # bbs-models — DNN workload substrate
+//!
+//! The seven benchmark networks of the paper (VGG-16, ResNet-34/50,
+//! ViT-Small/Base, BERT on MRPC and SST-2) plus Llama-3-8B, as layer-shape
+//! tables with synthetic-but-statistically-faithful weights, a reference
+//! inference engine, and a small pure-Rust trainer used for *real* accuracy
+//! measurements.
+//!
+//! ## Substitution note
+//!
+//! The paper evaluates pre-trained PyTorch/HuggingFace checkpoints on
+//! ImageNet/GLUE. Neither the checkpoints nor the datasets are available
+//! here, so:
+//!
+//! * layer *shapes* (channels, fan-in, positions) are taken from the real
+//!   architectures — compute/memory ratios in the simulator are faithful;
+//! * weight *values* are synthesized per layer family: Gaussian with
+//!   per-channel spread and heavy-tailed outlier channels, the properties
+//!   the paper's §II-B argument rests on;
+//! * *accuracy* is measured two ways: honestly, on a small model trained
+//!   from scratch in [`trainer`] and compressed with each method; and as a
+//!   documented estimate from weight-fidelity metrics in [`accuracy`].
+//! * *perplexity* (Fig. 17) is measured on a real trained micro language
+//!   model in [`lm`], with Llama-3-8B-shaped tensors providing the fidelity
+//!   signal.
+
+pub mod accuracy;
+pub mod engine;
+pub mod layer;
+pub mod lm;
+pub mod synth;
+pub mod trainer;
+pub mod zoo;
+
+pub use layer::{LayerSpec, ModelFamily, ModelSpec};

@@ -1,0 +1,288 @@
+//! A small pure-Rust SGD trainer — the substrate for *honest* accuracy
+//! measurements.
+//!
+//! The paper measures ImageNet/GLUE accuracy on pre-trained checkpoints we
+//! do not have. Instead of fabricating accuracy numbers, we train a small
+//! MLP from scratch on a synthetic Gaussian-blob classification task, then
+//! compress its weights with each method and measure the *real* accuracy
+//! drop. The task is tuned so INT8 per-channel quantization is lossless
+//! (mirroring Table I) while aggressive sub-8-bit compression measurably
+//! hurts — the regime Figs. 11/16 explore.
+
+use crate::engine::{cross_entropy, linear_f32, relu, softmax};
+use bbs_tensor::rng::SeededRng;
+use bbs_tensor::{Shape, Tensor};
+
+/// A labelled dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Feature vectors.
+    pub x: Vec<Vec<f32>>,
+    /// Class labels.
+    pub y: Vec<usize>,
+    /// Feature dimensionality.
+    pub dim: usize,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+}
+
+/// Generates a train/test pair of Gaussian-blob classification sets with
+/// shared class centers.
+///
+/// # Panics
+///
+/// Panics if any size parameter is zero.
+pub fn gaussian_blobs(
+    classes: usize,
+    dim: usize,
+    train_per_class: usize,
+    test_per_class: usize,
+    noise: f64,
+    seed: u64,
+) -> (Dataset, Dataset) {
+    assert!(classes > 0 && dim > 0 && train_per_class > 0 && test_per_class > 0);
+    let mut rng = SeededRng::new(seed ^ 0xb10b_5eed);
+    // Random unit-ish centers.
+    let centers: Vec<Vec<f64>> = (0..classes)
+        .map(|_| {
+            let v = rng.gaussian_vec(dim, 0.0, 1.0);
+            let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-9);
+            v.into_iter().map(|x| x / norm).collect()
+        })
+        .collect();
+    let make = |per_class: usize, rng: &mut SeededRng| {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for (c, center) in centers.iter().enumerate() {
+            for _ in 0..per_class {
+                x.push(
+                    center
+                        .iter()
+                        .map(|&m| (m + rng.gaussian(0.0, noise)) as f32)
+                        .collect(),
+                );
+                y.push(c);
+            }
+        }
+        Dataset {
+            x,
+            y,
+            dim,
+            classes,
+        }
+    };
+    let train = make(train_per_class, &mut rng);
+    let test = make(test_per_class, &mut rng);
+    (train, test)
+}
+
+/// A two-layer ReLU MLP classifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    /// First layer weights `[hidden, in]`.
+    pub w1: Tensor<f32>,
+    /// First layer bias.
+    pub b1: Vec<f32>,
+    /// Second layer weights `[classes, hidden]`.
+    pub w2: Tensor<f32>,
+    /// Second layer bias.
+    pub b2: Vec<f32>,
+}
+
+impl Mlp {
+    /// Creates an MLP with Xavier-style initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(in_dim: usize, hidden: usize, classes: usize, seed: u64) -> Self {
+        assert!(in_dim > 0 && hidden > 0 && classes > 0);
+        let mut rng = SeededRng::new(seed ^ 0x31f0_0d5e);
+        let s1 = (2.0 / in_dim as f64).sqrt();
+        let s2 = (2.0 / hidden as f64).sqrt();
+        Mlp {
+            w1: Tensor::from_vec(
+                Shape::matrix(hidden, in_dim),
+                rng.gaussian_vec_f32(hidden * in_dim, 0.0, s1 as f32),
+            )
+            .expect("shape matches"),
+            b1: vec![0.0; hidden],
+            w2: Tensor::from_vec(
+                Shape::matrix(classes, hidden),
+                rng.gaussian_vec_f32(classes * hidden, 0.0, s2 as f32),
+            )
+            .expect("shape matches"),
+            b2: vec![0.0; classes],
+        }
+    }
+
+    /// Forward pass returning the hidden activation and logits.
+    pub fn forward(&self, x: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        let mut h = linear_f32(&self.w1, x, &self.b1);
+        relu(&mut h);
+        let logits = linear_f32(&self.w2, &h, &self.b2);
+        (h, logits)
+    }
+
+    /// Most likely class for one example.
+    pub fn predict(&self, x: &[f32]) -> usize {
+        let (_, logits) = self.forward(x);
+        logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("logits are finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty logits")
+    }
+
+    /// Classification accuracy on a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn accuracy(&self, ds: &Dataset) -> f64 {
+        assert!(!ds.is_empty());
+        let correct = ds
+            .x
+            .iter()
+            .zip(&ds.y)
+            .filter(|(x, &y)| self.predict(x) == y)
+            .count();
+        correct as f64 / ds.len() as f64
+    }
+
+    /// Mean cross-entropy loss on a dataset.
+    pub fn loss(&self, ds: &Dataset) -> f64 {
+        ds.x.iter()
+            .zip(&ds.y)
+            .map(|(x, &y)| cross_entropy(&self.forward(x).1, y) as f64)
+            .sum::<f64>()
+            / ds.len() as f64
+    }
+
+    /// Trains with plain SGD (shuffled each epoch).
+    pub fn train(&mut self, ds: &Dataset, epochs: usize, lr: f32, seed: u64) {
+        let mut rng = SeededRng::new(seed ^ 0x7a21_0001);
+        let mut order: Vec<usize> = (0..ds.len()).collect();
+        for _ in 0..epochs {
+            rng.shuffle(&mut order);
+            for &i in &order {
+                self.sgd_step(&ds.x[i], ds.y[i], lr);
+            }
+        }
+    }
+
+    fn sgd_step(&mut self, x: &[f32], label: usize, lr: f32) {
+        // Forward, keeping intermediates.
+        let mut z1 = linear_f32(&self.w1, x, &self.b1);
+        let mut h = z1.clone();
+        relu(&mut h);
+        let logits = linear_f32(&self.w2, &h, &self.b2);
+        let p = softmax(&logits);
+
+        // dL/dz2 = p - onehot(label).
+        let mut dz2 = p;
+        dz2[label] -= 1.0;
+
+        // Backprop through w2.
+        let hidden = h.len();
+        let mut dh = vec![0.0f32; hidden];
+        for (o, &d2) in dz2.iter().enumerate() {
+            let row = self.w2.row_mut(o);
+            for (j, w) in row.iter_mut().enumerate() {
+                dh[j] += *w * d2;
+                *w -= lr * d2 * h[j];
+            }
+            self.b2[o] -= lr * d2;
+        }
+
+        // Through ReLU and w1.
+        for (j, z) in z1.iter_mut().enumerate() {
+            if *z <= 0.0 {
+                dh[j] = 0.0;
+            }
+        }
+        for (j, &d1) in dh.iter().enumerate() {
+            if d1 == 0.0 {
+                continue;
+            }
+            let row = self.w1.row_mut(j);
+            for (k, w) in row.iter_mut().enumerate() {
+                *w -= lr * d1 * x[k];
+            }
+            self.b1[j] -= lr * d1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained() -> (Mlp, Dataset, Dataset) {
+        let (train, test) = gaussian_blobs(4, 16, 120, 60, 0.30, 42);
+        let mut mlp = Mlp::new(16, 32, 4, 42);
+        mlp.train(&train, 12, 0.05, 42);
+        (mlp, train, test)
+    }
+
+    #[test]
+    fn training_reaches_high_accuracy() {
+        let (mlp, train, test) = trained();
+        assert!(mlp.accuracy(&train) > 0.95, "train {}", mlp.accuracy(&train));
+        assert!(mlp.accuracy(&test) > 0.90, "test {}", mlp.accuracy(&test));
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (train, _) = gaussian_blobs(3, 8, 80, 40, 0.25, 7);
+        let mut mlp = Mlp::new(8, 16, 3, 7);
+        let before = mlp.loss(&train);
+        mlp.train(&train, 8, 0.05, 7);
+        assert!(mlp.loss(&train) < before * 0.5);
+    }
+
+    #[test]
+    fn untrained_model_is_near_chance() {
+        let (_, test) = gaussian_blobs(4, 16, 10, 100, 0.3, 9);
+        let mlp = Mlp::new(16, 32, 4, 9);
+        let acc = mlp.accuracy(&test);
+        assert!(acc < 0.6, "untrained accuracy {acc} suspiciously high");
+    }
+
+    #[test]
+    fn blobs_are_reproducible_and_split() {
+        let (tr1, te1) = gaussian_blobs(3, 8, 50, 25, 0.2, 5);
+        let (tr2, _) = gaussian_blobs(3, 8, 50, 25, 0.2, 5);
+        assert_eq!(tr1, tr2);
+        assert_eq!(tr1.len(), 150);
+        assert_eq!(te1.len(), 75);
+        assert_ne!(tr1.x[0], te1.x[0]);
+    }
+
+    #[test]
+    fn predict_is_argmax_of_logits() {
+        let (mlp, _, test) = trained();
+        let x = &test.x[0];
+        let (_, logits) = mlp.forward(x);
+        let argmax = logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(mlp.predict(x), argmax);
+    }
+}

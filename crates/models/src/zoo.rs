@@ -1,0 +1,336 @@
+//! The benchmark model zoo: layer tables of the paper's seven DNNs
+//! (Table I) plus Llama-3-8B (§V-H).
+//!
+//! Only *weight* layers are listed — the operands the paper compresses and
+//! the accelerators process bit-serially. Attention score/context matmuls
+//! (activation × activation) carry no weights and are excluded, as in the
+//! paper's weight-sparsity evaluation. Embedding lookups are excluded for
+//! the same reason.
+
+use crate::layer::{LayerSpec, ModelFamily, ModelSpec};
+
+/// VGG-16 on ImageNet (224×224).
+pub fn vgg16() -> ModelSpec {
+    let mut layers = vec![
+        LayerSpec::conv2d("conv1.1", 3, 64, 3, 1, 224),
+        LayerSpec::conv2d("conv1.2", 64, 64, 3, 1, 224),
+        LayerSpec::conv2d("conv2.1", 64, 128, 3, 1, 112),
+        LayerSpec::conv2d("conv2.2", 128, 128, 3, 1, 112),
+        LayerSpec::conv2d("conv3.1", 128, 256, 3, 1, 56),
+        LayerSpec::conv2d("conv3.2", 256, 256, 3, 1, 56),
+        LayerSpec::conv2d("conv3.3", 256, 256, 3, 1, 56),
+        LayerSpec::conv2d("conv4.1", 256, 512, 3, 1, 28),
+        LayerSpec::conv2d("conv4.2", 512, 512, 3, 1, 28),
+        LayerSpec::conv2d("conv4.3", 512, 512, 3, 1, 28),
+        LayerSpec::conv2d("conv5.1", 512, 512, 3, 1, 14),
+        LayerSpec::conv2d("conv5.2", 512, 512, 3, 1, 14),
+        LayerSpec::conv2d("conv5.3", 512, 512, 3, 1, 14),
+    ];
+    layers.push(LayerSpec::linear("fc6", 25088, 4096, 1));
+    layers.push(LayerSpec::linear("fc7", 4096, 4096, 1));
+    layers.push(LayerSpec::linear("fc8", 4096, 1000, 1));
+    ModelSpec {
+        name: "VGG-16",
+        family: ModelFamily::Cnn,
+        layers,
+    }
+}
+
+fn basic_block(layers: &mut Vec<LayerSpec>, name: &str, in_c: usize, c: usize, hw: usize, stride: usize) {
+    layers.push(LayerSpec::conv2d(
+        format!("{name}.conv1"),
+        in_c,
+        c,
+        3,
+        stride,
+        hw,
+    ));
+    let out_hw = hw.div_ceil(stride);
+    layers.push(LayerSpec::conv2d(format!("{name}.conv2"), c, c, 3, 1, out_hw));
+    if stride != 1 || in_c != c {
+        layers.push(LayerSpec::conv2d(
+            format!("{name}.down"),
+            in_c,
+            c,
+            1,
+            stride,
+            hw,
+        ));
+    }
+}
+
+/// ResNet-34 on ImageNet.
+pub fn resnet34() -> ModelSpec {
+    let mut layers = vec![LayerSpec::conv2d("conv1", 3, 64, 7, 2, 224)];
+    let stages: [(usize, usize, usize, usize); 4] =
+        [(3, 64, 56, 1), (4, 128, 56, 2), (6, 256, 28, 2), (3, 512, 14, 2)];
+    let mut in_c = 64;
+    for (si, &(blocks, c, hw, first_stride)) in stages.iter().enumerate() {
+        for b in 0..blocks {
+            let stride = if b == 0 { first_stride } else { 1 };
+            let block_hw = if b == 0 { hw } else { hw / first_stride };
+            basic_block(
+                &mut layers,
+                &format!("layer{}.{}", si + 1, b),
+                in_c,
+                c,
+                block_hw,
+                stride,
+            );
+            in_c = c;
+        }
+    }
+    layers.push(LayerSpec::linear("fc", 512, 1000, 1));
+    ModelSpec {
+        name: "ResNet-34",
+        family: ModelFamily::Cnn,
+        layers,
+    }
+}
+
+fn bottleneck(layers: &mut Vec<LayerSpec>, name: &str, in_c: usize, c: usize, hw: usize, stride: usize) {
+    layers.push(LayerSpec::conv2d(format!("{name}.conv1"), in_c, c, 1, 1, hw));
+    layers.push(LayerSpec::conv2d(format!("{name}.conv2"), c, c, 3, stride, hw));
+    let out_hw = hw.div_ceil(stride);
+    layers.push(LayerSpec::conv2d(
+        format!("{name}.conv3"),
+        c,
+        c * 4,
+        1,
+        1,
+        out_hw,
+    ));
+    if stride != 1 || in_c != c * 4 {
+        layers.push(LayerSpec::conv2d(
+            format!("{name}.down"),
+            in_c,
+            c * 4,
+            1,
+            stride,
+            hw,
+        ));
+    }
+}
+
+/// ResNet-50 on ImageNet.
+pub fn resnet50() -> ModelSpec {
+    let mut layers = vec![LayerSpec::conv2d("conv1", 3, 64, 7, 2, 224)];
+    let stages: [(usize, usize, usize, usize); 4] =
+        [(3, 64, 56, 1), (4, 128, 56, 2), (6, 256, 28, 2), (3, 512, 14, 2)];
+    let mut in_c = 64;
+    for (si, &(blocks, c, hw, first_stride)) in stages.iter().enumerate() {
+        for b in 0..blocks {
+            let stride = if b == 0 { first_stride } else { 1 };
+            let block_hw = if b == 0 { hw } else { hw / first_stride };
+            bottleneck(
+                &mut layers,
+                &format!("layer{}.{}", si + 1, b),
+                in_c,
+                c,
+                block_hw,
+                stride,
+            );
+            in_c = c * 4;
+        }
+    }
+    layers.push(LayerSpec::linear("fc", 2048, 1000, 1));
+    ModelSpec {
+        name: "ResNet-50",
+        family: ModelFamily::Cnn,
+        layers,
+    }
+}
+
+fn transformer_encoder(
+    layers: &mut Vec<LayerSpec>,
+    prefix: &str,
+    blocks: usize,
+    d: usize,
+    mlp: usize,
+    tokens: usize,
+) {
+    for b in 0..blocks {
+        layers.push(LayerSpec::linear(format!("{prefix}{b}.qkv"), d, 3 * d, tokens));
+        layers.push(LayerSpec::linear(format!("{prefix}{b}.proj"), d, d, tokens));
+        layers.push(LayerSpec::linear(format!("{prefix}{b}.fc1"), d, mlp, tokens));
+        layers.push(LayerSpec::linear(format!("{prefix}{b}.fc2"), mlp, d, tokens));
+    }
+}
+
+/// ViT-Small/16 on ImageNet (197 tokens).
+pub fn vit_small() -> ModelSpec {
+    let mut layers = vec![LayerSpec::linear("patch_embed", 768, 384, 196)];
+    transformer_encoder(&mut layers, "block", 12, 384, 1536, 197);
+    layers.push(LayerSpec::linear("head", 384, 1000, 1));
+    ModelSpec {
+        name: "ViT-Small",
+        family: ModelFamily::VisionTransformer,
+        layers,
+    }
+}
+
+/// ViT-Base/16 on ImageNet (197 tokens).
+pub fn vit_base() -> ModelSpec {
+    let mut layers = vec![LayerSpec::linear("patch_embed", 768, 768, 196)];
+    transformer_encoder(&mut layers, "block", 12, 768, 3072, 197);
+    layers.push(LayerSpec::linear("head", 768, 1000, 1));
+    ModelSpec {
+        name: "ViT-Base",
+        family: ModelFamily::VisionTransformer,
+        layers,
+    }
+}
+
+fn bert_base(name: &'static str, tokens: usize, classes: usize) -> ModelSpec {
+    let d = 768;
+    let mut layers = Vec::new();
+    for b in 0..12 {
+        layers.push(LayerSpec::linear(format!("layer{b}.q"), d, d, tokens));
+        layers.push(LayerSpec::linear(format!("layer{b}.k"), d, d, tokens));
+        layers.push(LayerSpec::linear(format!("layer{b}.v"), d, d, tokens));
+        layers.push(LayerSpec::linear(format!("layer{b}.o"), d, d, tokens));
+        layers.push(LayerSpec::linear(format!("layer{b}.fc1"), d, 3072, tokens));
+        layers.push(LayerSpec::linear(format!("layer{b}.fc2"), 3072, d, tokens));
+    }
+    layers.push(LayerSpec::linear("pooler", d, d, 1));
+    layers.push(LayerSpec::linear("classifier", d, classes, 1));
+    ModelSpec {
+        name,
+        family: ModelFamily::Bert,
+        layers,
+    }
+}
+
+/// BERT-base on GLUE MRPC (sequence length 128).
+pub fn bert_mrpc() -> ModelSpec {
+    bert_base("Bert-MRPC", 128, 2)
+}
+
+/// BERT-base on GLUE SST-2 (sequence length 64).
+pub fn bert_sst2() -> ModelSpec {
+    bert_base("Bert-SST2", 64, 2)
+}
+
+/// Llama-3-8B decoder (GQA: 8 KV heads of 128), 2048-token context.
+pub fn llama3_8b() -> ModelSpec {
+    let d = 4096;
+    let kv = 1024;
+    let ffn = 14336;
+    let tokens = 2048;
+    let mut layers = Vec::new();
+    for b in 0..32 {
+        layers.push(LayerSpec::linear(format!("layer{b}.q"), d, d, tokens));
+        layers.push(LayerSpec::linear(format!("layer{b}.k"), d, kv, tokens));
+        layers.push(LayerSpec::linear(format!("layer{b}.v"), d, kv, tokens));
+        layers.push(LayerSpec::linear(format!("layer{b}.o"), d, d, tokens));
+        layers.push(LayerSpec::linear(format!("layer{b}.gate"), d, ffn, tokens));
+        layers.push(LayerSpec::linear(format!("layer{b}.up"), d, ffn, tokens));
+        layers.push(LayerSpec::linear(format!("layer{b}.down"), ffn, d, tokens));
+    }
+    ModelSpec {
+        name: "Llama-3-8B",
+        family: ModelFamily::Llm,
+        layers,
+    }
+}
+
+/// The seven benchmarks of the paper's Table I, in figure order.
+pub fn paper_benchmarks() -> Vec<ModelSpec> {
+    vec![
+        vgg16(),
+        resnet34(),
+        resnet50(),
+        vit_small(),
+        vit_base(),
+        bert_mrpc(),
+        bert_sst2(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_params_near(model: &ModelSpec, expect_m: f64, tol: f64) {
+        let got = model.params() as f64 / 1e6;
+        assert!(
+            (got - expect_m).abs() / expect_m < tol,
+            "{}: {got:.1}M params, expected ~{expect_m}M",
+            model.name
+        );
+    }
+
+    #[test]
+    fn vgg16_matches_published_size() {
+        assert_params_near(&vgg16(), 138.0, 0.03);
+    }
+
+    #[test]
+    fn resnet34_matches_published_size() {
+        assert_params_near(&resnet34(), 21.8, 0.05);
+    }
+
+    #[test]
+    fn resnet50_matches_published_size() {
+        assert_params_near(&resnet50(), 25.5, 0.05);
+    }
+
+    #[test]
+    fn vit_sizes_match_published() {
+        assert_params_near(&vit_small(), 22.0, 0.07);
+        assert_params_near(&vit_base(), 86.0, 0.07);
+    }
+
+    #[test]
+    fn bert_encoder_size_matches() {
+        // 12 encoder layers of BERT-base: ~85M weight-layer parameters
+        // (embeddings excluded by design).
+        assert_params_near(&bert_mrpc(), 85.6, 0.05);
+    }
+
+    #[test]
+    fn llama_is_about_seven_billion_weight_params() {
+        // 8B total minus embeddings/head ~ 7.0B in projection layers.
+        let p = llama3_8b().params() as f64 / 1e9;
+        assert!((6.5..=7.5).contains(&p), "{p}B");
+    }
+
+    #[test]
+    fn resnet50_macs_in_published_band() {
+        // ~4.1 GMACs at 224x224.
+        let g = resnet50().macs() as f64 / 1e9;
+        assert!((3.6..=4.6).contains(&g), "{g} GMACs");
+    }
+
+    #[test]
+    fn vgg16_macs_in_published_band() {
+        // ~15.5 GMACs.
+        let g = vgg16().macs() as f64 / 1e9;
+        assert!((14.0..=16.5).contains(&g), "{g} GMACs");
+    }
+
+    #[test]
+    fn seven_benchmarks() {
+        let b = paper_benchmarks();
+        assert_eq!(b.len(), 7);
+        let names: Vec<&str> = b.iter().map(|m| m.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "VGG-16",
+                "ResNet-34",
+                "ResNet-50",
+                "ViT-Small",
+                "ViT-Base",
+                "Bert-MRPC",
+                "Bert-SST2"
+            ]
+        );
+    }
+
+    #[test]
+    fn sst2_is_lighter_than_mrpc() {
+        assert!(bert_sst2().macs() < bert_mrpc().macs());
+        assert_eq!(bert_sst2().params(), bert_mrpc().params());
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the model substrate: every compression method is
+//! total over valid channels, the engine kernels satisfy algebraic
+//! identities, and synthesis respects its contracts.
+
+use bbs_models::accuracy::{compress_channel, CompressionKind, CompressionMethod};
+use bbs_models::engine::{linear_f32, matmul_f32, softmax};
+use bbs_models::layer::LayerSpec;
+use bbs_models::synth::synthesize_weights_sampled;
+use bbs_models::ModelFamily;
+use bbs_tensor::{Shape, Tensor};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn any_kind() -> impl Strategy<Value = CompressionKind> {
+    prop_oneof![
+        Just(CompressionKind::Int8),
+        (2u8..=8).prop_map(CompressionKind::Ptq),
+        (0usize..=5).prop_map(CompressionKind::ZeroColumn),
+        (0usize..=5).prop_map(|n| CompressionKind::Bbs(
+            bbs_core::prune::PruneStrategy::RoundedAveraging,
+            n
+        )),
+        (0usize..=5).prop_map(|n| CompressionKind::Bbs(
+            bbs_core::prune::PruneStrategy::ZeroPointShifting,
+            n
+        )),
+        (4u8..=8).prop_map(CompressionKind::Microscaling),
+        (2u8..=8).prop_map(CompressionKind::NoisyQuant),
+        (2u8..=8).prop_map(CompressionKind::Ant),
+        Just(CompressionKind::Olive),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn every_method_is_total_and_length_preserving(
+        kind in any_kind(),
+        channel in vec(any::<i8>(), 1..=96),
+    ) {
+        let method = CompressionMethod::new(kind, 0.0);
+        let (recon, bits) = compress_channel(&method, &channel);
+        prop_assert_eq!(recon.len(), channel.len());
+        prop_assert!(bits > 0);
+        for v in recon {
+            prop_assert!((-512..=512).contains(&v), "runaway reconstruction {v}");
+        }
+    }
+
+    #[test]
+    fn int8_kind_is_identity(channel in vec(any::<i8>(), 1..=64)) {
+        let (recon, bits) = compress_channel(&CompressionMethod::int8_baseline(), &channel);
+        prop_assert_eq!(bits, channel.len() * 8);
+        for (w, r) in channel.iter().zip(recon) {
+            prop_assert_eq!(*w as i32, r);
+        }
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(logits in vec(-20.0f32..20.0, 1..=32)) {
+        let p = softmax(&logits);
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn matmul_distributes_over_linear(
+        w in vec(-2.0f32..2.0, 12..=12),
+        x in vec(-2.0f32..2.0, 4..=4),
+    ) {
+        // W[3,4] · x == matmul(W, x-as-column).
+        let wt = Tensor::from_vec(Shape::matrix(3, 4), w).unwrap();
+        let xt = Tensor::from_vec(Shape::matrix(4, 1), x.clone()).unwrap();
+        let by_linear = linear_f32(&wt, &x, &[0.0; 3]);
+        let by_matmul = matmul_f32(&wt, &xt);
+        for (a, b) in by_linear.iter().zip(by_matmul.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn synthesis_respects_shape_and_determinism(
+        channels in 1usize..=64,
+        epc in 1usize..=128,
+        seed in 0u64..1000,
+    ) {
+        let spec = LayerSpec::linear("p", epc, channels, 1);
+        let a = synthesize_weights_sampled(&spec, ModelFamily::Cnn, seed, usize::MAX);
+        prop_assert_eq!(a.weights.channels(), channels);
+        prop_assert_eq!(a.weights.elems_per_channel(), epc);
+        prop_assert!((a.sample_factor - 1.0).abs() < 1e-12);
+        let b = synthesize_weights_sampled(&spec, ModelFamily::Cnn, seed, usize::MAX);
+        prop_assert_eq!(a.weights, b.weights);
+    }
+
+    #[test]
+    fn sampling_never_exceeds_full_fanin(
+        channels in 1usize..=32,
+        epc in 33usize..=512,
+        cap in 64usize..=4096,
+    ) {
+        let spec = LayerSpec::linear("p", epc, channels, 1);
+        let l = synthesize_weights_sampled(&spec, ModelFamily::Bert, 5, cap);
+        prop_assert!(l.weights.elems_per_channel() <= epc);
+        prop_assert!(l.sample_factor >= 1.0);
+        // Extrapolation is consistent.
+        let implied = epc as f64 / l.weights.elems_per_channel() as f64;
+        prop_assert!((l.sample_factor - implied).abs() < 1e-9);
+    }
+}

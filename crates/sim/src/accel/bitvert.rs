@@ -1,0 +1,229 @@
+//! BitVert (this paper): bit-column-serial with BBS skipping, binary
+//! pruning and channel reordering.
+//!
+//! Each PE processes 16 weights of a dot product per pass, one kept bit
+//! column per cycle. The ≥50% BBS guarantee (inversion per sub-group of 8)
+//! means a column always completes in one cycle on the PE's 8 lanes, so a
+//! pass costs exactly the kept-column count of its storage group:
+//! `8 - pruned - redundant` for binary-pruned channels, 8 for sensitive
+//! channels. Channel reordering makes tiles precision-uniform, which is
+//! what keeps inter-PE stall near zero (Fig. 15).
+
+use crate::accel::{
+    dense_traffic, extrapolate_cycles, position_tiles, wave_schedule, Accelerator,
+    LatencyProfile, LayerPerf,
+};
+use crate::config::ArrayConfig;
+use crate::workload::LayerWorkload;
+use bbs_core::encoding::CompressedGroup;
+use bbs_core::global::{select_sensitive_channels, GlobalPruneConfig};
+use bbs_core::reorder::ChannelOrder;
+use bbs_hw::pe::{bitvert_pe, PeModel};
+use bbs_tensor::bits::{BitGroup, WEIGHT_BITS};
+
+/// Weights per PE pass.
+pub const PE_GROUP: usize = 16;
+/// Sub-group size (inversion granularity).
+pub const SUB_GROUP: usize = 8;
+
+/// The BitVert model at a pruning level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitVert {
+    /// Pruning configuration applied to weight channels.
+    pub prune: GlobalPruneConfig,
+    label: &'static str,
+}
+
+impl BitVert {
+    /// Conservative pruning (β = 10%, 2 columns, averaging).
+    pub fn conservative() -> Self {
+        BitVert {
+            prune: GlobalPruneConfig::conservative(),
+            label: "BitVert (cons)",
+        }
+    }
+
+    /// Moderate pruning (β = 20%, 4 columns, shifting).
+    pub fn moderate() -> Self {
+        BitVert {
+            prune: GlobalPruneConfig::moderate(),
+            label: "BitVert (mod)",
+        }
+    }
+
+    /// A custom pruning configuration with a display label.
+    pub fn with_config(prune: GlobalPruneConfig, label: &'static str) -> Self {
+        BitVert { prune, label }
+    }
+}
+
+/// BBS effectual terms of one PE pass over the kept columns: per column
+/// and per sub-group of 8 lanes, `min(ones, 8 - ones)` (the scheduler's
+/// inversion guarantee).
+fn pass_useful(columns: &[u64], lane_lo: usize) -> u64 {
+    let mut useful = 0u64;
+    for &mask in columns {
+        for sg in 0..(PE_GROUP / SUB_GROUP) {
+            let shift = lane_lo + sg * SUB_GROUP;
+            let bits = ((mask >> shift) & 0xff) as u32;
+            let ones = bits.count_ones() as u64;
+            useful += ones.min(SUB_GROUP as u64 - ones);
+        }
+    }
+    useful
+}
+
+impl Accelerator for BitVert {
+    fn name(&self) -> String {
+        self.label.into()
+    }
+
+    fn pe_model(&self) -> PeModel {
+        bitvert_pe(SUB_GROUP, true)
+    }
+
+    fn layer_performance(&self, wl: &LayerWorkload, cfg: &ArrayConfig) -> LayerPerf {
+        let qt = &wl.weights;
+        // Per-layer sensitivity with the global β floor (the compression
+        // experiments use the model-global Algorithm 2; per-layer selection
+        // is equivalent for throughput because β is a fraction either way).
+        let masks = select_sensitive_channels(
+            std::slice::from_ref(&qt.scales),
+            self.prune.beta,
+            self.prune.ch,
+        );
+        let order = ChannelOrder::from_sensitivity(&masks[0]);
+
+        let group = self.prune.group_size;
+        let passes_per_group = group / PE_GROUP;
+        let mut latencies = Vec::with_capacity(qt.channels());
+        let mut useful = Vec::with_capacity(qt.channels());
+        let mut stored_bits_sampled: u64 = 0;
+
+        // Channels in chunked (reordered) order: sensitive first.
+        for pos in 0..order.len() {
+            let c = order.original_index(pos);
+            let row = qt.channel(c);
+            let mut lat_row = Vec::new();
+            let mut use_row = Vec::new();
+            for chunk in row.chunks(group) {
+                let padded: Vec<i8> = if chunk.len() == group {
+                    chunk.to_vec()
+                } else {
+                    let mut p = chunk.to_vec();
+                    p.resize(group, 0);
+                    p
+                };
+                if masks[0][c] {
+                    // Sensitive: raw 8-bit storage, all 8 columns processed.
+                    stored_bits_sampled += (group * WEIGHT_BITS) as u64;
+                    let bits = BitGroup::from_words(&padded);
+                    let columns: Vec<u64> = (0..WEIGHT_BITS).map(|b| bits.column(b)).collect();
+                    for pass in 0..passes_per_group {
+                        lat_row.push(WEIGHT_BITS as u32);
+                        use_row.push(pass_useful(&columns, pass * PE_GROUP));
+                    }
+                } else {
+                    let enc: CompressedGroup = self.prune.pruner.compress_group(&padded);
+                    stored_bits_sampled += enc.stored_bits() as u64;
+                    let kept = enc.kept_column_count();
+                    let columns: Vec<u64> =
+                        (0..kept).map(|j| enc.kept_column(j)).collect();
+                    for pass in 0..passes_per_group {
+                        lat_row.push(kept as u32);
+                        use_row.push(pass_useful(&columns, pass * PE_GROUP));
+                    }
+                }
+            }
+            latencies.push(lat_row);
+            useful.push(use_row);
+        }
+
+        let stats = wave_schedule(
+            &LatencyProfile { latencies, useful },
+            cfg.pe_cols,
+            cfg.lanes_per_pe,
+        );
+        let (_, a_dram, _, a_sram) = dense_traffic(wl, cfg, 8.0);
+        // Channel-index buffer: one index per channel (trivial, counted).
+        let index_bits = order.index_buffer_bits() as u64;
+        let w_dram = (stored_bits_sampled as f64 * wl.sample_factor) as u64 + index_bits;
+        let w_sram = w_dram * position_tiles(wl, cfg);
+        LayerPerf {
+            compute_cycles: extrapolate_cycles(stats.cycles, wl, cfg),
+            useful_fraction: stats.useful_fraction,
+            intra_fraction: stats.intra_fraction,
+            inter_fraction: stats.inter_fraction,
+            weight_dram_bits: w_dram,
+            act_dram_bits: a_dram,
+            weight_sram_bits: w_sram,
+            act_sram_bits: a_sram,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::stripes::Stripes;
+    use crate::workload::lower_model;
+    use bbs_models::zoo;
+
+    #[test]
+    fn moderate_pruning_compute_speedup_in_paper_band() {
+        let cfg = ArrayConfig::paper_16x32();
+        let wl = &lower_model(&zoo::resnet50(), 3, 8 * 1024)[12];
+        let bv = BitVert::moderate().layer_performance(wl, &cfg);
+        let stripes = Stripes::new().layer_performance(wl, &cfg);
+        let speedup = stripes.compute_cycles as f64 / bv.compute_cycles as f64;
+        // 16 MACs per pass at ~4-5 kept columns with ~25% sensitive:
+        // compute-bound speedup ~2.5-3.5x.
+        assert!((2.0..=4.0).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn conservative_is_slower_than_moderate_but_beats_stripes() {
+        let cfg = ArrayConfig::paper_16x32();
+        let wl = &lower_model(&zoo::vit_base(), 3, 8 * 1024)[6];
+        let cons = BitVert::conservative().layer_performance(wl, &cfg);
+        let moderate = BitVert::moderate().layer_performance(wl, &cfg);
+        let stripes = Stripes::new().layer_performance(wl, &cfg);
+        assert!(moderate.compute_cycles < cons.compute_cycles);
+        assert!(cons.compute_cycles < stripes.compute_cycles);
+    }
+
+    #[test]
+    fn reordering_keeps_inter_pe_stall_minimal() {
+        let cfg = ArrayConfig::paper_16x32();
+        let wl = &lower_model(&zoo::bert_mrpc(), 3, 8 * 1024)[9];
+        let bv = BitVert::moderate().layer_performance(wl, &cfg);
+        assert!(
+            bv.inter_fraction < 0.10,
+            "precision-uniform tiles must stay balanced: {}",
+            bv.inter_fraction
+        );
+    }
+
+    #[test]
+    fn memory_footprint_beats_dense() {
+        let cfg = ArrayConfig::paper_16x32();
+        let wl = &lower_model(&zoo::vgg16(), 3, 8 * 1024)[13]; // fc6
+        let bv = BitVert::moderate().layer_performance(wl, &cfg);
+        let dense = wl.params() as u64 * 8;
+        let ratio = dense as f64 / bv.weight_dram_bits as f64;
+        assert!((1.3..=2.0).contains(&ratio), "weight compression {ratio}");
+    }
+
+    #[test]
+    fn bbs_guarantee_bounds_effectual_terms() {
+        // pass_useful never exceeds 4 per sub-group per column.
+        let columns = vec![u64::MAX, 0, 0xaaaa_aaaa_aaaa_aaaa];
+        let useful = pass_useful(&columns, 0);
+        // 3 columns x 2 sub-groups x max 4 = at most 24.
+        assert!(useful <= 24);
+        // All-ones column: min(8, 0) = 0 effectual (pure ΣA path).
+        assert_eq!(pass_useful(&[u64::MAX], 0), 0);
+        // Alternating column: min(4,4) = 4 per sub-group.
+        assert_eq!(pass_useful(&[0xaa], 0), 4);
+    }
+}

@@ -1,0 +1,276 @@
+//! The accelerator performance-model interface and shared machinery.
+//!
+//! Bit-serial accelerators are modelled through per-group latencies driven
+//! by real weight bit patterns; [`wave_schedule`] then plays the PE-array
+//! synchronization: every *wave* processes one weight group per PE column
+//! and stalls on the slowest one (the inter-PE loss of Figs. 14/15), while
+//! idle lanes inside a busy PE accrue intra-PE loss.
+
+pub mod ant;
+pub mod bitlet;
+pub mod bitvert;
+pub mod bitwave;
+pub mod pragmatic;
+pub mod sparten;
+pub mod stripes;
+
+use crate::config::ArrayConfig;
+use crate::workload::LayerWorkload;
+use bbs_hw::pe::PeModel;
+
+/// Per-layer performance output of an accelerator model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerPerf {
+    /// Compute cycles for the full layer (extrapolated from the sample).
+    pub compute_cycles: u64,
+    /// Useful lane-cycles / total lane-cycles.
+    pub useful_fraction: f64,
+    /// Lane-cycles idle inside a busy PE / total.
+    pub intra_fraction: f64,
+    /// Lane-cycles idle waiting for slower PE columns / total.
+    pub inter_fraction: f64,
+    /// Weight bits fetched from DRAM.
+    pub weight_dram_bits: u64,
+    /// Activation bits moved to/from DRAM (inputs + outputs).
+    pub act_dram_bits: u64,
+    /// Weight bits read from the on-chip weight buffer.
+    pub weight_sram_bits: u64,
+    /// Activation bits through the on-chip activation buffer.
+    pub act_sram_bits: u64,
+}
+
+/// An accelerator performance/energy model.
+pub trait Accelerator {
+    /// Display name (as used in the paper's figures).
+    fn name(&self) -> String;
+
+    /// The PE composition for area/power.
+    fn pe_model(&self) -> PeModel;
+
+    /// Per-layer performance.
+    fn layer_performance(&self, wl: &LayerWorkload, cfg: &ArrayConfig) -> LayerPerf;
+}
+
+/// Per-channel, per-group latency/usefulness profile of one layer.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyProfile {
+    /// `latencies[channel][group]` — PE-pass cycles.
+    pub latencies: Vec<Vec<u32>>,
+    /// `useful[channel][group]` — effectual lane-cycles in that pass.
+    pub useful: Vec<Vec<u64>>,
+}
+
+/// Result of playing a latency profile through the PE array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaveStats {
+    /// Cycles over the sampled groups (one position tile).
+    pub cycles: u64,
+    /// Useful lane-cycle fraction.
+    pub useful_fraction: f64,
+    /// Intra-PE stall fraction.
+    pub intra_fraction: f64,
+    /// Inter-PE stall fraction.
+    pub inter_fraction: f64,
+}
+
+/// When PE columns synchronize with each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncGranularity {
+    /// Lock-step: every group index is a barrier (worst-case coupling; the
+    /// ablation point for schedulers without per-column buffering).
+    PerGroup,
+    /// Output-stationary: each column drains its channel's groups at its
+    /// own pace and the array synchronizes when the channel tile finishes
+    /// (the default, matching the buffered designs the paper compares).
+    PerTile,
+}
+
+/// Schedules a latency profile onto `pe_cols` columns of `lanes`-lane PEs:
+/// channels are tiled across columns; the tile completes at the slowest
+/// column (`PerTile`) or every group completes at the slowest column
+/// (`PerGroup`).
+///
+/// # Panics
+///
+/// Panics if the profile is empty or group counts differ across channels.
+pub fn wave_schedule_with(
+    profile: &LatencyProfile,
+    pe_cols: usize,
+    lanes: usize,
+    sync: SyncGranularity,
+) -> WaveStats {
+    assert!(!profile.latencies.is_empty());
+    let groups = profile.latencies[0].len();
+    assert!(
+        profile.latencies.iter().all(|c| c.len() == groups),
+        "group counts differ across channels"
+    );
+
+    let channels = profile.latencies.len();
+    let mut cycles: u64 = 0;
+    let mut useful: f64 = 0.0;
+    let mut intra: f64 = 0.0;
+    let mut inter: f64 = 0.0;
+
+    for tile_start in (0..channels).step_by(pe_cols) {
+        let tile = tile_start..(tile_start + pe_cols).min(channels);
+        let idle_cols = pe_cols - tile.len();
+        match sync {
+            SyncGranularity::PerGroup => {
+                for g in 0..groups {
+                    let wave = tile
+                        .clone()
+                        .map(|c| profile.latencies[c][g])
+                        .max()
+                        .unwrap_or(0) as u64;
+                    if wave == 0 {
+                        continue;
+                    }
+                    cycles += wave;
+                    for c in tile.clone() {
+                        let lat = profile.latencies[c][g] as u64;
+                        let u = profile.useful[c][g] as f64;
+                        useful += u;
+                        intra += (lat * lanes as u64) as f64 - u;
+                        inter += ((wave - lat) * lanes as u64) as f64;
+                    }
+                    inter += (idle_cols as u64 * wave * lanes as u64) as f64;
+                }
+            }
+            SyncGranularity::PerTile => {
+                let col_sum = |c: usize| -> u64 {
+                    profile.latencies[c].iter().map(|&l| l as u64).sum()
+                };
+                let tile_cycles = tile.clone().map(col_sum).max().unwrap_or(0);
+                if tile_cycles == 0 {
+                    continue;
+                }
+                cycles += tile_cycles;
+                for c in tile.clone() {
+                    let lat = col_sum(c);
+                    let u: f64 = profile.useful[c].iter().map(|&x| x as f64).sum();
+                    useful += u;
+                    intra += (lat * lanes as u64) as f64 - u;
+                    inter += ((tile_cycles - lat) * lanes as u64) as f64;
+                }
+                inter += (idle_cols as u64 * tile_cycles * lanes as u64) as f64;
+            }
+        }
+    }
+
+    let total = (cycles * (pe_cols * lanes) as u64) as f64;
+    WaveStats {
+        cycles,
+        useful_fraction: useful / total,
+        intra_fraction: intra / total,
+        inter_fraction: inter / total,
+    }
+}
+
+/// [`wave_schedule_with`] at the default [`SyncGranularity::PerTile`].
+pub fn wave_schedule(profile: &LatencyProfile, pe_cols: usize, lanes: usize) -> WaveStats {
+    wave_schedule_with(profile, pe_cols, lanes, SyncGranularity::PerTile)
+}
+
+/// Position tiles of a layer on the array (output-stationary rows).
+pub fn position_tiles(wl: &LayerWorkload, cfg: &ArrayConfig) -> u64 {
+    (wl.positions as u64).div_ceil(cfg.pe_rows as u64)
+}
+
+/// Extrapolates sampled per-position-tile cycles to the full layer.
+pub fn extrapolate_cycles(sampled_cycles: u64, wl: &LayerWorkload, cfg: &ArrayConfig) -> u64 {
+    let per_tile = (sampled_cycles as f64 * wl.sample_factor).ceil() as u64;
+    per_tile * position_tiles(wl, cfg)
+}
+
+/// Dense 8-bit memory traffic (weights and activations) shared by the
+/// uncompressed bit-serial designs.
+pub fn dense_traffic(wl: &LayerWorkload, cfg: &ArrayConfig, weight_bits_per_elem: f64) -> (u64, u64, u64, u64) {
+    let weight_bits = (wl.params() as f64 * weight_bits_per_elem) as u64;
+    let input_bits = (wl.unique_input_elems * 8) as u64;
+    let output_bits = (wl.output_elems() * 8) as u64;
+    let act_dram = input_bits + output_bits;
+    let channel_tiles = (wl.channels as u64).div_ceil(cfg.pe_cols as u64);
+    let weight_sram = weight_bits * position_tiles(wl, cfg);
+    let act_sram = input_bits * channel_tiles + output_bits;
+    (weight_bits, act_dram, weight_sram, act_sram)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(lat: Vec<Vec<u32>>) -> LatencyProfile {
+        let useful = lat
+            .iter()
+            .map(|ch| ch.iter().map(|&l| (l as u64) * 4).collect())
+            .collect();
+        LatencyProfile {
+            latencies: lat,
+            useful,
+        }
+    }
+
+    #[test]
+    fn per_tile_takes_max_of_column_sums() {
+        let p = profile(vec![vec![2, 4], vec![6, 2]]);
+        let s = wave_schedule(&p, 2, 8);
+        // Column sums: 6 and 8 -> tile completes at 8.
+        assert_eq!(s.cycles, 8);
+        let sum = s.useful_fraction + s.intra_fraction + s.inter_fraction;
+        assert!((sum - 1.0).abs() < 1e-9, "{sum}");
+        assert!(s.inter_fraction > 0.0);
+    }
+
+    #[test]
+    fn per_group_sync_is_never_faster() {
+        let p = profile(vec![vec![2, 4], vec![6, 2]]);
+        let tile = wave_schedule_with(&p, 2, 8, SyncGranularity::PerTile);
+        let group = wave_schedule_with(&p, 2, 8, SyncGranularity::PerGroup);
+        // Lock-step: max(2,6) + max(4,2) = 10 >= 8.
+        assert_eq!(group.cycles, 10);
+        assert!(group.cycles >= tile.cycles);
+    }
+
+    #[test]
+    fn balanced_profile_has_no_inter_stall() {
+        let p = profile(vec![vec![4, 4], vec![4, 4]]);
+        let s = wave_schedule(&p, 2, 8);
+        assert_eq!(s.cycles, 8);
+        assert!(s.inter_fraction.abs() < 1e-12);
+        // useful = 4 of 8 lanes each cycle.
+        assert!((s.useful_fraction - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_columns_worsen_imbalance() {
+        // Channels with increasingly slow totals: wider tiles couple more
+        // disparate columns together.
+        let lat: Vec<Vec<u32>> = (0..8).map(|c| vec![2 + (c % 4) as u32; 8]).collect();
+        let narrow = wave_schedule(&profile(lat.clone()), 2, 8);
+        let wide = wave_schedule(&profile(lat), 8, 8);
+        assert!(
+            wide.inter_fraction > narrow.inter_fraction,
+            "wide {} vs narrow {}",
+            wide.inter_fraction,
+            narrow.inter_fraction
+        );
+    }
+
+    #[test]
+    fn partial_tile_counts_as_inter_stall() {
+        let p = profile(vec![vec![4, 4]; 3]); // 3 channels on 2 columns
+        let s = wave_schedule(&p, 2, 8);
+        assert!(s.inter_fraction > 0.2, "idle column must show as stall");
+    }
+
+    #[test]
+    #[should_panic(expected = "group counts")]
+    fn mismatched_groups_rejected() {
+        let p = LatencyProfile {
+            latencies: vec![vec![1, 2], vec![1]],
+            useful: vec![vec![1, 2], vec![1]],
+        };
+        let _ = wave_schedule(&p, 2, 8);
+    }
+}

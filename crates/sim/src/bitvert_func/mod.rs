@@ -1,0 +1,11 @@
+//! Functional (bit-exact) models of the BitVert microarchitecture.
+//!
+//! These are not performance models: they execute the actual datapath of
+//! Fig. 7(b) and the scheduler of Fig. 8 signal-by-signal and are verified
+//! against reference dot products. They demonstrate that the hardware the
+//! paper proposes computes the right thing — including the inversion path,
+//! the priority-encoder select chain, column-index shifting, the narrowed
+//! negative MSB and the BBS-constant multiplier.
+
+pub mod pe;
+pub mod scheduler;

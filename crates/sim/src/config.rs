@@ -1,0 +1,92 @@
+//! Accelerator array configuration and the multiplier-budget normalization.
+
+use bbs_hw::dram::Dram;
+use bbs_hw::gates::Technology;
+use bbs_hw::sram::Sram;
+
+/// Geometry and memory system of a simulated accelerator instance.
+///
+/// All accelerators are scaled to the same bit-serial lane budget
+/// (`pe_rows × pe_cols × lanes_per_pe`); an 8-bit multiplier counts as 8
+/// lanes (paper §V-A).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayConfig {
+    /// PE rows — input windows processed in parallel (weight sharing).
+    pub pe_rows: usize,
+    /// PE columns — weight channels processed in parallel (input sharing).
+    pub pe_cols: usize,
+    /// Bit-serial multiplier lanes per PE.
+    pub lanes_per_pe: usize,
+    /// Technology/operating point.
+    pub tech: Technology,
+    /// Weight buffer (256 KB in the paper).
+    pub weight_buffer: Sram,
+    /// Activation buffer (256 KB in the paper).
+    pub act_buffer: Sram,
+    /// Off-chip channel.
+    pub dram: Dram,
+}
+
+impl ArrayConfig {
+    /// The paper's BitVert configuration: 16×32 PEs, 8 lanes each,
+    /// 800 MHz, 2×256 KB buffers, DDR3.
+    pub fn paper_16x32() -> Self {
+        ArrayConfig {
+            pe_rows: 16,
+            pe_cols: 32,
+            lanes_per_pe: 8,
+            tech: Technology::tsmc28(),
+            weight_buffer: Sram::new(256 * 1024).with_banks(8),
+            act_buffer: Sram::new(256 * 1024).with_banks(8),
+            dram: Dram::ddr3(),
+        }
+    }
+
+    /// Same lane budget with a different column count (Fig. 14 sweep).
+    pub fn with_pe_cols(mut self, cols: usize) -> Self {
+        assert!(cols > 0);
+        self.pe_cols = cols;
+        self
+    }
+
+    /// Total bit-serial lanes in the array.
+    pub fn total_lanes(&self) -> usize {
+        self.pe_rows * self.pe_cols * self.lanes_per_pe
+    }
+
+    /// Equivalent count of 8-bit multipliers.
+    pub fn equivalent_mult8(&self) -> usize {
+        self.total_lanes() / 8
+    }
+
+    /// Number of PEs.
+    pub fn pe_count(&self) -> usize {
+        self.pe_rows * self.pe_cols
+    }
+}
+
+impl Default for ArrayConfig {
+    fn default() -> Self {
+        ArrayConfig::paper_16x32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_budget() {
+        let c = ArrayConfig::paper_16x32();
+        assert_eq!(c.total_lanes(), 4096);
+        assert_eq!(c.equivalent_mult8(), 512);
+        assert_eq!(c.pe_count(), 512);
+    }
+
+    #[test]
+    fn column_sweep_changes_budget() {
+        let c = ArrayConfig::paper_16x32().with_pe_cols(8);
+        assert_eq!(c.pe_cols, 8);
+        assert_eq!(c.total_lanes(), 16 * 8 * 8);
+    }
+}

@@ -1,0 +1,140 @@
+//! Model lowering: layer specs → simulation workloads with real bit
+//! patterns.
+
+use bbs_models::layer::{ModelFamily, ModelSpec};
+use bbs_models::synth::{synthesize_activations, synthesize_weights_sampled};
+use bbs_tensor::bits::value_sparsity;
+use bbs_tensor::quant::QuantTensor;
+
+/// One layer ready for simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerWorkload {
+    /// Layer name.
+    pub name: String,
+    /// Output channels.
+    pub channels: usize,
+    /// True (full) fan-in per channel.
+    pub elems_per_channel: usize,
+    /// Output positions reusing the weights.
+    pub positions: usize,
+    /// Unique input activations.
+    pub unique_input_elems: usize,
+    /// Statistical family (activation shape).
+    pub family: ModelFamily,
+    /// Sampled per-channel INT8 weights.
+    pub weights: QuantTensor,
+    /// Cycle/traffic extrapolation factor for the fan-in subsampling.
+    pub sample_factor: f64,
+    /// Sampled activations (value-sparsity statistics for SparTen).
+    pub activations: Vec<i8>,
+}
+
+impl LayerWorkload {
+    /// Total MACs of the (full) layer.
+    pub fn macs(&self) -> u64 {
+        (self.channels * self.elems_per_channel) as u64 * self.positions as u64
+    }
+
+    /// Full parameter count.
+    pub fn params(&self) -> usize {
+        self.channels * self.elems_per_channel
+    }
+
+    /// Output activation count.
+    pub fn output_elems(&self) -> usize {
+        self.channels * self.positions
+    }
+
+    /// Value sparsity of the sampled activations.
+    pub fn activation_sparsity(&self) -> f64 {
+        value_sparsity(&self.activations)
+    }
+
+    /// Value sparsity of the sampled weights.
+    pub fn weight_sparsity(&self) -> f64 {
+        value_sparsity(self.weights.data.as_slice())
+    }
+}
+
+/// Lowers a model into per-layer workloads with deterministic synthesis.
+///
+/// `max_weights_per_layer` caps the materialized fan-in per layer; cycle
+/// and traffic results are extrapolated by the recorded sample factor.
+pub fn lower_model(
+    model: &ModelSpec,
+    seed: u64,
+    max_weights_per_layer: usize,
+) -> Vec<LayerWorkload> {
+    model
+        .layers
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let layer_seed = seed
+                .wrapping_mul(0x9e37_79b9)
+                .wrapping_add(i as u64);
+            let synth =
+                synthesize_weights_sampled(spec, model.family, layer_seed, max_weights_per_layer);
+            let activations = synthesize_activations(
+                spec.elems_per_channel.min(4096),
+                model.family,
+                layer_seed ^ 0xaaaa,
+            );
+            LayerWorkload {
+                name: spec.name.clone(),
+                channels: spec.channels,
+                elems_per_channel: spec.elems_per_channel,
+                positions: spec.positions,
+                unique_input_elems: spec.unique_input_elems,
+                family: model.family,
+                weights: synth.weights,
+                sample_factor: synth.sample_factor,
+                activations,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbs_models::zoo;
+
+    #[test]
+    fn lowering_is_deterministic() {
+        let m = zoo::vit_small();
+        let a = lower_model(&m, 5, 8 * 1024);
+        let b = lower_model(&m, 5, 8 * 1024);
+        assert_eq!(a.len(), m.layers.len());
+        assert_eq!(a[3].weights, b[3].weights);
+    }
+
+    #[test]
+    fn macs_are_preserved_under_sampling() {
+        let m = zoo::resnet34();
+        let wl = lower_model(&m, 5, 4 * 1024);
+        let total: u64 = wl.iter().map(|l| l.macs()).sum();
+        assert_eq!(total, m.macs(), "sampling must not change reported MACs");
+    }
+
+    #[test]
+    fn cnn_activations_sparser_than_bert() {
+        let cnn = lower_model(&zoo::resnet34(), 6, 4 * 1024);
+        let bert = lower_model(&zoo::bert_sst2(), 6, 4 * 1024);
+        let cnn_avg: f64 =
+            cnn.iter().map(|l| l.activation_sparsity()).sum::<f64>() / cnn.len() as f64;
+        let bert_avg: f64 =
+            bert.iter().map(|l| l.activation_sparsity()).sum::<f64>() / bert.len() as f64;
+        assert!(cnn_avg > 0.35, "ReLU sparsity {cnn_avg}");
+        assert!(bert_avg < 0.15, "GeLU sparsity {bert_avg}");
+    }
+
+    #[test]
+    fn weight_value_sparsity_is_low() {
+        // The paper's Fig. 3 premise: 8-bit PTQ weights are value-dense.
+        let wl = lower_model(&zoo::vgg16(), 7, 4 * 1024);
+        for l in &wl {
+            assert!(l.weight_sparsity() < 0.10, "{}: {}", l.name, l.weight_sparsity());
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the simulator: the functional BitVert datapath is
+//! exact for every encodable group, and the scheduling machinery respects
+//! its invariants.
+
+use bbs_core::averaging::rounded_averaging;
+use bbs_core::shifting::zero_point_shifting;
+use bbs_sim::accel::{wave_schedule_with, LatencyProfile, SyncGranularity};
+use bbs_sim::bitvert_func::pe::group_dot;
+use bbs_sim::bitvert_func::scheduler::subgroup_partial_sum;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn functional_pe_exact_for_any_group_and_target(
+        w in vec(any::<i8>(), 32..=32),
+        a in vec(-128i32..=127, 32..=32),
+        target in 0usize..=6,
+        use_shifting in any::<bool>(),
+    ) {
+        let enc = if use_shifting {
+            zero_point_shifting(&w, target)
+        } else {
+            rounded_averaging(&w, target)
+        };
+        let decoded = enc.decode();
+        let expect: i64 = decoded.iter().zip(&a).map(|(&x, &y)| x as i64 * y as i64).sum();
+        prop_assert_eq!(group_dot(&enc, &a), expect);
+    }
+
+    #[test]
+    fn scheduler_partial_sum_exact(bits in any::<u8>(), a in vec(-128i32..=127, 8..=8)) {
+        let reference: i64 = (0..8)
+            .filter(|&i| (bits >> i) & 1 == 1)
+            .map(|i| a[i] as i64)
+            .sum();
+        prop_assert_eq!(subgroup_partial_sum(bits, &a), reference);
+    }
+
+    #[test]
+    fn wave_schedule_invariants(
+        lat in vec(vec(1u32..=8, 4..=4), 2..=16),
+        cols in 1usize..=8,
+    ) {
+        let useful = lat
+            .iter()
+            .map(|ch| ch.iter().map(|&l| l as u64).collect())
+            .collect();
+        let profile = LatencyProfile { latencies: lat.clone(), useful };
+        let tile = wave_schedule_with(&profile, cols, 8, SyncGranularity::PerTile);
+        let group = wave_schedule_with(&profile, cols, 8, SyncGranularity::PerGroup);
+
+        // Lock-step can never be faster than buffered per-tile sync.
+        prop_assert!(group.cycles >= tile.cycles);
+
+        // Cycles are bounded below by the slowest single channel and above
+        // by the serial sum of all channels.
+        let col_sums: Vec<u64> = lat
+            .iter()
+            .map(|ch| ch.iter().map(|&l| l as u64).sum())
+            .collect();
+        let slowest = *col_sums.iter().max().unwrap();
+        let serial: u64 = col_sums.iter().sum();
+        prop_assert!(tile.cycles >= slowest);
+        prop_assert!(tile.cycles <= serial);
+
+        // Stall fractions always partition the lane-time.
+        for s in [tile, group] {
+            let sum = s.useful_fraction + s.intra_fraction + s.inter_fraction;
+            prop_assert!((sum - 1.0).abs() < 1e-6, "partition {sum}");
+            prop_assert!(s.useful_fraction >= 0.0);
+            prop_assert!(s.intra_fraction >= -1e-12);
+            prop_assert!(s.inter_fraction >= -1e-12);
+        }
+
+        // One column per tile: no inter-PE stall possible.
+        let solo = wave_schedule_with(&profile, 1, 8, SyncGranularity::PerTile);
+        prop_assert!(solo.inter_fraction.abs() < 1e-9);
+    }
+
+    #[test]
+    fn narrower_arrays_never_reduce_tile_cycles(
+        lat in vec(vec(1u32..=8, 2..=2), 4..=12),
+    ) {
+        let useful = lat
+            .iter()
+            .map(|ch| ch.iter().map(|&l| l as u64).collect())
+            .collect();
+        let profile = LatencyProfile { latencies: lat, useful };
+        let narrow = wave_schedule_with(&profile, 2, 8, SyncGranularity::PerTile);
+        let wide = wave_schedule_with(&profile, 8, 8, SyncGranularity::PerTile);
+        // Fewer columns -> more serialization -> at least as many cycles.
+        prop_assert!(narrow.cycles >= wide.cycles);
+    }
+}

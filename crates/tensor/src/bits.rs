@@ -1,0 +1,455 @@
+//! Bit-plane views of `i8` weight groups and the sparsity statistics of
+//! the paper's Fig. 3.
+//!
+//! A *bit column* is the set of bits at one significance across a group of
+//! weights; a *bit vector* is a fixed-size chunk of a column. The central
+//! observation of BBS is that any bit vector is at least 50% sparse once the
+//! majority symbol (zero or one) is treated as the sparse one.
+
+/// Number of bits in a weight (the paper's operand precision `p`).
+pub const WEIGHT_BITS: usize = 8;
+
+/// Maximum group size representable by the `u64` column masks.
+pub const MAX_GROUP: usize = 64;
+
+/// Returns bit `b` (0 = LSB) of a weight's two's-complement representation.
+#[inline]
+pub fn bit_of(w: i8, b: usize) -> bool {
+    debug_assert!(b < WEIGHT_BITS);
+    (w as u8 >> b) & 1 == 1
+}
+
+/// Minimal two's-complement width of `w`: the smallest `m ≥ 1` with
+/// `-2^(m-1) <= w < 2^(m-1)`.
+///
+/// # Example
+///
+/// ```
+/// use bbs_tensor::bits::min_twos_complement_width;
+/// assert_eq!(min_twos_complement_width(0), 1);
+/// assert_eq!(min_twos_complement_width(-1), 1);
+/// assert_eq!(min_twos_complement_width(-57), 7); // needs 7 bits: 1000111b
+/// assert_eq!(min_twos_complement_width(127), 8);
+/// ```
+pub fn min_twos_complement_width(w: i8) -> usize {
+    for m in 1..WEIGHT_BITS {
+        let lo = -(1i16 << (m - 1));
+        let hi = 1i16 << (m - 1);
+        if (w as i16) >= lo && (w as i16) < hi {
+            return m;
+        }
+    }
+    WEIGHT_BITS
+}
+
+/// Number of *redundant* sign-extension columns in the 8-bit representation
+/// of `w` — columns immediately below the MSB identical to the MSB.
+///
+/// Removing them is lossless when the remaining bits are reinterpreted as a
+/// narrower two's-complement number (paper §III-B, Fig. 4 step 1).
+pub fn redundant_sign_bits(w: i8) -> usize {
+    WEIGHT_BITS - min_twos_complement_width(w)
+}
+
+/// Sign-magnitude byte of `w`: bit 7 is the sign, bits 0‥6 the magnitude.
+///
+/// `-128` is saturated to magnitude 127 because sign-magnitude cannot
+/// represent it — the same convention as the sign-magnitude accelerators the
+/// paper compares against (BitWave).
+pub fn sign_magnitude(w: i8) -> u8 {
+    let sign = if w < 0 { 0x80u8 } else { 0 };
+    let mag = (w as i16).unsigned_abs().min(127) as u8;
+    sign | mag
+}
+
+/// Bit-plane view of a group of up to 64 weights.
+///
+/// Column `b` is stored as a `u64` mask whose bit `i` is bit `b` of word `i`.
+///
+/// # Example
+///
+/// ```
+/// use bbs_tensor::bits::BitGroup;
+///
+/// let g = BitGroup::from_words(&[-11, 2, -57, 13]);
+/// assert_eq!(g.len(), 4);
+/// // Weight -11 = 0b1111_0101: bit 0 set, bit 1 clear.
+/// assert!(g.bit(0, 0));
+/// assert!(!g.bit(0, 1));
+/// assert_eq!(g.into_words(), vec![-11, 2, -57, 13]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitGroup {
+    columns: [u64; WEIGHT_BITS],
+    n: usize,
+}
+
+impl BitGroup {
+    /// Builds the bit-plane view of a weight group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group is empty or larger than [`MAX_GROUP`].
+    pub fn from_words(words: &[i8]) -> Self {
+        assert!(
+            !words.is_empty() && words.len() <= MAX_GROUP,
+            "group size must be in 1..={MAX_GROUP}, got {}",
+            words.len()
+        );
+        let mut columns = [0u64; WEIGHT_BITS];
+        for (i, &w) in words.iter().enumerate() {
+            for (b, col) in columns.iter_mut().enumerate() {
+                if bit_of(w, b) {
+                    *col |= 1u64 << i;
+                }
+            }
+        }
+        BitGroup {
+            columns,
+            n: words.len(),
+        }
+    }
+
+    /// Rebuilds a group from raw column masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not in `1..=MAX_GROUP` or a mask has bits beyond `n`.
+    pub fn from_columns(n: usize, columns: [u64; WEIGHT_BITS]) -> Self {
+        assert!((1..=MAX_GROUP).contains(&n));
+        let valid = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        for (b, &c) in columns.iter().enumerate() {
+            assert!(c & !valid == 0, "column {b} has bits beyond group size");
+        }
+        BitGroup { columns, n }
+    }
+
+    /// Number of weights in the group.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the group is empty (never true for a constructed group).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The mask of valid lanes (`n` low bits set).
+    pub fn lane_mask(&self) -> u64 {
+        if self.n == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.n) - 1
+        }
+    }
+
+    /// Column mask at significance `b` (bit `i` = bit `b` of word `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= 8`.
+    pub fn column(&self, b: usize) -> u64 {
+        self.columns[b]
+    }
+
+    /// Number of one-bits in column `b`.
+    pub fn column_popcount(&self, b: usize) -> usize {
+        self.columns[b].count_ones() as usize
+    }
+
+    /// Whether column `b` is entirely zero.
+    pub fn column_all_zero(&self, b: usize) -> bool {
+        self.columns[b] == 0
+    }
+
+    /// Whether column `b` is entirely one.
+    pub fn column_all_one(&self, b: usize) -> bool {
+        self.columns[b] == self.lane_mask()
+    }
+
+    /// Whether column `b` is bi-directionally sparse (all zeros or all ones),
+    /// i.e. prunable under BBS encoding.
+    pub fn column_bidirectional_sparse(&self, b: usize) -> bool {
+        self.column_all_zero(b) || self.column_all_one(b)
+    }
+
+    /// Bit `b` of word `i`.
+    pub fn bit(&self, i: usize, b: usize) -> bool {
+        debug_assert!(i < self.n);
+        (self.columns[b] >> i) & 1 == 1
+    }
+
+    /// Number of one-bits in word `i` (its essential-bit count in 2's
+    /// complement — Pragmatic's per-weight serial latency).
+    pub fn row_popcount(&self, i: usize) -> usize {
+        debug_assert!(i < self.n);
+        (0..WEIGHT_BITS)
+            .filter(|&b| (self.columns[b] >> i) & 1 == 1)
+            .count()
+    }
+
+    /// Reconstructs the word at lane `i`.
+    pub fn word(&self, i: usize) -> i8 {
+        debug_assert!(i < self.n);
+        let mut v = 0u8;
+        for b in 0..WEIGHT_BITS {
+            if (self.columns[b] >> i) & 1 == 1 {
+                v |= 1 << b;
+            }
+        }
+        v as i8
+    }
+
+    /// Reconstructs all words.
+    pub fn into_words(self) -> Vec<i8> {
+        (0..self.n).map(|i| self.word(i)).collect()
+    }
+
+    /// Reconstructs all words without consuming the view.
+    pub fn to_words(&self) -> Vec<i8> {
+        (0..self.n).map(|i| self.word(i)).collect()
+    }
+}
+
+/// Fraction of zero *values* in a slice (the classic value sparsity that
+/// collapses to < 5% after 8-bit PTQ — paper Fig. 3).
+///
+/// # Panics
+///
+/// Panics if `weights` is empty.
+pub fn value_sparsity(weights: &[i8]) -> f64 {
+    assert!(!weights.is_empty());
+    weights.iter().filter(|&&w| w == 0).count() as f64 / weights.len() as f64
+}
+
+/// Fraction of zero bits in the two's-complement representation.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty.
+pub fn bit_sparsity_twos_complement(weights: &[i8]) -> f64 {
+    assert!(!weights.is_empty());
+    let ones: u32 = weights.iter().map(|&w| (w as u8).count_ones()).sum();
+    1.0 - ones as f64 / (weights.len() * WEIGHT_BITS) as f64
+}
+
+/// Fraction of zero bits in the sign-magnitude representation.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty.
+pub fn bit_sparsity_sign_magnitude(weights: &[i8]) -> f64 {
+    assert!(!weights.is_empty());
+    let ones: u32 = weights
+        .iter()
+        .map(|&w| sign_magnitude(w).count_ones())
+        .sum();
+    1.0 - ones as f64 / (weights.len() * WEIGHT_BITS) as f64
+}
+
+/// Bi-directional bit sparsity with the given bit-vector size (paper Fig. 3
+/// uses `vector_size = 8`): for every bit vector, the majority symbol is
+/// sparse, so the skippable fraction is `max(zeros, ones) / len`.
+///
+/// Partial trailing vectors are included with their own length.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or `vector_size` is zero.
+pub fn bbs_sparsity(weights: &[i8], vector_size: usize) -> f64 {
+    assert!(!weights.is_empty());
+    assert!(vector_size > 0);
+    let mut sparse_bits = 0usize;
+    let mut total_bits = 0usize;
+    for chunk in weights.chunks(vector_size) {
+        for b in 0..WEIGHT_BITS {
+            let ones = chunk.iter().filter(|&&w| bit_of(w, b)).count();
+            sparse_bits += ones.max(chunk.len() - ones);
+            total_bits += chunk.len();
+        }
+    }
+    sparse_bits as f64 / total_bits as f64
+}
+
+/// All four Fig. 3 sparsity statistics for one tensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparsityStats {
+    /// Fraction of zero values.
+    pub value: f64,
+    /// Fraction of zero bits, two's complement.
+    pub bit_twos_complement: f64,
+    /// Fraction of zero bits, sign-magnitude.
+    pub bit_sign_magnitude: f64,
+    /// Bi-directional bit sparsity (vector size 8).
+    pub bbs: f64,
+}
+
+impl SparsityStats {
+    /// Computes the statistics of a weight slice with the paper's defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty.
+    pub fn measure(weights: &[i8]) -> Self {
+        SparsityStats {
+            value: value_sparsity(weights),
+            bit_twos_complement: bit_sparsity_twos_complement(weights),
+            bit_sign_magnitude: bit_sparsity_sign_magnitude(weights),
+            bbs: bbs_sparsity(weights, 8),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_example_bits() {
+        // The weights of the paper's Fig. 4: -11, 2(0), -57, 13.
+        // -57 = 1100_0111b.
+        let w: i8 = -57;
+        let bits: Vec<bool> = (0..8).map(|b| bit_of(w, b)).collect();
+        assert_eq!(
+            bits,
+            vec![true, true, true, false, false, false, true, true]
+        );
+    }
+
+    #[test]
+    fn min_width_boundaries() {
+        assert_eq!(min_twos_complement_width(0), 1);
+        assert_eq!(min_twos_complement_width(-1), 1);
+        assert_eq!(min_twos_complement_width(1), 2);
+        assert_eq!(min_twos_complement_width(-2), 2);
+        assert_eq!(min_twos_complement_width(63), 7);
+        assert_eq!(min_twos_complement_width(-64), 7);
+        assert_eq!(min_twos_complement_width(64), 8);
+        assert_eq!(min_twos_complement_width(-128), 8);
+    }
+
+    #[test]
+    fn paper_redundant_column_example() {
+        // Fig. 4: -57 = 11000111b has exactly one redundant column — removing
+        // the second bit leaves 1000111b, still -57 with MSB weight -2^6.
+        assert_eq!(redundant_sign_bits(-57), 1);
+        // Small numbers have many redundant sign columns.
+        assert_eq!(redundant_sign_bits(2), 5);
+        assert_eq!(redundant_sign_bits(-11), 3);
+        assert_eq!(redundant_sign_bits(13), 3);
+    }
+
+    #[test]
+    fn sign_magnitude_encoding() {
+        assert_eq!(sign_magnitude(0), 0);
+        assert_eq!(sign_magnitude(5), 0b0000_0101);
+        assert_eq!(sign_magnitude(-5), 0b1000_0101);
+        assert_eq!(sign_magnitude(127), 0b0111_1111);
+        assert_eq!(sign_magnitude(-127), 0b1111_1111);
+        // -128 saturates.
+        assert_eq!(sign_magnitude(-128), 0b1111_1111);
+    }
+
+    #[test]
+    fn bitgroup_roundtrip_all_i8() {
+        let words: Vec<i8> = (-64..64).collect();
+        for chunk in words.chunks(32) {
+            let g = BitGroup::from_words(chunk);
+            assert_eq!(g.to_words(), chunk);
+        }
+    }
+
+    #[test]
+    fn bitgroup_columns_match_bits() {
+        let words = [-11i8, 2, -57, 13];
+        let g = BitGroup::from_words(&words);
+        for (i, &w) in words.iter().enumerate() {
+            for b in 0..8 {
+                assert_eq!(g.bit(i, b), bit_of(w, b));
+            }
+            assert_eq!(g.row_popcount(i), (w as u8).count_ones() as usize);
+            assert_eq!(g.word(i), w);
+        }
+    }
+
+    #[test]
+    fn column_classification() {
+        // All-zero column: every weight has bit 4 clear.
+        let g = BitGroup::from_words(&[0, 1, 2, 3]);
+        assert!(g.column_all_zero(4));
+        assert!(g.column_bidirectional_sparse(4));
+        // All-one column: all-negative weights share the sign bit.
+        let g = BitGroup::from_words(&[-1, -2, -3, -4]);
+        assert!(g.column_all_one(7));
+        assert!(g.column_bidirectional_sparse(7));
+        // Mixed column.
+        let g = BitGroup::from_words(&[1, 0, 1, 0]);
+        assert!(!g.column_bidirectional_sparse(0));
+        assert_eq!(g.column_popcount(0), 2);
+    }
+
+    #[test]
+    fn from_columns_validates_lanes() {
+        let g = BitGroup::from_words(&[3, -3]);
+        let cols = core::array::from_fn(|b| g.column(b));
+        let g2 = BitGroup::from_columns(2, cols);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond group size")]
+    fn from_columns_rejects_stray_bits() {
+        let mut cols = [0u64; WEIGHT_BITS];
+        cols[0] = 0b100; // lane 2 does not exist in a group of 2
+        let _ = BitGroup::from_columns(2, cols);
+    }
+
+    #[test]
+    fn value_sparsity_counts_zeros() {
+        assert_eq!(value_sparsity(&[0, 0, 1, -1]), 0.5);
+        assert_eq!(value_sparsity(&[5]), 0.0);
+    }
+
+    #[test]
+    fn bit_sparsity_extremes() {
+        assert_eq!(bit_sparsity_twos_complement(&[0]), 1.0);
+        assert_eq!(bit_sparsity_twos_complement(&[-1]), 0.0);
+        // +1 has one bit set in both representations.
+        assert_eq!(bit_sparsity_sign_magnitude(&[1]), 7.0 / 8.0);
+    }
+
+    #[test]
+    fn sign_magnitude_sparsity_beats_twos_complement_for_small_negatives() {
+        // Small negative numbers are nearly all ones in 2C but nearly all
+        // zeros in SM — the effect the paper exploits in §II-B.
+        let w = [-1i8, -2, -3, -2, -1, -3, -2, -1];
+        assert!(bit_sparsity_sign_magnitude(&w) > bit_sparsity_twos_complement(&w));
+    }
+
+    #[test]
+    fn bbs_sparsity_at_least_half() {
+        // The BBS theorem: any bit-vector exhibits >= 50% sparsity.
+        let mut rng = crate::rng::SeededRng::new(11);
+        let w: Vec<i8> = (0..1024).map(|_| rng.any_i8()).collect();
+        for &v in &[4usize, 8, 16, 32] {
+            assert!(bbs_sparsity(&w, v) >= 0.5, "vector size {v}");
+        }
+    }
+
+    #[test]
+    fn bbs_sparsity_dominates_zero_bit_sparsity() {
+        let mut rng = crate::rng::SeededRng::new(12);
+        let w: Vec<i8> = (0..4096).map(|_| rng.gaussian_i8(0.0, 25.0)).collect();
+        let s = SparsityStats::measure(&w);
+        assert!(s.bbs >= s.bit_twos_complement);
+        assert!(s.bit_twos_complement > 0.4);
+        assert!(s.value < 0.1);
+    }
+
+    #[test]
+    fn bbs_sparsity_handles_partial_chunks() {
+        // 10 weights with vector size 8 leaves a trailing chunk of 2.
+        let w = [0i8; 10];
+        assert_eq!(bbs_sparsity(&w, 8), 1.0);
+    }
+}

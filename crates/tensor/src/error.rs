@@ -1,0 +1,74 @@
+//! Error types shared by the tensor substrate.
+
+use std::fmt;
+
+/// Errors produced by tensor construction and manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements does not match the product of the dimensions.
+    LengthMismatch {
+        /// Number of elements provided.
+        expected: usize,
+        /// Number of elements implied by the shape.
+        actual: usize,
+    },
+    /// A shape with zero dimensions or a zero-sized dimension was supplied
+    /// where a non-empty shape is required.
+    EmptyShape,
+    /// Two tensors that must agree in shape do not.
+    ShapeMismatch {
+        /// Shape of the left operand, formatted.
+        left: String,
+        /// Shape of the right operand, formatted.
+        right: String,
+    },
+    /// An axis index is out of range for the tensor rank.
+    AxisOutOfRange {
+        /// The requested axis.
+        axis: usize,
+        /// The tensor rank.
+        rank: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape volume {expected}"
+            ),
+            TensorError::EmptyShape => write!(f, "shape must be non-empty with non-zero dims"),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left} vs {right}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = TensorError::LengthMismatch {
+            expected: 6,
+            actual: 5,
+        };
+        let s = err.to_string();
+        assert!(s.contains('5') && s.contains('6'));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,415 @@
+//! Post-training quantization (PTQ) substrate.
+//!
+//! The paper's baseline models are per-channel symmetrically quantized 8-bit
+//! DNNs (§III-C); the PTQ comparison points in Figs. 1/6/11 and Table III
+//! re-quantize those INT8 weights to fewer levels. This module implements:
+//!
+//! * per-channel symmetric quantization of `f32` weights to `bits ≤ 8`,
+//! * INT8-domain re-quantization (the "naive PTQ" baseline),
+//! * a Microscaling-style shared-exponent format and a NoisyQuant-style
+//!   dithered quantizer (Table III comparison points).
+
+use crate::error::TensorError;
+use crate::metrics;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// How the quantization scale is chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScaleMethod {
+    /// Scale from the maximum absolute value (no clipping).
+    AbsMax,
+    /// Clip at the given quantile of |w| (e.g. `0.999`).
+    Percentile(f64),
+    /// Grid-search the clipping scale minimizing reconstruction MSE,
+    /// with the given number of candidate scales.
+    MseGrid(usize),
+}
+
+impl Default for ScaleMethod {
+    fn default() -> Self {
+        ScaleMethod::AbsMax
+    }
+}
+
+/// A per-channel symmetrically quantized tensor: `w ≈ q · scale[channel]`.
+///
+/// Weight tensors are canonicalized to 2-D `[channels, elems_per_channel]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantTensor {
+    /// Integer codes, shape `[channels, elems_per_channel]`.
+    pub data: Tensor<i8>,
+    /// Per-channel scale factors (length = number of channels).
+    pub scales: Vec<f32>,
+    /// Quantization bit width (2..=8).
+    pub bits: u8,
+}
+
+impl QuantTensor {
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.data.shape().dim(0)
+    }
+
+    /// Elements per channel.
+    pub fn elems_per_channel(&self) -> usize {
+        self.data.shape().dim(1)
+    }
+
+    /// Integer codes of one channel.
+    pub fn channel(&self, c: usize) -> &[i8] {
+        self.data.row(c)
+    }
+
+    /// Dequantizes back to `f32`.
+    pub fn dequantize(&self) -> Tensor<f32> {
+        let chans = self.channels();
+        let epc = self.elems_per_channel();
+        let mut out = Vec::with_capacity(chans * epc);
+        for c in 0..chans {
+            let s = self.scales[c];
+            out.extend(self.data.row(c).iter().map(|&q| q as f32 * s));
+        }
+        Tensor::from_vec(self.data.shape().clone(), out).expect("shape preserved")
+    }
+}
+
+/// Largest positive code for a symmetric `bits`-bit quantizer (e.g. 127 for 8).
+pub fn qmax(bits: u8) -> i32 {
+    assert!((2..=8).contains(&bits), "bits must be in 2..=8");
+    (1i32 << (bits - 1)) - 1
+}
+
+fn channel_scale(channel: &[f32], bits: u8, method: ScaleMethod) -> f32 {
+    let qm = qmax(bits) as f64;
+    let absmax = channel.iter().fold(0.0f64, |m, &w| m.max(w.abs() as f64));
+    if absmax == 0.0 {
+        return 1.0;
+    }
+    match method {
+        ScaleMethod::AbsMax => (absmax / qm) as f32,
+        ScaleMethod::Percentile(p) => {
+            let mut mags: Vec<f64> = channel.iter().map(|&w| w.abs() as f64).collect();
+            mags.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in weights"));
+            let idx = ((mags.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+            (mags[idx].max(1e-12) / qm) as f32
+        }
+        ScaleMethod::MseGrid(steps) => {
+            let mut best_scale = (absmax / qm) as f32;
+            let mut best_mse = f64::INFINITY;
+            for k in 0..steps.max(1) {
+                // Candidate clip points from 40%..100% of absmax.
+                let frac = 0.4 + 0.6 * (k as f64 + 1.0) / steps.max(1) as f64;
+                let s = (absmax * frac / qm) as f32;
+                let mse: f64 = channel
+                    .iter()
+                    .map(|&w| {
+                        let q = (w / s).round().clamp(-(qm as f32) - 1.0, qm as f32);
+                        let r = q * s;
+                        (w as f64 - r as f64).powi(2)
+                    })
+                    .sum();
+                if mse < best_mse {
+                    best_mse = mse;
+                    best_scale = s;
+                }
+            }
+            best_scale
+        }
+    }
+}
+
+/// Quantizes a 2-D `[channels, elems]` `f32` tensor symmetrically per
+/// channel.
+///
+/// Codes are clamped to `[-qmax(bits), qmax(bits)]` (symmetric grid; the
+/// most-negative code is unused, matching common per-channel PTQ practice
+/// such as TensorRT's).
+///
+/// # Errors
+///
+/// Returns [`TensorError::AxisOutOfRange`] if the tensor is not rank 2.
+pub fn quantize_per_channel(
+    weights: &Tensor<f32>,
+    bits: u8,
+    method: ScaleMethod,
+) -> Result<QuantTensor, TensorError> {
+    if weights.shape().rank() != 2 {
+        return Err(TensorError::AxisOutOfRange {
+            axis: 1,
+            rank: weights.shape().rank(),
+        });
+    }
+    let chans = weights.shape().dim(0);
+    let epc = weights.shape().dim(1);
+    let qm = qmax(bits);
+    let mut scales = Vec::with_capacity(chans);
+    let mut data = Vec::with_capacity(chans * epc);
+    for c in 0..chans {
+        let row = weights.row(c);
+        let s = channel_scale(row, bits, method);
+        scales.push(s);
+        data.extend(row.iter().map(|&w| {
+            let q = (w / s).round() as i32;
+            q.clamp(-qm, qm) as i8
+        }));
+    }
+    Ok(QuantTensor {
+        data: Tensor::from_vec(Shape::matrix(chans, epc), data)?,
+        scales,
+        bits,
+    })
+}
+
+/// Re-quantizes INT8 codes to a `bits`-level grid and reconstructs them on
+/// the original INT8 grid (the "naive PTQ" compression baseline of
+/// Figs. 1/6/11).
+///
+/// The returned values are integers in the INT8 value domain (rounded), so
+/// they can be compared against the originals with [`metrics::mse_i8`] and
+/// [`metrics::kl_divergence_i8`].
+///
+/// # Panics
+///
+/// Panics if `group` is empty.
+pub fn requantize_i8(group: &[i8], bits: u8, method: ScaleMethod) -> Vec<i32> {
+    assert!(!group.is_empty());
+    let as_f32: Vec<f32> = group.iter().map(|&w| w as f32).collect();
+    let qm = qmax(bits);
+    let s = channel_scale(&as_f32, bits, method);
+    as_f32
+        .iter()
+        .map(|&w| {
+            let q = (w / s).round().clamp(-(qm as f32), qm as f32);
+            (q * s).round() as i32
+        })
+        .collect()
+}
+
+/// Reconstruction MSE of [`requantize_i8`] without materializing the codes.
+pub fn requantize_mse(group: &[i8], bits: u8, method: ScaleMethod) -> f64 {
+    let recon = requantize_i8(group, bits, method);
+    metrics::mse_i8(group, &recon)
+}
+
+/// Microscaling-style shared-exponent reconstruction (Table III).
+///
+/// A group shares one 8-bit exponent chosen from its largest magnitude;
+/// each element is a small *floating-point* value (sign + 3-bit exponent +
+/// the remaining mantissa bits, FP6-style for `element_bits = 6`). The
+/// shared exponent is set by the group's outlier, so small values fall
+/// below the representable range and collapse to zero — the failure mode
+/// the paper points out for Microscaling ("the exponent is determined by
+/// the largest value in every group, which forces small values to become
+/// zero").
+///
+/// # Panics
+///
+/// Panics if `group` is empty or `element_bits` is not in `4..=8`.
+pub fn microscaling_reconstruct(group: &[i8], element_bits: u8) -> Vec<i32> {
+    assert!(!group.is_empty());
+    assert!((4..=8).contains(&element_bits));
+    let absmax = group.iter().map(|&w| (w as i32).abs()).max().expect("non-empty");
+    if absmax == 0 {
+        return vec![0; group.len()];
+    }
+    // Element format (OCP MXFP-style): 1 sign + 2 exponent + m mantissa
+    // bits — E2M3 for 6-bit elements, E2M1 for 4-bit.
+    let m_bits = element_bits as i32 - 3;
+    let m_levels = 1i32 << m_bits;
+    // Shared scale: the largest element value (exp 3, full mantissa) maps
+    // to the group absmax.
+    let max_elem = 8.0 * (2.0 - 1.0 / m_levels as f64);
+    let scale = absmax as f64 / max_elem;
+    group
+        .iter()
+        .map(|&w| {
+            let a = (w as f64).abs() / scale;
+            if a < 1.0 {
+                // Below the smallest normal: flushes to zero — the narrow
+                // element range is exactly what kills small values when an
+                // outlier sets the shared exponent.
+                return 0;
+            }
+            let e = a.log2().floor().min(3.0);
+            let base = 2f64.powf(e);
+            let m = ((a / base - 1.0) * m_levels as f64)
+                .round()
+                .clamp(0.0, (m_levels - 1) as f64);
+            let v = (base * (1.0 + m / m_levels as f64) * scale).round() as i32;
+            (w as i32).signum() * v
+        })
+        .collect()
+}
+
+/// NoisyQuant-style dithered re-quantization (Table III): a deterministic
+/// per-element pseudo-noise bias is added before rounding and removed after,
+/// trading rounding bias for noise.
+///
+/// # Panics
+///
+/// Panics if `group` is empty.
+pub fn noisy_quant_reconstruct(group: &[i8], bits: u8) -> Vec<i32> {
+    assert!(!group.is_empty());
+    let as_f32: Vec<f32> = group.iter().map(|&w| w as f32).collect();
+    let qm = qmax(bits);
+    let s = channel_scale(&as_f32, bits, ScaleMethod::MseGrid(32));
+    group
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            // Deterministic triangular-ish dither in (-0.5, 0.5) scale units.
+            let noise = (((i.wrapping_mul(2654435761)) >> 8) & 0xffff) as f32 / 65536.0 - 0.5;
+            let q = ((w as f32 + noise * s) / s)
+                .round()
+                .clamp(-(qm as f32), qm as f32);
+            (q * s - noise * s).round() as i32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+
+    fn gaussian_matrix(chans: usize, epc: usize, seed: u64) -> Tensor<f32> {
+        let mut rng = SeededRng::new(seed);
+        let data = rng.gaussian_vec_f32(chans * epc, 0.0, 0.02);
+        Tensor::from_vec(Shape::matrix(chans, epc), data).unwrap()
+    }
+
+    #[test]
+    fn qmax_values() {
+        assert_eq!(qmax(8), 127);
+        assert_eq!(qmax(5), 15);
+        assert_eq!(qmax(2), 1);
+    }
+
+    #[test]
+    fn int8_quantization_roundtrip_error_bounded() {
+        let w = gaussian_matrix(8, 64, 21);
+        let qt = quantize_per_channel(&w, 8, ScaleMethod::AbsMax).unwrap();
+        let recon = qt.dequantize();
+        for c in 0..8 {
+            let s = qt.scales[c];
+            for (x, y) in w.row(c).iter().zip(recon.row(c)) {
+                assert!((x - y).abs() <= s * 0.5 + 1e-7, "error beyond half LSB");
+            }
+        }
+    }
+
+    #[test]
+    fn per_channel_scales_differ() {
+        let mut data = vec![0.0f32; 2 * 16];
+        for (i, v) in data.iter_mut().enumerate() {
+            *v = if i < 16 { 0.01 } else { 1.0 } * ((i % 16) as f32 - 8.0);
+        }
+        let w = Tensor::from_vec(Shape::matrix(2, 16), data).unwrap();
+        let qt = quantize_per_channel(&w, 8, ScaleMethod::AbsMax).unwrap();
+        assert!(qt.scales[1] > qt.scales[0] * 50.0);
+    }
+
+    #[test]
+    fn int8_quantization_has_negligible_error() {
+        // Mirrors Table I: INT8 per-channel PTQ is essentially lossless.
+        let w = gaussian_matrix(16, 256, 22);
+        let qt = quantize_per_channel(&w, 8, ScaleMethod::AbsMax).unwrap();
+        let recon = qt.dequantize();
+        let sqnr = metrics::sqnr_db(w.as_slice(), recon.as_slice());
+        assert!(sqnr > 40.0, "INT8 SQNR {sqnr} dB too low");
+    }
+
+    #[test]
+    fn lower_bits_increase_error() {
+        let w = gaussian_matrix(4, 128, 23);
+        let mut last = -1.0f64;
+        for bits in [8u8, 6, 4, 3] {
+            let qt = quantize_per_channel(&w, bits, ScaleMethod::AbsMax).unwrap();
+            let recon = qt.dequantize();
+            let mse = w.mse(&recon).unwrap();
+            assert!(mse >= last, "mse must grow as bits shrink");
+            last = mse;
+        }
+    }
+
+    #[test]
+    fn mse_grid_never_worse_than_absmax() {
+        let mut rng = SeededRng::new(24);
+        // Heavy-tailed channel: clipping should help.
+        let data: Vec<f32> = (0..512).map(|_| rng.student_t(3) as f32 * 0.02).collect();
+        let w = Tensor::from_vec(Shape::matrix(1, 512), data).unwrap();
+        let q_abs = quantize_per_channel(&w, 4, ScaleMethod::AbsMax).unwrap();
+        let q_mse = quantize_per_channel(&w, 4, ScaleMethod::MseGrid(64)).unwrap();
+        let mse_abs = w.mse(&q_abs.dequantize()).unwrap();
+        let mse_mse = w.mse(&q_mse.dequantize()).unwrap();
+        assert!(mse_mse <= mse_abs * 1.0001);
+    }
+
+    #[test]
+    fn requantize_i8_is_exact_at_8_bits() {
+        let group: Vec<i8> = (-127..=127).collect();
+        let recon = requantize_i8(&group, 8, ScaleMethod::AbsMax);
+        for (w, r) in group.iter().zip(&recon) {
+            assert_eq!(*w as i32, *r);
+        }
+    }
+
+    #[test]
+    fn requantize_collapses_levels() {
+        // PTQ to 5 bits can produce at most 2^5 - 1 = 31 distinct values
+        // (symmetric grid) — the Fig. 1 limitation.
+        let mut rng = SeededRng::new(25);
+        let group: Vec<i8> = (0..512).map(|_| rng.gaussian_i8(0.0, 30.0)).collect();
+        let recon = requantize_i8(&group, 5, ScaleMethod::MseGrid(64));
+        let mut distinct: Vec<i32> = recon.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() <= 31, "got {} levels", distinct.len());
+    }
+
+    #[test]
+    fn microscaling_zeroes_small_values() {
+        // One outlier forces a large shared scale; small values flush to
+        // zero (the narrow MXFP element range).
+        let group = [100i8, 1, -1, 2, 0, -2, 1, 1];
+        let recon = microscaling_reconstruct(&group, 4);
+        assert_eq!(recon[0], 100, "outlier representable at full mantissa");
+        assert!(
+            recon[1..].iter().all(|&r| r == 0),
+            "values far below the shared scale must collapse: {recon:?}"
+        );
+    }
+
+    #[test]
+    fn microscaling_fp6_keeps_moderate_values() {
+        // Without outliers, E2M3 elements track the group well.
+        let group = [40i8, -33, 25, 18, -44, 29, 37, -21];
+        let recon = microscaling_reconstruct(&group, 6);
+        for (w, r) in group.iter().zip(&recon) {
+            assert!((*w as i32 - r).abs() <= 6, "{w} -> {r}");
+        }
+    }
+
+    #[test]
+    fn microscaling_zero_group() {
+        assert_eq!(microscaling_reconstruct(&[0, 0, 0], 4), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn noisy_quant_close_to_plain_ptq() {
+        let mut rng = SeededRng::new(26);
+        let group: Vec<i8> = (0..256).map(|_| rng.gaussian_i8(0.0, 25.0)).collect();
+        let noisy = noisy_quant_reconstruct(&group, 6);
+        let mse = metrics::mse_i8(&group, &noisy);
+        // 6-bit quantization step on this range is ~2; dithered error stays
+        // in the same ballpark.
+        assert!(mse < 8.0, "mse {mse}");
+    }
+
+    #[test]
+    fn rejects_non_matrix_tensor() {
+        let t = Tensor::from_vec(Shape::vector(4), vec![0.0f32; 4]).unwrap();
+        assert!(quantize_per_channel(&t, 8, ScaleMethod::AbsMax).is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! Row-major tensor shapes.
+
+use crate::error::TensorError;
+use std::fmt;
+
+/// The dimensions of a dense row-major tensor.
+///
+/// # Example
+///
+/// ```
+/// use bbs_tensor::Shape;
+///
+/// let s = Shape::new(vec![2, 3, 4]).unwrap();
+/// assert_eq!(s.volume(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from its dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyShape`] if `dims` is empty or any
+    /// dimension is zero.
+    pub fn new(dims: Vec<usize>) -> Result<Self, TensorError> {
+        if dims.is_empty() || dims.iter().any(|&d| d == 0) {
+            return Err(TensorError::EmptyShape);
+        }
+        Ok(Shape { dims })
+    }
+
+    /// Creates a 1-D shape of the given length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn vector(len: usize) -> Self {
+        Shape::new(vec![len]).expect("vector length must be non-zero")
+    }
+
+    /// Creates a 2-D shape (`rows`, `cols`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn matrix(rows: usize, cols: usize) -> Self {
+        Shape::new(vec![rows, cols]).expect("matrix dims must be non-zero")
+    }
+
+    /// The dimensions of the shape.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn volume(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Linear offset of a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or any coordinate is out of
+    /// bounds (debug assertions only for the bounds check).
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.rank(), "index rank mismatch");
+        let strides = self.strides();
+        index
+            .iter()
+            .zip(strides.iter())
+            .zip(self.dims.iter())
+            .map(|((&i, &s), &d)| {
+                debug_assert!(i < d, "index {i} out of bounds for dim {d}");
+                i * s
+            })
+            .sum()
+    }
+
+    /// Size of the given dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<(usize, usize)> for Shape {
+    fn from((r, c): (usize, usize)) -> Self {
+        Shape::matrix(r, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_strides() {
+        let s = Shape::new(vec![4, 5, 6]).unwrap();
+        assert_eq!(s.volume(), 120);
+        assert_eq!(s.strides(), vec![30, 6, 1]);
+        assert_eq!(s.offset(&[1, 2, 3]), 30 + 12 + 3);
+    }
+
+    #[test]
+    fn rejects_empty_and_zero_dims() {
+        assert_eq!(Shape::new(vec![]), Err(TensorError::EmptyShape));
+        assert_eq!(Shape::new(vec![3, 0]), Err(TensorError::EmptyShape));
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Shape::matrix(3, 7);
+        assert_eq!(s.to_string(), "[3x7]");
+    }
+
+    #[test]
+    fn vector_shape() {
+        let s = Shape::vector(9);
+        assert_eq!(s.rank(), 1);
+        assert_eq!(s.volume(), 9);
+        assert_eq!(s.strides(), vec![1]);
+    }
+
+    #[test]
+    fn from_tuple() {
+        let s: Shape = (2, 8).into();
+        assert_eq!(s.dims(), &[2, 8]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Run all seven accelerators on one benchmark and compare speedup, energy
+//! and stall behaviour.
+//!
+//! ```sh
+//! cargo run --release --example accelerator_showdown [model]
+//! # model ∈ vgg16 | resnet34 | resnet50 | vit_small | vit_base |
+//! #          bert_mrpc | bert_sst2   (default: resnet50)
+//! ```
+
+use bbs::models::zoo;
+use bbs::sim::accel::{
+    ant::Ant, bitlet::Bitlet, bitvert::BitVert, bitwave::BitWave, pragmatic::Pragmatic,
+    sparten::SparTen, stripes::Stripes, Accelerator,
+};
+use bbs::sim::config::ArrayConfig;
+use bbs::sim::engine::simulate;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "resnet50".into());
+    let model = match which.as_str() {
+        "vgg16" => zoo::vgg16(),
+        "resnet34" => zoo::resnet34(),
+        "resnet50" => zoo::resnet50(),
+        "vit_small" => zoo::vit_small(),
+        "vit_base" => zoo::vit_base(),
+        "bert_mrpc" => zoo::bert_mrpc(),
+        "bert_sst2" => zoo::bert_sst2(),
+        other => {
+            eprintln!("unknown model '{other}'");
+            std::process::exit(1);
+        }
+    };
+    let cfg = ArrayConfig::paper_16x32();
+    let cap = 16 * 1024;
+
+    println!("{model} on a {}x{} array @ {} MHz", cfg.pe_rows, cfg.pe_cols, cfg.tech.freq_mhz);
+    let base = simulate(&Stripes::new(), &model, &cfg, 7, cap);
+    let base_cycles = base.total_cycles() as f64;
+    let base_energy = base.total_energy_pj();
+
+    let accels: Vec<Box<dyn Accelerator>> = vec![
+        Box::new(Stripes::new()),
+        Box::new(SparTen::new()),
+        Box::new(Ant::new()),
+        Box::new(Pragmatic::new()),
+        Box::new(Bitlet::new()),
+        Box::new(BitWave::new()),
+        Box::new(BitVert::conservative()),
+        Box::new(BitVert::moderate()),
+    ];
+    println!(
+        "{:<16} {:>12} {:>8} {:>10} {:>8} {:>8} {:>8} {:>8}",
+        "accelerator", "cycles", "speedup", "energy uJ", "vs base", "useful", "intra", "inter"
+    );
+    for accel in &accels {
+        let r = simulate(accel.as_ref(), &model, &cfg, 7, cap);
+        let (useful, intra, inter) = r.stall_breakdown();
+        println!(
+            "{:<16} {:>12} {:>7.2}x {:>10.1} {:>7.2}x {:>7.1}% {:>7.1}% {:>7.1}%",
+            r.accelerator,
+            r.total_cycles(),
+            base_cycles / r.total_cycles() as f64,
+            r.total_energy_pj() / 1e6,
+            base_energy / r.total_energy_pj(),
+            useful * 100.0,
+            intra * 100.0,
+            inter * 100.0,
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Compress a full (synthetic) ResNet-50 with hardware-aware global binary
+//! pruning and report the per-stage storage and fidelity numbers.
+//!
+//! ```sh
+//! cargo run --release --example compress_model
+//! ```
+
+use bbs::core::global::{global_prune, GlobalPruneConfig};
+use bbs::core::stats::{aggregate, layer_report};
+use bbs::models::synth::synthesize_weights_sampled;
+use bbs::models::zoo;
+
+fn main() {
+    let model = zoo::resnet50();
+    println!("compressing {model}");
+
+    // Synthesize per-channel-quantized INT8 weights (sampled fan-in keeps
+    // this example fast; statistics are unaffected).
+    let layers: Vec<_> = model
+        .layers
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| synthesize_weights_sampled(spec, model.family, 7 + i as u64, 16 * 1024))
+        .collect();
+    let tensors: Vec<_> = layers.iter().map(|l| l.weights.clone()).collect();
+
+    for (name, cfg) in [
+        ("conservative", GlobalPruneConfig::conservative()),
+        ("moderate", GlobalPruneConfig::moderate()),
+    ] {
+        let pruned = global_prune(&tensors, &cfg);
+        let reports: Vec<_> = pruned
+            .iter()
+            .zip(&tensors)
+            .map(|(p, t)| layer_report(p, t))
+            .collect();
+
+        println!("\n== {name} pruning (β={}, {} columns)", cfg.beta, cfg.pruner.sparse_columns());
+        // A few representative layers plus the model total.
+        for idx in [1usize, 12, 30, 52] {
+            let spec = &model.layers[idx];
+            println!(
+                "  {:<18} {:>9} params  {}",
+                spec.name,
+                spec.params(),
+                reports[idx]
+            );
+        }
+        let total = aggregate(&reports);
+        let sens: usize = pruned.iter().map(|p| p.sensitive_count()).sum();
+        let chans: usize = tensors.iter().map(|t| t.channels()).sum();
+        println!(
+            "  model total: {total} | sensitive channels {sens}/{chans} ({:.1}%)",
+            100.0 * sens as f64 / chans as f64
+        );
+    }
+}

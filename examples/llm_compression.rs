@@ -1,0 +1,47 @@
+//! LLM weight compression (the paper's §V-H): BBS vs Olive on
+//! Llama-3-8B-shaped tensors, plus *measured* perplexity on the trained
+//! micro language model.
+//!
+//! ```sh
+//! cargo run --release --example llm_compression
+//! ```
+
+use bbs::core::prune::PruneStrategy;
+use bbs::models::accuracy::{evaluate_model_fidelity, CompressionKind, CompressionMethod};
+use bbs::models::lm::{llama_subset, measure_lm_perplexity};
+
+fn main() {
+    let methods = [
+        ("Olive-4b", CompressionMethod::new(CompressionKind::Olive, 0.0)),
+        (
+            "BBS cons (6.25b)",
+            CompressionMethod::new(CompressionKind::Bbs(PruneStrategy::RoundedAveraging, 2), 0.0),
+        ),
+        (
+            "BBS mod (4.25b)",
+            CompressionMethod::new(CompressionKind::Bbs(PruneStrategy::ZeroPointShifting, 4), 0.0),
+        ),
+    ];
+
+    println!("micro-LM perplexity (measured, lower is better):");
+    for (name, method) in &methods {
+        let p = measure_lm_perplexity(method, 41);
+        println!(
+            "  {:<17} ppl {:.3} (fp32 {:.3}, +{:.2}%)",
+            name,
+            p.compressed,
+            p.fp32,
+            100.0 * p.increase_vs_fp32()
+        );
+    }
+
+    println!("\nLlama-3-8B-shaped weight fidelity (first 4 decoder blocks, sampled):");
+    let llama = llama_subset(4);
+    for (name, method) in &methods {
+        let f = evaluate_model_fidelity(&llama, method, 7, 64 * 1024);
+        println!(
+            "  {:<17} {:.2} bits/weight, KL {:.2e}, output SQNR {:.1} dB",
+            name, f.effective_bits, f.kl_divergence, f.output_sqnr_db
+        );
+    }
+}

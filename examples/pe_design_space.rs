@@ -1,0 +1,53 @@
+//! Explore the BitVert PE design space (the paper's Table IV/V/VI): the
+//! sub-group trade-off, the circuit optimizations, and the comparison
+//! against prior bit-serial PEs.
+//!
+//! ```sh
+//! cargo run --release --example pe_design_space
+//! ```
+
+use bbs::hw::explore::{bitvert_design_space, olive_comparison, pe_comparison};
+use bbs::hw::gates::Technology;
+
+fn main() {
+    let tech = Technology::tsmc28();
+
+    println!("BitVert PE design space (Table IV):");
+    println!(
+        "  {:<10} {:>14} {:>14} {:>12} {:>12}",
+        "sub-group", "unopt um2", "unopt mW", "opt um2", "opt mW"
+    );
+    for row in bitvert_design_space(&tech) {
+        println!(
+            "  {:<10} {:>14.1} {:>14.2} {:>12.1} {:>12.2}",
+            row.sub_group, row.area_unopt_um2, row.power_unopt_mw, row.area_opt_um2, row.power_opt_mw
+        );
+    }
+
+    println!("\nPE comparison at 8 bit-serial multipliers (Table V):");
+    println!(
+        "  {:<12} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "design", "mult um2", "other um2", "total um2", "vs Stripes", "mW"
+    );
+    for row in pe_comparison(&tech) {
+        println!(
+            "  {:<12} {:>10.1} {:>10.1} {:>10.1} {:>9.2}x {:>8.2}",
+            row.name, row.mult_area_um2, row.other_area_um2, row.total_area_um2,
+            row.ratio_vs_stripes, row.power_mw
+        );
+    }
+
+    let olive = olive_comparison(&tech);
+    println!("\nOlive vs BitVert (Table VI):");
+    println!(
+        "  Olive   : {:.1} um2, {:.2} mW",
+        olive.olive_area_um2, olive.olive_power_mw
+    );
+    println!(
+        "  BitVert : {:.1} um2, {:.2} mW, {:.1}x perf, {:.2}x perf/area",
+        olive.bitvert_area_um2,
+        olive.bitvert_power_mw,
+        olive.bitvert_norm_perf,
+        olive.bitvert_norm_perf_per_area
+    );
+}

@@ -1,0 +1,33 @@
+//! # BBS — Bi-directional Bit-level Sparsity
+//!
+//! A full Rust reproduction of *"BBS: Bi-directional Bit-level Sparsity for
+//! Deep Learning Acceleration"* (MICRO 2024): the BBS compression algorithm,
+//! the BitVert bit-serial accelerator, all baseline accelerators, and the
+//! benchmark harness regenerating every table and figure of the paper.
+//!
+//! This facade crate re-exports the workspace crates:
+//!
+//! * [`tensor`] — tensors, quantization, metrics, bit-plane utilities,
+//! * [`core`] — binary pruning, BBS encoding, global pruning, reordering,
+//! * [`models`] — DNN model zoo, synthetic weights, inference, training,
+//! * [`hw`] — PE area/power and SRAM/DRAM energy models,
+//! * [`sim`] — cycle-accurate accelerator simulators.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bbs::core::prune::{BinaryPruner, PruneStrategy};
+//!
+//! // Compress a group of INT8 weights down by 4 bit columns.
+//! let weights: Vec<i8> = vec![-7, 1, -20, 81, 13, -44, 3, 9];
+//! let pruner = BinaryPruner::new(PruneStrategy::ZeroPointShifting, 4);
+//! let compressed = pruner.compress_group(&weights);
+//! let reconstructed = compressed.decode();
+//! assert_eq!(reconstructed.len(), weights.len());
+//! ```
+
+pub use bbs_core as core;
+pub use bbs_hw as hw;
+pub use bbs_models as models;
+pub use bbs_sim as sim;
+pub use bbs_tensor as tensor;

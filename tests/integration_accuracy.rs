@@ -1,0 +1,88 @@
+//! Cross-crate accuracy/fidelity invariants: the paper's compression-
+//! quality claims measured end to end.
+
+use bbs::core::prune::PruneStrategy;
+use bbs::models::accuracy::{
+    evaluate_model_fidelity, measure_real_accuracy, CompressionKind, CompressionMethod,
+};
+use bbs::models::lm::measure_lm_perplexity;
+use bbs::models::zoo;
+
+const CAP: usize = 8 * 1024;
+
+#[test]
+fn bbs_preserves_distribution_best_at_moderate_compression() {
+    let model = zoo::resnet34();
+    let bbs = evaluate_model_fidelity(&model, &CompressionMethod::bbs_moderate(), 3, CAP);
+    let bitwave = evaluate_model_fidelity(&model, &CompressionMethod::bitwave_moderate(), 3, CAP);
+    let ptq = evaluate_model_fidelity(&model, &CompressionMethod::ptq_moderate(), 3, CAP);
+    assert!(bbs.kl_divergence < bitwave.kl_divergence);
+    assert!(bbs.kl_divergence < ptq.kl_divergence);
+    assert!(bbs.est_accuracy_loss_pct < bitwave.est_accuracy_loss_pct);
+    assert!(bbs.est_accuracy_loss_pct < ptq.est_accuracy_loss_pct);
+}
+
+#[test]
+fn compression_ratios_near_paper_averages() {
+    // Paper: 1.29x conservative, 1.66x moderate (model-size reduction).
+    let model = zoo::vit_base();
+    let cons = evaluate_model_fidelity(&model, &CompressionMethod::bbs_conservative(), 3, CAP);
+    let moderate = evaluate_model_fidelity(&model, &CompressionMethod::bbs_moderate(), 3, CAP);
+    assert!(
+        (1.1..=1.45).contains(&cons.compression_ratio),
+        "cons {}",
+        cons.compression_ratio
+    );
+    assert!(
+        (1.4..=1.85).contains(&moderate.compression_ratio),
+        "mod {}",
+        moderate.compression_ratio
+    );
+}
+
+#[test]
+fn real_trained_model_loss_ordering() {
+    // Averaged over seeds: BBS moderate hurts less than matched-footprint
+    // PTQ, and conservative is near-lossless — measured, not modelled.
+    let seeds = [31u64, 32, 33];
+    let avg = |m: &CompressionMethod| -> f64 {
+        seeds
+            .iter()
+            .map(|&s| measure_real_accuracy(m, s).loss_vs_int8_pct())
+            .sum::<f64>()
+            / seeds.len() as f64
+    };
+    let cons = avg(&CompressionMethod::bbs_conservative());
+    let ptq3 = avg(&CompressionMethod::new(CompressionKind::Ptq(3), 0.20));
+    let moderate = avg(&CompressionMethod::bbs_moderate());
+    assert!(cons < 1.0, "conservative near-lossless: {cons}");
+    assert!(moderate < ptq3, "moderate {moderate} vs 3-bit PTQ {ptq3}");
+}
+
+#[test]
+fn llm_perplexity_ordering_matches_fig17() {
+    let olive = CompressionMethod::new(CompressionKind::Olive, 0.0);
+    let cons =
+        CompressionMethod::new(CompressionKind::Bbs(PruneStrategy::RoundedAveraging, 2), 0.0);
+    let p_olive = measure_lm_perplexity(&olive, 51);
+    let p_cons = measure_lm_perplexity(&cons, 51);
+    assert!(
+        p_cons.increase_vs_fp32() < 0.02,
+        "conservative BBS ~ lossless: {}",
+        p_cons.increase_vs_fp32()
+    );
+    assert!(
+        p_cons.compressed < p_olive.compressed,
+        "BBS cons {} vs Olive {}",
+        p_cons.compressed,
+        p_olive.compressed
+    );
+}
+
+#[test]
+fn fidelity_is_deterministic() {
+    let model = zoo::vit_small();
+    let a = evaluate_model_fidelity(&model, &CompressionMethod::bbs_moderate(), 9, CAP);
+    let b = evaluate_model_fidelity(&model, &CompressionMethod::bbs_moderate(), 9, CAP);
+    assert_eq!(a, b, "same seed must reproduce bit-identically");
+}

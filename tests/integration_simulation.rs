@@ -1,0 +1,120 @@
+//! Cross-crate simulation invariants: the paper's headline performance and
+//! energy claims on the full pipeline (model zoo → synthesis → compression
+//! → cycle-level simulation → energy model).
+
+use bbs::models::zoo;
+use bbs::sim::accel::{
+    ant::Ant, bitlet::Bitlet, bitvert::BitVert, bitwave::BitWave, pragmatic::Pragmatic,
+    sparten::SparTen, stripes::Stripes, Accelerator,
+};
+use bbs::sim::config::ArrayConfig;
+use bbs::sim::engine::simulate;
+use bbs::tensor::metrics::geomean;
+
+const CAP: usize = 4 * 1024;
+
+fn speedups(model: &bbs::models::ModelSpec, accel: &dyn Accelerator) -> f64 {
+    let cfg = ArrayConfig::paper_16x32();
+    let base = simulate(&Stripes::new(), model, &cfg, 7, CAP).total_cycles() as f64;
+    base / simulate(accel, model, &cfg, 7, CAP).total_cycles() as f64
+}
+
+#[test]
+fn geomean_speedups_land_in_paper_bands() {
+    let models = zoo::paper_benchmarks();
+    let mut cons = Vec::new();
+    let mut moderate = Vec::new();
+    for m in &models {
+        cons.push(speedups(m, &BitVert::conservative()));
+        moderate.push(speedups(m, &BitVert::moderate()));
+    }
+    let g_cons = geomean(&cons);
+    let g_mod = geomean(&moderate);
+    // Paper: 2.48x and 3.03x.
+    assert!((2.0..=2.9).contains(&g_cons), "cons geomean {g_cons}");
+    assert!((2.5..=3.5).contains(&g_mod), "mod geomean {g_mod}");
+    assert!(g_mod > g_cons);
+}
+
+#[test]
+fn bitvert_beats_every_baseline_on_every_benchmark() {
+    let models = zoo::paper_benchmarks();
+    for m in &models {
+        let bv = speedups(m, &BitVert::moderate());
+        for baseline in [
+            &SparTen::new() as &dyn Accelerator,
+            &Ant::new(),
+            &Pragmatic::new(),
+            &Bitlet::new(),
+            &BitWave::new(),
+        ] {
+            let s = speedups(m, baseline);
+            assert!(bv > s, "{}: BitVert {bv} vs {} {s}", m.name, baseline.name());
+        }
+    }
+}
+
+#[test]
+fn bitvert_over_bitwave_within_paper_ratio() {
+    // Paper: up to 1.98x over BitWave.
+    let m = zoo::vit_base();
+    let ratio = speedups(&m, &BitVert::moderate()) / speedups(&m, &BitWave::new());
+    assert!((1.3..=2.3).contains(&ratio), "BitVert/BitWave {ratio}");
+}
+
+#[test]
+fn energy_ordering_matches_fig13() {
+    let cfg = ArrayConfig::paper_16x32();
+    let m = zoo::vit_small();
+    let energy = |a: &dyn Accelerator| simulate(a, &m, &cfg, 7, CAP).total_energy_pj();
+    let sparten = energy(&SparTen::new());
+    let stripes = energy(&Stripes::new());
+    let bitwave = energy(&BitWave::new());
+    let bv_mod = energy(&BitVert::moderate());
+    assert!(sparten > stripes, "SparTen is the energy worst case");
+    assert!(stripes > bitwave);
+    assert!(bitwave > bv_mod, "BitVert mod is the energy best case");
+    // Paper: SparTen / BitVert(mod) ~ 2.44x.
+    let ratio = sparten / bv_mod;
+    assert!((1.5..=3.2).contains(&ratio), "SparTen/BitVert {ratio}");
+}
+
+#[test]
+fn load_balance_scaling_matches_fig14() {
+    let m = zoo::bert_mrpc();
+    let cap = CAP;
+    let at = |cols: usize, a: &dyn Accelerator| {
+        let cfg = ArrayConfig::paper_16x32().with_pe_cols(cols);
+        let base = simulate(&Stripes::new(), &m, &cfg, 7, cap).total_cycles() as f64;
+        base / simulate(a, &m, &cfg, 7, cap).total_cycles() as f64
+    };
+    // Bitlet degrades with columns; BitVert stays flat.
+    let bitlet_drop = at(2, &Bitlet::new()) - at(32, &Bitlet::new());
+    assert!(bitlet_drop > 0.05, "Bitlet must degrade: drop {bitlet_drop}");
+    let bv2 = at(2, &BitVert::moderate());
+    let bv32 = at(32, &BitVert::moderate());
+    assert!(
+        (bv2 - bv32).abs() / bv2 < 0.12,
+        "BitVert must stay flat: {bv2} -> {bv32}"
+    );
+}
+
+#[test]
+fn stall_taxonomy_consistency() {
+    let cfg = ArrayConfig::paper_16x32();
+    let m = zoo::resnet34();
+    for accel in [
+        &Stripes::new() as &dyn Accelerator,
+        &Pragmatic::new(),
+        &Bitlet::new(),
+        &BitWave::new(),
+        &BitVert::moderate(),
+    ] {
+        let r = simulate(accel, &m, &cfg, 7, CAP);
+        let (u, i, e) = r.stall_breakdown();
+        assert!((u + i + e - 1.0).abs() < 1e-6, "{} partition", r.accelerator);
+        assert!(u > 0.0 && u <= 1.0);
+        assert!(r.total_cycles() > 0);
+        assert!(r.total_energy_pj() > 0.0);
+    }
+}
