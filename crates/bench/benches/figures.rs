@@ -69,9 +69,7 @@ fn fig14_fig15_load_balance(c: &mut Criterion) {
     });
     c.bench_function("fig15/stall_breakdown", |b| {
         let cfg = ArrayConfig::paper_16x32();
-        b.iter(|| {
-            simulate(&BitVert::moderate(), black_box(&model), &cfg, 7, CAP).stall_breakdown()
-        })
+        b.iter(|| simulate(&BitVert::moderate(), black_box(&model), &cfg, 7, CAP).stall_breakdown())
     });
 }
 
@@ -110,9 +108,13 @@ fn tables(c: &mut Criterion) {
         let model = zoo::vit_small();
         b.iter(|| evaluate_model_fidelity(&model, &CompressionMethod::ant6(), 7, CAP))
     });
-    c.bench_function("tab04/design_space", |b| b.iter(|| bitvert_design_space(&t)));
+    c.bench_function("tab04/design_space", |b| {
+        b.iter(|| bitvert_design_space(&t))
+    });
     c.bench_function("tab05/pe_comparison", |b| b.iter(|| pe_comparison(&t)));
-    c.bench_function("tab06/olive_comparison", |b| b.iter(|| olive_comparison(&t)));
+    c.bench_function("tab06/olive_comparison", |b| {
+        b.iter(|| olive_comparison(&t))
+    });
 }
 
 criterion_group!(

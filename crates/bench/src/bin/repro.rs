@@ -3,7 +3,10 @@
 //! `BBS_CAP` (default 65536) bounds the per-layer synthesized weights; use
 //! a smaller value for a quick pass.
 fn main() {
-    println!("# BBS / BitVert — full reproduction run (seed {}, cap {})",
-        bbs_bench::SEED, bbs_bench::weight_cap());
+    println!(
+        "# BBS / BitVert — full reproduction run (seed {}, cap {})",
+        bbs_bench::SEED,
+        bbs_bench::weight_cap()
+    );
     bbs_bench::experiments::run_all();
 }

@@ -134,7 +134,10 @@ pub fn sync_granularity() {
             cols.to_string(),
             tile.cycles.to_string(),
             group.cycles.to_string(),
-            format!("{}%", f(100.0 * (group.cycles as f64 / tile.cycles as f64 - 1.0), 1)),
+            format!(
+                "{}%",
+                f(100.0 * (group.cycles as f64 / tile.cycles as f64 - 1.0), 1)
+            ),
         ]);
     }
     print_table(
@@ -165,7 +168,12 @@ pub fn strategy_crossover() {
             cols.to_string(),
             f(avg_mse / n, 3),
             f(zps_mse / n, 3),
-            if zps_mse <= avg_mse { "shifting" } else { "averaging" }.to_string(),
+            if zps_mse <= avg_mse {
+                "shifting"
+            } else {
+                "averaging"
+            }
+            .to_string(),
         ]);
     }
     print_table(

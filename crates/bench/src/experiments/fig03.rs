@@ -24,7 +24,7 @@ pub fn model_sparsity(model: &bbs_models::ModelSpec) -> SparsityStats {
 /// Regenerates Fig. 3.
 pub fn run() {
     // The figure shows six networks (BERT appears once).
-    let models = vec![
+    let models = [
         zoo::vgg16(),
         zoo::resnet34(),
         zoo::resnet50(),

@@ -8,9 +8,7 @@
 //!    seeds).
 
 use crate::{f, print_table, weight_cap, SEED};
-use bbs_models::accuracy::{
-    evaluate_model_fidelity, measure_real_accuracy, CompressionMethod,
-};
+use bbs_models::accuracy::{evaluate_model_fidelity, measure_real_accuracy, CompressionMethod};
 use bbs_models::zoo;
 
 /// The Fig. 11 method set at one compression level.

@@ -10,6 +10,7 @@ use bbs_sim::accel::{
 use bbs_sim::config::ArrayConfig;
 use bbs_sim::engine::simulate;
 use bbs_tensor::metrics::geomean;
+use rayon::prelude::*;
 
 /// The Fig. 13 lineup (SparTen first — it is the normalization baseline).
 fn lineup() -> Vec<Box<dyn Accelerator>> {
@@ -39,17 +40,25 @@ pub fn run() {
         let sparten = simulate(&SparTen::new(), model, &cfg, SEED, cap);
         let base = sparten.total_energy_pj();
         let mut row = vec![model.name.to_string()];
-        for (col, accel) in lineup().iter().enumerate() {
-            let r = simulate(accel.as_ref(), model, &cfg, SEED, cap);
-            let b = r.energy_breakdown();
-            let total = b.total_pj() / base;
+        // Parallel over the lineup; collect keeps column order stable.
+        let cells: Vec<(f64, String)> = lineup()
+            .par_iter()
+            .map(|accel| {
+                let r = simulate(accel.as_ref(), model, &cfg, SEED, cap);
+                let b = r.energy_breakdown();
+                let total = b.total_pj() / base;
+                let cell = format!(
+                    "{} ({}/{})",
+                    f(total, 2),
+                    f(b.dram_pj / base, 2),
+                    f(b.on_chip_pj() / base, 2)
+                );
+                (total, cell)
+            })
+            .collect();
+        for (col, (total, cell)) in cells.into_iter().enumerate() {
             norm_totals[col].push(total);
-            row.push(format!(
-                "{} ({}/{})",
-                f(total, 2),
-                f(b.dram_pj / base, 2),
-                f(b.on_chip_pj() / base, 2)
-            ));
+            row.push(cell);
         }
         rows.push(row);
     }
@@ -58,9 +67,11 @@ pub fn run() {
     rows.push(geo);
     let mut paper = vec!["paper geomean".to_string()];
     paper.extend(
-        ["1.00", "~0.6", "0.57", "0.59", "0.63", "0.52", "0.47", "0.41"]
-            .iter()
-            .map(|s| s.to_string()),
+        [
+            "1.00", "~0.6", "0.57", "0.59", "0.63", "0.52", "0.47", "0.41",
+        ]
+        .iter()
+        .map(|s| s.to_string()),
     );
     rows.push(paper);
 

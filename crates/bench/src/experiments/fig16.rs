@@ -140,7 +140,11 @@ pub fn run() {
                 p.config.clone(),
                 f(p.norm_edp, 3),
                 format!("{}%", f(p.acc_loss_pct, 2)),
-                if on_frontier(&points, p) { "*".into() } else { "".into() },
+                if on_frontier(&points, p) {
+                    "*".into()
+                } else {
+                    "".into()
+                },
             ]
         })
         .collect();

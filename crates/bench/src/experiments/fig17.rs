@@ -13,14 +13,23 @@ use bbs_models::lm::{llama_subset, measure_lm_perplexity};
 pub fn methods() -> Vec<(&'static str, CompressionMethod)> {
     vec![
         ("INT8", CompressionMethod::int8_baseline()),
-        ("Olive-4b", CompressionMethod::new(CompressionKind::Olive, 0.0)),
+        (
+            "Olive-4b",
+            CompressionMethod::new(CompressionKind::Olive, 0.0),
+        ),
         (
             "BBS (cons, 6.25b)",
-            CompressionMethod::new(CompressionKind::Bbs(PruneStrategy::RoundedAveraging, 2), 0.0),
+            CompressionMethod::new(
+                CompressionKind::Bbs(PruneStrategy::RoundedAveraging, 2),
+                0.0,
+            ),
         ),
         (
             "BBS (mod, 4.25b)",
-            CompressionMethod::new(CompressionKind::Bbs(PruneStrategy::ZeroPointShifting, 4), 0.0),
+            CompressionMethod::new(
+                CompressionKind::Bbs(PruneStrategy::ZeroPointShifting, 4),
+                0.0,
+            ),
         ),
     ]
 }

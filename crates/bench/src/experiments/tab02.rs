@@ -9,12 +9,25 @@ use bbs_models::zoo;
 pub fn run() {
     let mut rows = Vec::new();
     for model in [zoo::vgg16(), zoo::resnet50()] {
-        let bbs = evaluate_model_fidelity(&model, &CompressionMethod::bbs_moderate(), SEED, weight_cap());
+        let bbs = evaluate_model_fidelity(
+            &model,
+            &CompressionMethod::bbs_moderate(),
+            SEED,
+            weight_cap(),
+        );
         let ant = evaluate_model_fidelity(&model, &CompressionMethod::ant6(), SEED, weight_cap());
         rows.push(vec![
             model.name.to_string(),
-            format!("{}% ({} bits)", f(bbs.est_accuracy_loss_pct, 2), f(bbs.effective_bits, 2)),
-            format!("{}% ({} bits)", f(ant.est_accuracy_loss_pct, 2), f(ant.effective_bits, 2)),
+            format!(
+                "{}% ({} bits)",
+                f(bbs.est_accuracy_loss_pct, 2),
+                f(bbs.effective_bits, 2)
+            ),
+            format!(
+                "{}% ({} bits)",
+                f(ant.est_accuracy_loss_pct, 2),
+                f(ant.effective_bits, 2)
+            ),
         ]);
     }
     rows.push(vec![

@@ -29,7 +29,13 @@ pub fn run() {
     ]);
     print_table(
         "Table IV — BitVert PE area/power vs sub-group size, before/after circuit optimization",
-        &["sub-group", "area unopt (um2)", "power unopt (mW)", "area opt (um2)", "power opt (mW)"],
+        &[
+            "sub-group",
+            "area unopt (um2)",
+            "power unopt (mW)",
+            "area opt (um2)",
+            "power opt (mW)",
+        ],
         &rows,
     );
 }

@@ -30,7 +30,14 @@ pub fn run() {
     ]);
     print_table(
         "Table V — PE area/power comparison (Stripes anchor = 532.8 um2, 0.37 mW)",
-        &["PE", "mult (um2)", "others (um2)", "total (um2)", "vs Stripes", "power (mW)"],
+        &[
+            "PE",
+            "mult (um2)",
+            "others (um2)",
+            "total (um2)",
+            "vs Stripes",
+            "power (mW)",
+        ],
         &rows,
     );
 }

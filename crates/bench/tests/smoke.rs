@@ -1,0 +1,40 @@
+//! Workspace-plumbing smoke tests for the bench harness.
+
+use bbs_bench::{f, print_table, weight_cap, SEED};
+
+/// `BBS_CAP` must steer `weight_cap()`; garbage and absence fall back to
+/// the 64 Ki default. Environment mutation keeps all scenarios in one test
+/// so parallel test threads cannot race on the variable.
+#[test]
+fn weight_cap_honors_bbs_cap_env() {
+    std::env::remove_var("BBS_CAP");
+    assert_eq!(weight_cap(), 64 * 1024, "default cap");
+
+    std::env::set_var("BBS_CAP", "4096");
+    assert_eq!(weight_cap(), 4096, "explicit cap");
+
+    std::env::set_var("BBS_CAP", "not-a-number");
+    assert_eq!(weight_cap(), 64 * 1024, "unparsable cap falls back");
+
+    std::env::remove_var("BBS_CAP");
+}
+
+#[test]
+fn seed_is_the_paper_seed() {
+    assert_eq!(SEED, 7);
+}
+
+#[test]
+fn float_formatter_rounds() {
+    assert_eq!(f(2.456, 2), "2.46");
+    assert_eq!(f(-0.5, 0), "-0");
+}
+
+#[test]
+fn print_table_smoke() {
+    print_table(
+        "smoke",
+        &["model", "speedup"],
+        &[vec!["resnet50".to_string(), "3.03".to_string()]],
+    );
+}

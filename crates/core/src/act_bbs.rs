@@ -226,7 +226,10 @@ mod tests {
                 weight_side += 1;
             }
         }
-        assert!(weight_side > 30, "no systematic activation win: {weight_side}");
+        assert!(
+            weight_side > 30,
+            "no systematic activation win: {weight_side}"
+        );
     }
 
     #[test]

@@ -113,8 +113,12 @@ mod tests {
             let g = rng.uniform_usize(1, 7);
             let c = optimal_low_bits_constant(&group, g) as i64;
             let mask = (1i64 << g) - 1;
-            let err =
-                |cand: i64| -> i64 { group.iter().map(|&w| ((w as u8 as i64 & mask) - cand).pow(2)).sum() };
+            let err = |cand: i64| -> i64 {
+                group
+                    .iter()
+                    .map(|&w| ((w as u8 as i64 & mask) - cand).pow(2))
+                    .sum()
+            };
             // No other integer constant achieves lower squared error.
             for cand in 0..=mask {
                 assert!(err(c) <= err(cand), "c={c} cand={cand} g={g}");
@@ -183,7 +187,10 @@ mod tests {
             let enc = rounded_averaging(&group, 4);
             let g = enc.low_pruned();
             let mask = if g == 0 { 0u8 } else { (1u16 << g) as u8 - 1 };
-            let truncated: Vec<i32> = group.iter().map(|&w| ((w as u8) & !mask) as i8 as i32).collect();
+            let truncated: Vec<i32> = group
+                .iter()
+                .map(|&w| ((w as u8) & !mask) as i8 as i32)
+                .collect();
             assert!(enc.mse(&group) <= mse_i8(&group, &truncated) + 1e-9);
         }
     }

@@ -157,13 +157,8 @@ mod tests {
         let mut rng = SeededRng::new(31);
         for _ in 0..200 {
             let n = rng.uniform_usize(1, 33);
-            let col: u64 = (0..n).fold(0, |m, i| {
-                if rng.uniform() < 0.5 {
-                    m | (1 << i)
-                } else {
-                    m
-                }
-            });
+            let col: u64 =
+                (0..n).fold(0, |m, i| if rng.uniform() < 0.5 { m | (1 << i) } else { m });
             let a: Vec<i32> = (0..n).map(|_| rng.any_i8() as i32).collect();
             assert_eq!(column_sum_direct(col, &a), column_sum_inverted(col, &a));
         }
@@ -188,13 +183,8 @@ mod tests {
         let mut rng = SeededRng::new(32);
         for _ in 0..500 {
             let n = rng.uniform_usize(1, 65);
-            let col: u64 = (0..n).fold(0, |m, i| {
-                if rng.uniform() < 0.7 {
-                    m | (1 << i)
-                } else {
-                    m
-                }
-            });
+            let col: u64 =
+                (0..n).fold(0, |m, i| if rng.uniform() < 0.7 { m | (1 << i) } else { m });
             let bbs = effectual_terms_bbs(col, n);
             assert!(bbs * 2 <= n + 1, "n={n} bbs={bbs}");
             assert!(bbs <= effectual_terms_zero_skip(col, n));

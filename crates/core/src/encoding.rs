@@ -128,7 +128,10 @@ impl CompressedGroup {
         let g = WEIGHT_BITS - r - kept.len();
         match kind {
             ConstantKind::LowBitsAverage => {
-                assert!(g <= CONSTANT_BITS, "averaging supports at most 6 low columns");
+                assert!(
+                    g <= CONSTANT_BITS,
+                    "averaging supports at most 6 low columns"
+                );
                 assert!(
                     (0..(1i16 << g.max(1))).contains(&(meta.constant as i16)) || g == 0,
                     "averaging constant {} does not fit {g} bits",
@@ -150,7 +153,12 @@ impl CompressedGroup {
         for (j, &c) in kept.iter().enumerate() {
             assert!(c & !lane_mask == 0, "kept column {j} has stray lane bits");
         }
-        CompressedGroup { n, kept, meta, kind }
+        CompressedGroup {
+            n,
+            kept,
+            meta,
+            kind,
+        }
     }
 
     /// Encodes a group *losslessly*: only redundant sign-extension columns
@@ -462,7 +470,10 @@ mod tests {
 
     #[test]
     fn constant_kind_display() {
-        assert_eq!(ConstantKind::LowBitsAverage.to_string(), "rounded-averaging");
+        assert_eq!(
+            ConstantKind::LowBitsAverage.to_string(),
+            "rounded-averaging"
+        );
         assert_eq!(
             ConstantKind::ZeroPointShift.to_string(),
             "zero-point-shifting"

@@ -283,7 +283,7 @@ mod tests {
 
     #[test]
     fn beta_is_a_floor_on_sensitive_fraction() {
-        let layers = vec![synth_layer(128, 64, 16, 94), synth_layer(128, 64, 16, 95)];
+        let layers = [synth_layer(128, 64, 16, 94), synth_layer(128, 64, 16, 95)];
         let scales: Vec<Vec<f32>> = layers.iter().map(|l| l.scales.clone()).collect();
         let masks = select_sensitive_channels(&scales, 0.20, 32);
         let total: usize = masks.iter().flatten().filter(|&&s| s).count();
@@ -296,18 +296,18 @@ mod tests {
 
     #[test]
     fn outlier_channels_are_selected() {
-        let layers = vec![synth_layer(64, 64, 8, 96)];
+        let layers = [synth_layer(64, 64, 8, 96)];
         let scales: Vec<Vec<f32>> = layers.iter().map(|l| l.scales.clone()).collect();
         let masks = select_sensitive_channels(&scales, 0.10, 8);
         // The 8 outlier channels (largest scales) must all be sensitive.
-        for c in 0..8 {
-            assert!(masks[0][c], "outlier channel {c} must be sensitive");
+        for (c, &sensitive) in masks[0].iter().take(8).enumerate() {
+            assert!(sensitive, "outlier channel {c} must be sensitive");
         }
     }
 
     #[test]
     fn beta_zero_marks_nothing() {
-        let layers = vec![synth_layer(64, 64, 4, 97)];
+        let layers = [synth_layer(64, 64, 4, 97)];
         let scales: Vec<Vec<f32>> = layers.iter().map(|l| l.scales.clone()).collect();
         let masks = select_sensitive_channels(&scales, 0.0, 32);
         assert!(masks[0].iter().all(|&s| !s));

@@ -91,11 +91,7 @@ pub fn aggregate(reports: &[CompressionReport]) -> CompressionReport {
     let original_bits = reports.iter().map(|r| r.original_bits).sum();
     let stored_bits = reports.iter().map(|r| r.stored_bits).sum();
     let wavg = |f: fn(&CompressionReport) -> f64| -> f64 {
-        reports
-            .iter()
-            .map(|r| f(r) * r.weights as f64)
-            .sum::<f64>()
-            / total_weights as f64
+        reports.iter().map(|r| f(r) * r.weights as f64).sum::<f64>() / total_weights as f64
     };
     CompressionReport {
         original_bits,
@@ -125,7 +121,7 @@ mod tests {
     fn report_reflects_moderate_compression() {
         // 128 channels so the CH-multiple rounding keeps sensitive ~25%.
         let layer = synth(128, 128, 101);
-        let pruned = global_prune(&[layer.clone()], &GlobalPruneConfig::moderate());
+        let pruned = global_prune(std::slice::from_ref(&layer), &GlobalPruneConfig::moderate());
         let report = layer_report(&pruned[0], &layer);
         assert!(report.compression_ratio() > 1.4);
         assert!(report.effective_bits_per_weight() < 6.0);
@@ -152,7 +148,7 @@ mod tests {
             pruner: BinaryPruner::new(PruneStrategy::RoundedAveraging, 0),
             group_size: 32,
         };
-        let pruned = global_prune(&[layer.clone()], &cfg);
+        let pruned = global_prune(std::slice::from_ref(&layer), &cfg);
         let report = layer_report(&pruned[0], &layer);
         assert_eq!(report.mse, 0.0);
         assert!(report.kl_divergence.abs() < 1e-9);

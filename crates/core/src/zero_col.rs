@@ -99,7 +99,10 @@ fn nearest_representable_magnitude(m: u8, mask: u8) -> u8 {
 /// Panics if `group` is empty or `target_sparse >= 8`.
 pub fn sign_magnitude_zero_column(group: &[i8], target_sparse: usize) -> ZeroColumnGroup {
     assert!(!group.is_empty());
-    assert!(target_sparse < SM_COLUMNS, "at least one column must remain");
+    assert!(
+        target_sparse < SM_COLUMNS,
+        "at least one column must remain"
+    );
 
     let sm: Vec<u8> = group.iter().map(|&w| sign_magnitude(w)).collect();
 
@@ -245,11 +248,7 @@ mod tests {
             let z = sign_magnitude_zero_column(&group, 5);
             for (w, d) in group.iter().zip(z.decode()) {
                 if *w as i32 != 0 && d != 0 {
-                    assert_eq!(
-                        (*w as i32).signum(),
-                        d.signum(),
-                        "sign must be preserved"
-                    );
+                    assert_eq!((*w as i32).signum(), d.signum(), "sign must be preserved");
                 }
             }
         }

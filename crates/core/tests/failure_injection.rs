@@ -29,8 +29,12 @@ fn corrupted_constant_changes_every_reconstruction_uniformly() {
     let kept: Vec<u64> = (0..enc.kept_column_count())
         .map(|j| enc.kept_column(j))
         .collect();
-    let corrupted =
-        CompressedGroup::from_parts(enc.len(), kept, corrupted_meta, ConstantKind::ZeroPointShift);
+    let corrupted = CompressedGroup::from_parts(
+        enc.len(),
+        kept,
+        corrupted_meta,
+        ConstantKind::ZeroPointShift,
+    );
     let dirty = corrupted.decode();
     for (c, d) in clean.iter().zip(&dirty) {
         assert_eq!((c - d).abs(), 1, "constant corruption is a uniform shift");
@@ -129,7 +133,7 @@ fn decode_is_total_for_all_search_outputs() {
         vec![0; 32],
         vec![127; 32],
         vec![-128; 32],
-        vec![-128, 127].repeat(16),
+        [-128, 127].repeat(16),
         (0..32).map(|i| if i % 2 == 0 { -128 } else { 0 }).collect(),
     ];
     for w in hostile {

@@ -54,7 +54,11 @@ impl Block {
 
 impl fmt::Display for Block {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {:.0} GE (a={:.2})", self.name, self.ge, self.activity)
+        write!(
+            f,
+            "{}: {:.0} GE (a={:.2})",
+            self.name, self.ge, self.activity
+        )
     }
 }
 
@@ -152,18 +156,13 @@ pub fn popcount(n: usize) -> Block {
 /// Array multiplier `a_bits × b_bits` (AND matrix + carry-save reduction).
 pub fn multiplier(a_bits: usize, b_bits: usize) -> Block {
     let partials = (a_bits * b_bits) as f64 * GE_AND2;
-    let reduce =
-        (a_bits.saturating_sub(1) * b_bits) as f64 * GE_FULL_ADDER * MULT_CSA_FACTOR;
+    let reduce = (a_bits.saturating_sub(1) * b_bits) as f64 * GE_FULL_ADDER * MULT_CSA_FACTOR;
     Block::new(format!("mult{a_bits}x{b_bits}"), partials + reduce, 0.35)
 }
 
 /// Bit-serial multiplier lane: gates an 8-bit operand with one weight bit.
 pub fn bit_serial_lane(width: usize) -> Block {
-    Block::new(
-        format!("bs-mult{width}"),
-        width as f64 * GE_AND2,
-        0.35,
-    )
+    Block::new(format!("bs-mult{width}"), width as f64 * GE_AND2, 0.35)
 }
 
 /// Miscellaneous control (FSM, gating, valid logic).

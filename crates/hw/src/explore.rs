@@ -117,7 +117,11 @@ mod tests {
         let rows = bitvert_design_space(&Technology::tsmc28());
         assert_eq!(rows.len(), 3);
         for r in &rows {
-            assert!(r.area_opt_um2 < r.area_unopt_um2, "sub-group {}", r.sub_group);
+            assert!(
+                r.area_opt_um2 < r.area_unopt_um2,
+                "sub-group {}",
+                r.sub_group
+            );
             assert!(r.power_opt_mw < r.power_unopt_mw);
         }
         // Sub-group 16 unoptimized is the worst configuration.

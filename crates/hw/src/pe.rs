@@ -99,11 +99,7 @@ pub fn stripes_pe() -> PeModel {
     PeModel {
         name: "Stripes",
         multiplier_blocks: vec![bit_serial_lane(8).times(LANES), adder_tree(LANES, 8)],
-        other_blocks: [
-            accumulator(),
-            vec![register(8), control(100.0)],
-        ]
-        .concat(),
+        other_blocks: [accumulator(), vec![register(8), control(100.0)]].concat(),
     }
 }
 
@@ -242,10 +238,10 @@ pub fn olive_pe() -> PeModel {
         name: "Olive",
         multiplier_blocks: vec![multiplier(5, 8)], // 4-bit + outlier guard bit
         other_blocks: vec![
-            mux(2, 8),        // victim-pair operand select
-            control(60.0),    // outlier-victim decode
-            register(8),      // encoded-pair register
-            adder(20),        // wide accumulate (outlier range)
+            mux(2, 8),     // victim-pair operand select
+            control(60.0), // outlier-victim decode
+            register(8),   // encoded-pair register
+            adder(20),     // wide accumulate (outlier range)
             register(20),
         ],
     }
@@ -342,7 +338,11 @@ mod tests {
         let stripes = stripes_pe().area_um2(&t);
         let check = |m: PeModel, lo: f64, hi: f64| {
             let r = m.area_um2(&t) / stripes;
-            assert!((lo..=hi).contains(&r), "{}: ratio {r} outside [{lo},{hi}]", m.name);
+            assert!(
+                (lo..=hi).contains(&r),
+                "{}: ratio {r} outside [{lo},{hi}]",
+                m.name
+            );
         };
         check(bitwave_pe(), 1.2, 1.55); // paper 1.32x
         check(bitvert_pe(8, true), 1.25, 1.75); // paper 1.39x

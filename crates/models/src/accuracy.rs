@@ -19,7 +19,7 @@ use bbs_core::prune::{BinaryPruner, PruneStrategy};
 use bbs_core::zero_col::sign_magnitude_zero_column;
 use bbs_tensor::metrics;
 use bbs_tensor::quant::{
-    microscaling_reconstruct, noisy_quant_reconstruct, quantize_per_channel, qmax, requantize_i8,
+    microscaling_reconstruct, noisy_quant_reconstruct, qmax, quantize_per_channel, requantize_i8,
     QuantTensor, ScaleMethod,
 };
 use bbs_tensor::{Shape, Tensor};
@@ -77,12 +77,18 @@ impl CompressionMethod {
 
     /// BBS conservative: 2 columns, rounded averaging, β = 10%.
     pub fn bbs_conservative() -> Self {
-        CompressionMethod::new(CompressionKind::Bbs(PruneStrategy::RoundedAveraging, 2), 0.10)
+        CompressionMethod::new(
+            CompressionKind::Bbs(PruneStrategy::RoundedAveraging, 2),
+            0.10,
+        )
     }
 
     /// BBS moderate: 4 columns, zero-point shifting, β = 20%.
     pub fn bbs_moderate() -> Self {
-        CompressionMethod::new(CompressionKind::Bbs(PruneStrategy::ZeroPointShifting, 4), 0.20)
+        CompressionMethod::new(
+            CompressionKind::Bbs(PruneStrategy::ZeroPointShifting, 4),
+            0.20,
+        )
     }
 
     /// BitWave conservative: 2 zero columns, β = 10%.
@@ -260,9 +266,7 @@ pub fn compress_channel(method: &CompressionMethod, channel: &[i8]) -> (Vec<i32>
             let bits = n * m as usize + channel.chunks(method.group_size).count() * 8;
             (recon, bits)
         }
-        CompressionKind::NoisyQuant(b) => {
-            (noisy_quant_reconstruct(channel, b), n * b as usize)
-        }
+        CompressionKind::NoisyQuant(b) => (noisy_quant_reconstruct(channel, b), n * b as usize),
         CompressionKind::Ant(b) => (ant_reconstruct(channel, b), n * b as usize + 4),
         CompressionKind::Olive => {
             // 4 bits per value + 1 bit per pair for outlier flagging.
@@ -392,20 +396,19 @@ pub fn evaluate_model_fidelity(
 
 /// SQNR between the layer outputs of original and reconstructed weights on
 /// synthetic activations.
-fn layer_output_sqnr(
-    qt: &QuantTensor,
-    recon: &[Vec<i32>],
-    family: ModelFamily,
-    seed: u64,
-) -> f64 {
+fn layer_output_sqnr(qt: &QuantTensor, recon: &[Vec<i32>], family: ModelFamily, seed: u64) -> f64 {
     let epc = qt.elems_per_channel();
     let x = synthesize_activations(epc, family, seed);
     let mut y_orig = Vec::with_capacity(qt.channels());
     let mut y_comp = Vec::with_capacity(qt.channels());
-    for c in 0..qt.channels() {
+    for (c, rc) in recon.iter().enumerate() {
         let w = qt.channel(c);
-        let o: i64 = w.iter().zip(&x).map(|(&wv, &xv)| wv as i64 * xv as i64).sum();
-        let r: i64 = recon[c]
+        let o: i64 = w
+            .iter()
+            .zip(&x)
+            .map(|(&wv, &xv)| wv as i64 * xv as i64)
+            .sum();
+        let r: i64 = rc
             .iter()
             .zip(&x)
             .map(|(&wv, &xv)| wv as i64 * xv as i64)
@@ -448,9 +451,9 @@ pub fn compress_mlp(mlp: &mut Mlp, method: &CompressionMethod) {
     let mut rebuilt: Vec<Tensor<f32>> = Vec::new();
     for (li, qt) in quantized.iter().enumerate() {
         let mut data: Vec<f32> = Vec::with_capacity(qt.data.len());
-        for c in 0..qt.channels() {
+        for (c, &sensitive) in masks[li].iter().enumerate() {
             let w = qt.channel(c);
-            let recon: Vec<i32> = if masks[li][c] {
+            let recon: Vec<i32> = if sensitive {
                 w.iter().map(|&x| x as i32).collect()
             } else {
                 compress_channel(method, w).0
@@ -459,11 +462,8 @@ pub fn compress_mlp(mlp: &mut Mlp, method: &CompressionMethod) {
             data.extend(recon.iter().map(|&v| v as f32 * s));
         }
         rebuilt.push(
-            Tensor::from_vec(
-                Shape::matrix(qt.channels(), qt.elems_per_channel()),
-                data,
-            )
-            .expect("shape matches"),
+            Tensor::from_vec(Shape::matrix(qt.channels(), qt.elems_per_channel()), data)
+                .expect("shape matches"),
         );
     }
     mlp.w2 = rebuilt.pop().expect("two layers");
@@ -504,7 +504,10 @@ mod tests {
 
     #[test]
     fn method_display_names() {
-        assert_eq!(CompressionMethod::bbs_moderate().to_string(), "BBS-zps-4col");
+        assert_eq!(
+            CompressionMethod::bbs_moderate().to_string(),
+            "BBS-zps-4col"
+        );
         assert_eq!(
             CompressionMethod::bitwave_conservative().to_string(),
             "BitWave-2col"
@@ -526,10 +529,8 @@ mod tests {
     fn olive_keeps_outliers_and_zeroes_victims() {
         let mut ch = vec![5i8; 16];
         ch[4] = 120; // outlier
-        let (recon, _) = compress_channel(
-            &CompressionMethod::new(CompressionKind::Olive, 0.0),
-            &ch,
-        );
+        let (recon, _) =
+            compress_channel(&CompressionMethod::new(CompressionKind::Olive, 0.0), &ch);
         assert_eq!(recon[4], 120, "outlier kept exactly");
         assert_eq!(recon[5], 0, "victim sacrificed");
     }
@@ -539,7 +540,13 @@ mod tests {
         // Per-group type choice can only improve on pure uniform absmax
         // quantization at the same precision and scale.
         let ch: Vec<i8> = (0..64)
-            .map(|i| if i % 8 == 0 { 100 + (i % 3) as i8 } else { (i % 5) as i8 * 4 - 8 })
+            .map(|i| {
+                if i % 8 == 0 {
+                    100 + (i % 3) as i8
+                } else {
+                    (i % 5) as i8 * 4 - 8
+                }
+            })
             .collect();
         let ant = ant_reconstruct(&ch, 4);
         let ptq = requantize_i8(&ch, 4, ScaleMethod::AbsMax);
@@ -629,13 +636,11 @@ mod tests {
         let mut bbs_loss = 0.0;
         let mut ptq_loss = 0.0;
         for seed in [21u64, 22, 23, 24, 25] {
-            bbs_loss += measure_real_accuracy(&CompressionMethod::bbs_moderate(), seed)
-                .loss_vs_int8_pct();
-            ptq_loss += measure_real_accuracy(
-                &CompressionMethod::new(CompressionKind::Ptq(3), 0.20),
-                seed,
-            )
-            .loss_vs_int8_pct();
+            bbs_loss +=
+                measure_real_accuracy(&CompressionMethod::bbs_moderate(), seed).loss_vs_int8_pct();
+            ptq_loss +=
+                measure_real_accuracy(&CompressionMethod::new(CompressionKind::Ptq(3), 0.20), seed)
+                    .loss_vs_int8_pct();
         }
         assert!(
             bbs_loss < ptq_loss,

@@ -63,12 +63,7 @@ pub fn linear_f32(w: &Tensor<f32>, x: &[f32], bias: &[f32]) -> Vec<f32> {
 /// # Panics
 ///
 /// Panics if shapes disagree.
-pub fn linear_i8(
-    w_codes: &Tensor<i8>,
-    w_scales: &[f32],
-    x_codes: &[i8],
-    x_scale: f32,
-) -> Vec<f32> {
+pub fn linear_i8(w_codes: &Tensor<i8>, w_scales: &[f32], x_codes: &[i8], x_scale: f32) -> Vec<f32> {
     assert_eq!(w_codes.shape().rank(), 2);
     let (out_f, in_f) = (w_codes.shape().dim(0), w_codes.shape().dim(1));
     assert_eq!(x_codes.len(), in_f);
@@ -105,7 +100,11 @@ pub fn im2col(
 ) -> Tensor<f32> {
     assert_eq!(image.len(), channels * h * w, "image volume mismatch");
     assert!(k >= 1 && stride >= 1);
-    let out_h = (h + 2 * pad).checked_sub(k).expect("kernel larger than padded input") / stride + 1;
+    let out_h = (h + 2 * pad)
+        .checked_sub(k)
+        .expect("kernel larger than padded input")
+        / stride
+        + 1;
     let out_w = (w + 2 * pad - k) / stride + 1;
     let cols = channels * k * k;
     let mut data = vec![0.0f32; out_h * out_w * cols];
@@ -137,6 +136,7 @@ pub fn im2col(
 /// # Panics
 ///
 /// Panics if shapes disagree.
+#[allow(clippy::too_many_arguments)]
 pub fn conv2d(
     weights: &Tensor<f32>,
     image: &[f32],
@@ -147,7 +147,11 @@ pub fn conv2d(
     stride: usize,
     pad: usize,
 ) -> Tensor<f32> {
-    assert_eq!(weights.shape().dim(1), in_c * k * k, "weight fan-in mismatch");
+    assert_eq!(
+        weights.shape().dim(1),
+        in_c * k * k,
+        "weight fan-in mismatch"
+    );
     let cols = im2col(image, in_c, h, w, k, stride, pad);
     // GEMM: [out_c, ckk] x [ckk, positions].
     let out_c = weights.shape().dim(0);
@@ -175,7 +179,7 @@ pub fn relu(x: &mut [f32]) {
 /// GeLU (tanh approximation) in place.
 pub fn gelu(x: &mut [f32]) {
     for v in x.iter_mut() {
-        let c = 0.797_884_56_f32;
+        let c = 0.797_884_6_f32;
         *v = 0.5 * *v * (1.0 + (c * (*v + 0.044715 * v.powi(3))).tanh());
     }
 }
@@ -237,9 +241,16 @@ mod tests {
 
     #[test]
     fn int8_linear_matches_float_within_quant_error() {
-        let w_codes = Tensor::from_vec(Shape::matrix(1, 4), vec![100i8, -50, 25, -125]).unwrap();
-        let y = linear_i8(&w_codes, &[0.01], &[10, 20, 30, -40], 0.1);
-        let expect = (100 * 10 - 50 * 20 + 25 * 30 + 125 * 40) as f32 * 0.001;
+        let codes = [100i8, -50, 25, -125];
+        let acts = [10, 20, 30, -40];
+        let w_codes = Tensor::from_vec(Shape::matrix(1, 4), codes.to_vec()).unwrap();
+        let y = linear_i8(&w_codes, &[0.01], &acts, 0.1);
+        let dot: i32 = codes
+            .iter()
+            .zip(&acts)
+            .map(|(&w, &x)| w as i32 * x as i32)
+            .sum();
+        let expect = dot as f32 * 0.001;
         assert!((y[0] - expect).abs() < 1e-6);
     }
 
@@ -277,7 +288,7 @@ mod tests {
 
     #[test]
     fn strided_conv_downsamples() {
-        let img = vec![1.0f32; 1 * 4 * 4];
+        let img = vec![1.0f32; 4 * 4];
         let w = t(1, 4, vec![0.25; 4]);
         let out = conv2d(&w, &img, 1, 4, 4, 2, 2, 0);
         assert_eq!(out.shape().dims(), &[1, 4]);

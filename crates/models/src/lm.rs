@@ -158,11 +158,7 @@ pub fn measure_lm_perplexity(method: &CompressionMethod, seed: u64) -> LmPerplex
 pub fn llama_subset(blocks: usize) -> ModelSpec {
     assert!((1..=32).contains(&blocks));
     let full = zoo::llama3_8b();
-    let layers = full
-        .layers
-        .into_iter()
-        .take(blocks * 7)
-        .collect();
+    let layers = full.layers.into_iter().take(blocks * 7).collect();
     ModelSpec {
         name: "Llama-3-8B",
         family: full.family,

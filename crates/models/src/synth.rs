@@ -90,8 +90,7 @@ pub fn synthesize_weights_sampled(
     }
     let tensor = Tensor::from_vec(Shape::matrix(spec.channels, epc), data)
         .expect("shape matches constructed data");
-    let weights =
-        quantize_per_channel(&tensor, 8, ScaleMethod::AbsMax).expect("rank-2 tensor");
+    let weights = quantize_per_channel(&tensor, 8, ScaleMethod::AbsMax).expect("rank-2 tensor");
     SynthLayer {
         spec: spec.clone(),
         weights,

@@ -76,12 +76,7 @@ pub fn gaussian_blobs(
                 y.push(c);
             }
         }
-        Dataset {
-            x,
-            y,
-            dim,
-            classes,
-        }
+        Dataset { x, y, dim, classes }
     };
     let train = make(train_per_class, &mut rng);
     let test = make(test_per_class, &mut rng);
@@ -154,12 +149,11 @@ impl Mlp {
     /// Panics if the dataset is empty.
     pub fn accuracy(&self, ds: &Dataset) -> f64 {
         assert!(!ds.is_empty());
-        let correct = ds
-            .x
-            .iter()
-            .zip(&ds.y)
-            .filter(|(x, &y)| self.predict(x) == y)
-            .count();
+        let correct =
+            ds.x.iter()
+                .zip(&ds.y)
+                .filter(|(x, &y)| self.predict(x) == y)
+                .count();
         correct as f64 / ds.len() as f64
     }
 
@@ -241,7 +235,11 @@ mod tests {
     #[test]
     fn training_reaches_high_accuracy() {
         let (mlp, train, test) = trained();
-        assert!(mlp.accuracy(&train) > 0.95, "train {}", mlp.accuracy(&train));
+        assert!(
+            mlp.accuracy(&train) > 0.95,
+            "train {}",
+            mlp.accuracy(&train)
+        );
         assert!(mlp.accuracy(&test) > 0.90, "test {}", mlp.accuracy(&test));
     }
 

@@ -36,7 +36,14 @@ pub fn vgg16() -> ModelSpec {
     }
 }
 
-fn basic_block(layers: &mut Vec<LayerSpec>, name: &str, in_c: usize, c: usize, hw: usize, stride: usize) {
+fn basic_block(
+    layers: &mut Vec<LayerSpec>,
+    name: &str,
+    in_c: usize,
+    c: usize,
+    hw: usize,
+    stride: usize,
+) {
     layers.push(LayerSpec::conv2d(
         format!("{name}.conv1"),
         in_c,
@@ -46,7 +53,14 @@ fn basic_block(layers: &mut Vec<LayerSpec>, name: &str, in_c: usize, c: usize, h
         hw,
     ));
     let out_hw = hw.div_ceil(stride);
-    layers.push(LayerSpec::conv2d(format!("{name}.conv2"), c, c, 3, 1, out_hw));
+    layers.push(LayerSpec::conv2d(
+        format!("{name}.conv2"),
+        c,
+        c,
+        3,
+        1,
+        out_hw,
+    ));
     if stride != 1 || in_c != c {
         layers.push(LayerSpec::conv2d(
             format!("{name}.down"),
@@ -62,8 +76,12 @@ fn basic_block(layers: &mut Vec<LayerSpec>, name: &str, in_c: usize, c: usize, h
 /// ResNet-34 on ImageNet.
 pub fn resnet34() -> ModelSpec {
     let mut layers = vec![LayerSpec::conv2d("conv1", 3, 64, 7, 2, 224)];
-    let stages: [(usize, usize, usize, usize); 4] =
-        [(3, 64, 56, 1), (4, 128, 56, 2), (6, 256, 28, 2), (3, 512, 14, 2)];
+    let stages: [(usize, usize, usize, usize); 4] = [
+        (3, 64, 56, 1),
+        (4, 128, 56, 2),
+        (6, 256, 28, 2),
+        (3, 512, 14, 2),
+    ];
     let mut in_c = 64;
     for (si, &(blocks, c, hw, first_stride)) in stages.iter().enumerate() {
         for b in 0..blocks {
@@ -88,9 +106,30 @@ pub fn resnet34() -> ModelSpec {
     }
 }
 
-fn bottleneck(layers: &mut Vec<LayerSpec>, name: &str, in_c: usize, c: usize, hw: usize, stride: usize) {
-    layers.push(LayerSpec::conv2d(format!("{name}.conv1"), in_c, c, 1, 1, hw));
-    layers.push(LayerSpec::conv2d(format!("{name}.conv2"), c, c, 3, stride, hw));
+fn bottleneck(
+    layers: &mut Vec<LayerSpec>,
+    name: &str,
+    in_c: usize,
+    c: usize,
+    hw: usize,
+    stride: usize,
+) {
+    layers.push(LayerSpec::conv2d(
+        format!("{name}.conv1"),
+        in_c,
+        c,
+        1,
+        1,
+        hw,
+    ));
+    layers.push(LayerSpec::conv2d(
+        format!("{name}.conv2"),
+        c,
+        c,
+        3,
+        stride,
+        hw,
+    ));
     let out_hw = hw.div_ceil(stride);
     layers.push(LayerSpec::conv2d(
         format!("{name}.conv3"),
@@ -115,8 +154,12 @@ fn bottleneck(layers: &mut Vec<LayerSpec>, name: &str, in_c: usize, c: usize, hw
 /// ResNet-50 on ImageNet.
 pub fn resnet50() -> ModelSpec {
     let mut layers = vec![LayerSpec::conv2d("conv1", 3, 64, 7, 2, 224)];
-    let stages: [(usize, usize, usize, usize); 4] =
-        [(3, 64, 56, 1), (4, 128, 56, 2), (6, 256, 28, 2), (3, 512, 14, 2)];
+    let stages: [(usize, usize, usize, usize); 4] = [
+        (3, 64, 56, 1),
+        (4, 128, 56, 2),
+        (6, 256, 28, 2),
+        (3, 512, 14, 2),
+    ];
     let mut in_c = 64;
     for (si, &(blocks, c, hw, first_stride)) in stages.iter().enumerate() {
         for b in 0..blocks {
@@ -150,10 +193,25 @@ fn transformer_encoder(
     tokens: usize,
 ) {
     for b in 0..blocks {
-        layers.push(LayerSpec::linear(format!("{prefix}{b}.qkv"), d, 3 * d, tokens));
+        layers.push(LayerSpec::linear(
+            format!("{prefix}{b}.qkv"),
+            d,
+            3 * d,
+            tokens,
+        ));
         layers.push(LayerSpec::linear(format!("{prefix}{b}.proj"), d, d, tokens));
-        layers.push(LayerSpec::linear(format!("{prefix}{b}.fc1"), d, mlp, tokens));
-        layers.push(LayerSpec::linear(format!("{prefix}{b}.fc2"), mlp, d, tokens));
+        layers.push(LayerSpec::linear(
+            format!("{prefix}{b}.fc1"),
+            d,
+            mlp,
+            tokens,
+        ));
+        layers.push(LayerSpec::linear(
+            format!("{prefix}{b}.fc2"),
+            mlp,
+            d,
+            tokens,
+        ));
     }
 }
 

@@ -10,8 +10,8 @@
 //! what keeps inter-PE stall near zero (Fig. 15).
 
 use crate::accel::{
-    dense_traffic, extrapolate_cycles, position_tiles, wave_schedule, Accelerator,
-    LatencyProfile, LayerPerf,
+    dense_traffic, extrapolate_cycles, position_tiles, wave_schedule, Accelerator, LatencyProfile,
+    LayerPerf,
 };
 use crate::config::ArrayConfig;
 use crate::workload::LayerWorkload;
@@ -127,8 +127,7 @@ impl Accelerator for BitVert {
                     let enc: CompressedGroup = self.prune.pruner.compress_group(&padded);
                     stored_bits_sampled += enc.stored_bits() as u64;
                     let kept = enc.kept_column_count();
-                    let columns: Vec<u64> =
-                        (0..kept).map(|j| enc.kept_column(j)).collect();
+                    let columns: Vec<u64> = (0..kept).map(|j| enc.kept_column(j)).collect();
                     for pass in 0..passes_per_group {
                         lat_row.push(kept as u32);
                         use_row.push(pass_useful(&columns, pass * PE_GROUP));

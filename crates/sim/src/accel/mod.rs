@@ -40,7 +40,7 @@ pub struct LayerPerf {
 }
 
 /// An accelerator performance/energy model.
-pub trait Accelerator {
+pub trait Accelerator: Send + Sync {
     /// Display name (as used in the paper's figures).
     fn name(&self) -> String;
 
@@ -138,9 +138,8 @@ pub fn wave_schedule_with(
                 }
             }
             SyncGranularity::PerTile => {
-                let col_sum = |c: usize| -> u64 {
-                    profile.latencies[c].iter().map(|&l| l as u64).sum()
-                };
+                let col_sum =
+                    |c: usize| -> u64 { profile.latencies[c].iter().map(|&l| l as u64).sum() };
                 let tile_cycles = tile.clone().map(col_sum).max().unwrap_or(0);
                 if tile_cycles == 0 {
                     continue;
@@ -185,7 +184,11 @@ pub fn extrapolate_cycles(sampled_cycles: u64, wl: &LayerWorkload, cfg: &ArrayCo
 
 /// Dense 8-bit memory traffic (weights and activations) shared by the
 /// uncompressed bit-serial designs.
-pub fn dense_traffic(wl: &LayerWorkload, cfg: &ArrayConfig, weight_bits_per_elem: f64) -> (u64, u64, u64, u64) {
+pub fn dense_traffic(
+    wl: &LayerWorkload,
+    cfg: &ArrayConfig,
+    weight_bits_per_elem: f64,
+) -> (u64, u64, u64, u64) {
     let weight_bits = (wl.params() as f64 * weight_bits_per_elem) as u64;
     let input_bits = (wl.unique_input_elems * 8) as u64;
     let output_bits = (wl.output_elems() * 8) as u64;

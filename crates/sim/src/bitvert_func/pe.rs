@@ -117,7 +117,11 @@ mod tests {
             let (w, a) = random_case(&mut rng, 32);
             let enc = rounded_averaging(&w, target);
             let decoded = enc.decode();
-            let expect: i64 = decoded.iter().zip(&a).map(|(&x, &y)| x as i64 * y as i64).sum();
+            let expect: i64 = decoded
+                .iter()
+                .zip(&a)
+                .map(|(&x, &y)| x as i64 * y as i64)
+                .sum();
             assert_eq!(group_dot(&enc, &a), expect, "target {target}");
         }
     }
@@ -129,7 +133,11 @@ mod tests {
             let (w, a) = random_case(&mut rng, 32);
             let enc = zero_point_shifting(&w, target);
             let decoded = enc.decode();
-            let expect: i64 = decoded.iter().zip(&a).map(|(&x, &y)| x as i64 * y as i64).sum();
+            let expect: i64 = decoded
+                .iter()
+                .zip(&a)
+                .map(|(&x, &y)| x as i64 * y as i64)
+                .sum();
             assert_eq!(group_dot(&enc, &a), expect, "target {target}");
         }
     }

@@ -6,6 +6,7 @@ use crate::config::ArrayConfig;
 use crate::workload::{lower_model, LayerWorkload};
 use bbs_hw::energy::{EnergyBreakdown, EnergyModel};
 use bbs_models::layer::ModelSpec;
+use rayon::prelude::*;
 use std::fmt;
 
 /// Simulation output for one layer.
@@ -114,11 +115,7 @@ impl fmt::Display for SimResult {
 }
 
 /// Simulates one layer on one accelerator.
-pub fn simulate_layer(
-    accel: &dyn Accelerator,
-    wl: &LayerWorkload,
-    cfg: &ArrayConfig,
-) -> LayerSim {
+pub fn simulate_layer(accel: &dyn Accelerator, wl: &LayerWorkload, cfg: &ArrayConfig) -> LayerSim {
     let perf = accel.layer_performance(wl, cfg);
     let dram_bytes = (perf.weight_dram_bits + perf.act_dram_bits).div_ceil(8);
     let memory_cycles = cfg.dram.transfer_cycles(dram_bytes, cfg.tech.freq_mhz);
@@ -134,8 +131,7 @@ pub fn simulate_layer(
     };
     // PEs burn dynamic power while busy; inter-PE-stalled lanes are
     // clock-gated, intra-PE ineffectual lanes still toggle partially.
-    let activity = (perf.useful_fraction + 0.5 * perf.intra_fraction)
-        .clamp(0.30, 1.0);
+    let activity = (perf.useful_fraction + 0.5 * perf.intra_fraction).clamp(0.30, 1.0);
     let energy = energy_model.layer_energy(
         perf.weight_dram_bits + perf.act_dram_bits,
         perf.weight_sram_bits,
@@ -163,8 +159,10 @@ pub fn simulate(
     max_weights_per_layer: usize,
 ) -> SimResult {
     let workloads = lower_model(model, seed, max_weights_per_layer);
+    // Layers are independent; the parallel map preserves input order, so
+    // the result is bit-identical to the sequential sweep.
     let layers = workloads
-        .iter()
+        .par_iter()
         .map(|wl| simulate_layer(accel, wl, cfg))
         .collect();
     SimResult {
@@ -250,8 +248,12 @@ mod tests {
     fn stall_fractions_are_a_partition() {
         let cfg = ArrayConfig::paper_16x32();
         let model = zoo::resnet34();
-        for accel in [&Stripes::new() as &dyn Accelerator, &Pragmatic::new(), &Bitlet::new()] {
-            let r = simulate(*&accel, &model, &cfg, 7, CAP);
+        for accel in [
+            &Stripes::new() as &dyn Accelerator,
+            &Pragmatic::new(),
+            &Bitlet::new(),
+        ] {
+            let r = simulate(accel, &model, &cfg, 7, CAP);
             let (u, a, e) = r.stall_breakdown();
             assert!(
                 (u + a + e - 1.0).abs() < 1e-6,
@@ -270,7 +272,11 @@ mod tests {
         let fc6 = r.layers.iter().find(|l| l.name == "fc6").expect("fc6");
         assert!(fc6.memory_bound());
         // Early convs are compute bound.
-        let conv = r.layers.iter().find(|l| l.name == "conv1.2").expect("conv1.2");
+        let conv = r
+            .layers
+            .iter()
+            .find(|l| l.name == "conv1.2")
+            .expect("conv1.2");
         assert!(!conv.memory_bound());
     }
 

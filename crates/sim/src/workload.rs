@@ -70,9 +70,7 @@ pub fn lower_model(
         .iter()
         .enumerate()
         .map(|(i, spec)| {
-            let layer_seed = seed
-                .wrapping_mul(0x9e37_79b9)
-                .wrapping_add(i as u64);
+            let layer_seed = seed.wrapping_mul(0x9e37_79b9).wrapping_add(i as u64);
             let synth =
                 synthesize_weights_sampled(spec, model.family, layer_seed, max_weights_per_layer);
             let activations = synthesize_activations(
@@ -134,7 +132,12 @@ mod tests {
         // The paper's Fig. 3 premise: 8-bit PTQ weights are value-dense.
         let wl = lower_model(&zoo::vgg16(), 7, 4 * 1024);
         for l in &wl {
-            assert!(l.weight_sparsity() < 0.10, "{}: {}", l.name, l.weight_sparsity());
+            assert!(
+                l.weight_sparsity() < 0.10,
+                "{}: {}",
+                l.name,
+                l.weight_sparsity()
+            );
         }
     }
 }

@@ -15,21 +15,16 @@ use crate::shape::Shape;
 use crate::tensor::Tensor;
 
 /// How the quantization scale is chosen.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum ScaleMethod {
     /// Scale from the maximum absolute value (no clipping).
+    #[default]
     AbsMax,
     /// Clip at the given quantile of |w| (e.g. `0.999`).
     Percentile(f64),
     /// Grid-search the clipping scale minimizing reconstruction MSE,
     /// with the given number of candidate scales.
     MseGrid(usize),
-}
-
-impl Default for ScaleMethod {
-    fn default() -> Self {
-        ScaleMethod::AbsMax
-    }
 }
 
 /// A per-channel symmetrically quantized tensor: `w ≈ q · scale[channel]`.
@@ -209,7 +204,11 @@ pub fn requantize_mse(group: &[i8], bits: u8, method: ScaleMethod) -> f64 {
 pub fn microscaling_reconstruct(group: &[i8], element_bits: u8) -> Vec<i32> {
     assert!(!group.is_empty());
     assert!((4..=8).contains(&element_bits));
-    let absmax = group.iter().map(|&w| (w as i32).abs()).max().expect("non-empty");
+    let absmax = group
+        .iter()
+        .map(|&w| (w as i32).abs())
+        .max()
+        .expect("non-empty");
     if absmax == 0 {
         return vec![0; group.len()];
     }

@@ -96,10 +96,10 @@ impl<T> Tensor<T> {
     }
 
     /// Applies `f` to every element, producing a new tensor of the same shape.
-    pub fn map<U, F: FnMut(&T) -> U>(&self, mut f: F) -> Tensor<U> {
+    pub fn map<U, F: FnMut(&T) -> U>(&self, f: F) -> Tensor<U> {
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|x| f(x)).collect(),
+            data: self.data.iter().map(f).collect(),
         }
     }
 }

@@ -33,7 +33,10 @@ fn main() {
     let cfg = ArrayConfig::paper_16x32();
     let cap = 16 * 1024;
 
-    println!("{model} on a {}x{} array @ {} MHz", cfg.pe_rows, cfg.pe_cols, cfg.tech.freq_mhz);
+    println!(
+        "{model} on a {}x{} array @ {} MHz",
+        cfg.pe_rows, cfg.pe_cols, cfg.tech.freq_mhz
+    );
     let base = simulate(&Stripes::new(), &model, &cfg, 7, cap);
     let base_cycles = base.total_cycles() as f64;
     let base_energy = base.total_energy_pj();

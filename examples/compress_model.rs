@@ -35,7 +35,11 @@ fn main() {
             .map(|(p, t)| layer_report(p, t))
             .collect();
 
-        println!("\n== {name} pruning (β={}, {} columns)", cfg.beta, cfg.pruner.sparse_columns());
+        println!(
+            "\n== {name} pruning (β={}, {} columns)",
+            cfg.beta,
+            cfg.pruner.sparse_columns()
+        );
         // A few representative layers plus the model total.
         for idx in [1usize, 12, 30, 52] {
             let spec = &model.layers[idx];

@@ -12,14 +12,23 @@ use bbs::models::lm::{llama_subset, measure_lm_perplexity};
 
 fn main() {
     let methods = [
-        ("Olive-4b", CompressionMethod::new(CompressionKind::Olive, 0.0)),
+        (
+            "Olive-4b",
+            CompressionMethod::new(CompressionKind::Olive, 0.0),
+        ),
         (
             "BBS cons (6.25b)",
-            CompressionMethod::new(CompressionKind::Bbs(PruneStrategy::RoundedAveraging, 2), 0.0),
+            CompressionMethod::new(
+                CompressionKind::Bbs(PruneStrategy::RoundedAveraging, 2),
+                0.0,
+            ),
         ),
         (
             "BBS mod (4.25b)",
-            CompressionMethod::new(CompressionKind::Bbs(PruneStrategy::ZeroPointShifting, 4), 0.0),
+            CompressionMethod::new(
+                CompressionKind::Bbs(PruneStrategy::ZeroPointShifting, 4),
+                0.0,
+            ),
         ),
     ];
 

@@ -20,7 +20,11 @@ fn main() {
     for row in bitvert_design_space(&tech) {
         println!(
             "  {:<10} {:>14.1} {:>14.2} {:>12.1} {:>12.2}",
-            row.sub_group, row.area_unopt_um2, row.power_unopt_mw, row.area_opt_um2, row.power_opt_mw
+            row.sub_group,
+            row.area_unopt_um2,
+            row.power_unopt_mw,
+            row.area_opt_um2,
+            row.power_opt_mw
         );
     }
 
@@ -32,8 +36,12 @@ fn main() {
     for row in pe_comparison(&tech) {
         println!(
             "  {:<12} {:>10.1} {:>10.1} {:>10.1} {:>9.2}x {:>8.2}",
-            row.name, row.mult_area_um2, row.other_area_um2, row.total_area_um2,
-            row.ratio_vs_stripes, row.power_mw
+            row.name,
+            row.mult_area_um2,
+            row.other_area_um2,
+            row.total_area_um2,
+            row.ratio_vs_stripes,
+            row.power_mw
         );
     }
 

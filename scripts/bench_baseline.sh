@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Emits the perf baseline JSON on stdout: wall-clock of a BBS_CAP=4096
+# repro smoke run plus the Criterion kernel/scheduler medians. Run from the
+# repo root after `cargo build --release`; redirect into BENCH_<tag>.json.
+set -euo pipefail
+
+cargo build --release --workspace --all-targets >&2
+
+start=$(date +%s.%N)
+BBS_CAP=4096 ./target/release/repro > /dev/null
+end=$(date +%s.%N)
+repro_s=$(echo "$end $start" | awk '{printf "%.2f", $1 - $2}')
+
+# Criterion shim lines look like: "bench: <name> ... median <ns> ns/iter".
+medians=$(
+    { cargo bench -p bbs-bench --bench compression 2>/dev/null
+      cargo bench -p bbs-bench --bench simulator 2>/dev/null || true; } |
+    awk '/^bench: .* median /{
+        name=$2; ns=$(NF-1);
+        printf "%s        \"%s\": %s", sep, name, ns; sep=",\n"
+    } END { print "" }'
+)
+
+cat <<EOF
+{
+  "schema": "bbs-perf-baseline/v1",
+  "host": {
+    "cpus": $(nproc),
+    "rustc": "$(rustc --version | cut -d' ' -f2)"
+  },
+  "repro": {
+    "bbs_cap": 4096,
+    "wall_clock_s": ${repro_s}
+  },
+  "criterion_median_ns": {
+${medians}  }
+}
+EOF

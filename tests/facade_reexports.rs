@@ -1,0 +1,60 @@
+//! Guards the facade re-export wiring: every workspace crate must be
+//! reachable through `bbs::*`, and the core compression pipeline must
+//! round-trip a group end-to-end through the re-exported paths alone.
+
+use bbs::core::encoding::CompressedGroup;
+use bbs::core::prune::{BinaryPruner, PruneStrategy};
+use bbs::tensor::rng::SeededRng;
+
+/// Lossless encode/decode through the facade reproduces the group exactly.
+#[test]
+fn lossless_roundtrip_via_facade() {
+    let mut rng = SeededRng::new(11);
+    let group: Vec<i8> = (0..64).map(|_| rng.gaussian_i8(0.0, 35.0)).collect();
+    let decoded = CompressedGroup::lossless(&group).decode();
+    assert_eq!(decoded.len(), group.len());
+    for (orig, dec) in group.iter().zip(&decoded) {
+        assert_eq!(*orig as i32, *dec);
+    }
+}
+
+/// Lossy binary pruning through the facade keeps length, prunes the
+/// requested columns and stays within the strategy's error bound.
+#[test]
+fn binary_pruner_roundtrip_via_facade() {
+    let mut rng = SeededRng::new(12);
+    let group: Vec<i8> = (0..32).map(|_| rng.gaussian_i8(0.0, 30.0)).collect();
+    for strategy in [
+        PruneStrategy::RoundedAveraging,
+        PruneStrategy::ZeroPointShifting,
+    ] {
+        let pruner = BinaryPruner::new(strategy, 4);
+        let compressed = pruner.compress_group(&group);
+        let recon = compressed.decode();
+        assert_eq!(recon.len(), group.len());
+        assert_eq!(
+            compressed.kept_column_count() + compressed.pruned_columns(),
+            8
+        );
+        assert!(compressed.pruned_columns() >= 4);
+        assert!(
+            compressed.mse(&group) < 64.0,
+            "{strategy:?} mse {}",
+            compressed.mse(&group)
+        );
+    }
+}
+
+/// Every re-exported crate namespace is reachable (compile-time guard that
+/// `bbs::{tensor, core, models, hw, sim}` all resolve).
+#[test]
+fn all_facade_namespaces_resolve() {
+    let shape = bbs::tensor::Shape::matrix(2, 3);
+    assert_eq!(shape.volume(), 6);
+    let model = bbs::models::zoo::vit_small();
+    assert!(!model.layers.is_empty());
+    let tech = bbs::hw::gates::Technology::tsmc28();
+    assert!(tech.freq_mhz > 0.0);
+    let cfg = bbs::sim::config::ArrayConfig::paper_16x32();
+    assert!(cfg.pe_count() > 0);
+}

@@ -62,8 +62,10 @@ fn real_trained_model_loss_ordering() {
 #[test]
 fn llm_perplexity_ordering_matches_fig17() {
     let olive = CompressionMethod::new(CompressionKind::Olive, 0.0);
-    let cons =
-        CompressionMethod::new(CompressionKind::Bbs(PruneStrategy::RoundedAveraging, 2), 0.0);
+    let cons = CompressionMethod::new(
+        CompressionKind::Bbs(PruneStrategy::RoundedAveraging, 2),
+        0.0,
+    );
     let p_olive = measure_lm_perplexity(&olive, 51);
     let p_cons = measure_lm_perplexity(&cons, 51);
     assert!(

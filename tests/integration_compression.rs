@@ -50,9 +50,10 @@ fn compressed_reordered_matvec_matches_reference() {
         chunked_outputs.push(y);
     }
     let outputs = order.unshuffle(&chunked_outputs);
+    assert_eq!(outputs.len(), 64, "unshuffle must return every channel");
 
     // Reference: dense weights and decoded weights.
-    for c in 0..64 {
+    for (c, &out) in outputs.iter().enumerate() {
         let dense = dot_reference(qt.channel(c), &x);
         let decoded: Vec<i8> = layer.channels[c]
             .decode()
@@ -61,11 +62,19 @@ fn compressed_reordered_matvec_matches_reference() {
             .collect();
         // Out-of-range shifted reconstructions never clamp in practice
         // here; verify and use exact decoded values.
-        let decoded_exact: Vec<i64> = layer.channels[c].decode().iter().map(|&v| v as i64).collect();
-        let expect: i64 = decoded_exact.iter().zip(&x).map(|(&w, &a)| w * a as i64).sum();
-        assert_eq!(outputs[c], expect, "channel {c} hardware vs decoded");
+        let decoded_exact: Vec<i64> = layer.channels[c]
+            .decode()
+            .iter()
+            .map(|&v| v as i64)
+            .collect();
+        let expect: i64 = decoded_exact
+            .iter()
+            .zip(&x)
+            .map(|(&w, &a)| w * a as i64)
+            .sum();
+        assert_eq!(out, expect, "channel {c} hardware vs decoded");
         if layer.sensitive[c] {
-            assert_eq!(outputs[c], dense, "sensitive channel {c} must be exact");
+            assert_eq!(out, dense, "sensitive channel {c} must be exact");
         } else {
             // Compressed channels approximate the dense result.
             let _ = decoded;

@@ -49,7 +49,12 @@ fn bitvert_beats_every_baseline_on_every_benchmark() {
             &BitWave::new(),
         ] {
             let s = speedups(m, baseline);
-            assert!(bv > s, "{}: BitVert {bv} vs {} {s}", m.name, baseline.name());
+            assert!(
+                bv > s,
+                "{}: BitVert {bv} vs {} {s}",
+                m.name,
+                baseline.name()
+            );
         }
     }
 }
@@ -90,7 +95,10 @@ fn load_balance_scaling_matches_fig14() {
     };
     // Bitlet degrades with columns; BitVert stays flat.
     let bitlet_drop = at(2, &Bitlet::new()) - at(32, &Bitlet::new());
-    assert!(bitlet_drop > 0.05, "Bitlet must degrade: drop {bitlet_drop}");
+    assert!(
+        bitlet_drop > 0.05,
+        "Bitlet must degrade: drop {bitlet_drop}"
+    );
     let bv2 = at(2, &BitVert::moderate());
     let bv32 = at(32, &BitVert::moderate());
     assert!(
@@ -112,7 +120,11 @@ fn stall_taxonomy_consistency() {
     ] {
         let r = simulate(accel, &m, &cfg, 7, CAP);
         let (u, i, e) = r.stall_breakdown();
-        assert!((u + i + e - 1.0).abs() < 1e-6, "{} partition", r.accelerator);
+        assert!(
+            (u + i + e - 1.0).abs() < 1e-6,
+            "{} partition",
+            r.accelerator
+        );
         assert!(u > 0.0 && u <= 1.0);
         assert!(r.total_cycles() > 0);
         assert!(r.total_energy_pj() > 0.0);

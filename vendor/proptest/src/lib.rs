@@ -1,0 +1,477 @@
+//! Offline shim of the `proptest` crate: deterministic random-input test
+//! harness covering the surface this workspace uses — the `proptest!`
+//! macro, `prop_assert*!`, `prop_oneof!`, `any::<T>()`, range strategies,
+//! `Just`, `prop_map` and `collection::vec`.
+//!
+//! Unlike the real crate there is no shrinking: a failing case panics with
+//! the generating seed so it can be replayed. Case count defaults to 64 and
+//! honors `PROPTEST_CASES`.
+
+pub mod test_runner {
+    //! Deterministic RNG and case-count plumbing used by `proptest!`.
+
+    /// SplitMix64 — deterministic, seedable, statistically sound for test
+    /// input generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Generator for one named test case.
+        pub fn for_case(test_name: &str, case: u64) -> Self {
+            // FNV-1a over the test name, mixed with the case index, so every
+            // test gets an independent deterministic stream.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            }
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform `usize` in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: usize) -> usize {
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+
+    /// Cases per property (`PROPTEST_CASES`, default 64).
+    pub fn cases() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(64)
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Object-safe: combinators carry `where Self: Sized` so
+    /// `Box<dyn Strategy<Value = T>>` works (see [`BoxedStrategy`]).
+    pub trait Strategy {
+        /// Generated value type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` combinator.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// `prop_oneof!` combinator: uniform choice between alternatives.
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; `options` must be non-empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident : $i:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + (rng.next_u64() % (span + 1)) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + rng.unit_f64() as $t * (self.end - self.start)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    lo + rng.unit_f64() as $t * (hi - lo)
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` and the `Arbitrary` trait.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy for the full domain of `T`, biased toward boundary values
+    /// (min/max/zero/±1) one draw in eight, the way real proptest leans on
+    /// edge cases.
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    if rng.below(8) == 0 {
+                        const EDGES: [$t; 5] =
+                            [<$t>::MIN, <$t>::MAX, 0, 1, (0 as $t).wrapping_sub(1)];
+                        EDGES[rng.below(EDGES.len())]
+                    } else {
+                        rng.next_u64() as $t
+                    }
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite floats spanning sign and magnitude; no NaN/inf, which
+            // none of the workspace properties expect to survive.
+            let mag = (rng.unit_f64() * 40.0 - 20.0).exp2();
+            if rng.next_u64() & 1 == 1 {
+                -mag
+            } else {
+                mag
+            }
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            f64::arbitrary(rng) as f32
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive size bounds for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of elements from an inner strategy.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Vector strategy with sizes drawn uniformly from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.min + rng.below(self.size.max - self.size.min + 1);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::TestRng;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Each property runs [`test_runner::cases`] times with deterministic
+/// per-case seeds; a failure panics with the case index for replay.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let strategies = ($(&$strat,)+);
+            let cases = $crate::test_runner::cases();
+            for case in 0..cases {
+                let mut rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                let ($($pat,)+) =
+                    $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                let run = || { $body };
+                run();
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property (panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property (panics like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(Box::new($strat) as $crate::strategy::BoxedStrategy<_>,)+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn vec_sizes_respected(v in vec(any::<i8>(), 3..=7)) {
+            assert!((3..=7).contains(&v.len()));
+        }
+
+        #[test]
+        fn ranges_in_bounds(x in -5i32..5, y in 0.5f64..2.0, n in 1usize..=4) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!((0.5..2.0).contains(&y));
+            prop_assert!((1..=4).contains(&n));
+        }
+
+        #[test]
+        fn oneof_and_prop_map(v in prop_oneof![
+            Just(0i32),
+            (1i32..10).prop_map(|x| x * 100),
+        ]) {
+            prop_assert!(v == 0 || (100..1000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let s = vec(any::<i8>(), 1..=64);
+        let mut a = TestRng::for_case("x", 3);
+        let mut b = TestRng::for_case("x", 3);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    #[test]
+    fn edge_bias_hits_extremes() {
+        let s = any::<i8>();
+        let mut rng = TestRng::for_case("edges", 0);
+        let vals: Vec<i8> = (0..512).map(|_| s.generate(&mut rng)).collect();
+        assert!(vals.contains(&i8::MIN));
+        assert!(vals.contains(&i8::MAX));
+    }
+}

@@ -1,0 +1,244 @@
+//! Offline shim of the `rayon` crate: order-preserving data parallelism on
+//! std scoped threads, covering the surface this workspace uses
+//! (`par_iter`/`into_par_iter` followed by `map`, then `collect`/`sum`).
+//!
+//! Items are split into one contiguous chunk per worker; each worker maps
+//! its chunk in order and the chunks are re-concatenated in order, so a
+//! `collect::<Vec<_>>()` is **bit-identical** to the sequential
+//! `iter().map().collect()` whatever the thread count. `RAYON_NUM_THREADS`
+//! (the real crate's env knob) caps the worker count; `1` forces the
+//! in-thread sequential path.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+std::thread_local! {
+    // True while this thread is a par_map worker. The real rayon nests
+    // parallel iterators into one shared pool; this shim has no pool, so
+    // without a guard an outer par_iter whose closure itself par_iters
+    // would multiply thread counts (outer x inner) and oversubscribe the
+    // CPUs. The outermost call wins; nested calls run in-thread.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of worker threads to use for `n` items.
+fn worker_count(n: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let cap = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(hw);
+    cap.min(n).max(1)
+}
+
+/// Order-preserving parallel map: the returned vector is identical to
+/// `items.into_iter().map(f).collect()`.
+fn par_map<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: F) -> Vec<R> {
+    let n = items.len();
+    let workers = worker_count(n);
+    if workers <= 1 || n <= 1 || IN_WORKER.with(Cell::get) {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    let per_chunk: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| {
+                s.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    c.into_iter().map(f).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon-shim worker panicked"))
+            .collect()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// A materialized parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item in parallel.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> MapIter<T, F> {
+        MapIter {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Hint accepted for API compatibility; the shim always chunks evenly.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+/// The result of `ParIter::map`, awaiting a terminal operation.
+pub struct MapIter<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> MapIter<T, F> {
+    /// Collects mapped results in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+        C: FromParallelIterator<R>,
+    {
+        C::from_ordered_vec(par_map(self.items, self.f))
+    }
+
+    /// Sums mapped results (order-insensitive reduction).
+    pub fn sum<R>(self) -> R
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send + std::iter::Sum<R>,
+    {
+        par_map(self.items, self.f).into_iter().sum()
+    }
+}
+
+/// Collection types constructible from an ordered mapped vector.
+pub trait FromParallelIterator<R> {
+    /// Builds the collection, preserving input order.
+    fn from_ordered_vec(v: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelIterator<R> for Vec<R> {
+    fn from_ordered_vec(v: Vec<R>) -> Self {
+        v
+    }
+}
+
+impl<A, B> FromParallelIterator<(A, B)> for (Vec<A>, Vec<B>) {
+    fn from_ordered_vec(v: Vec<(A, B)>) -> Self {
+        v.into_iter().unzip()
+    }
+}
+
+/// By-value conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type yielded.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// By-reference conversion into a parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type yielded (a reference).
+    type Item: Send + 'a;
+    /// Borrows into a parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000).map(|i| i as u64).collect();
+        let seq: Vec<u64> = v.iter().map(|&x| x * x + 1).collect();
+        let par: Vec<u64> = v.par_iter().map(|&x| x * x + 1).collect();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn into_par_iter_on_ranges_and_vecs() {
+        let par: Vec<usize> = (0..257).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(par, (0..257).map(|i| i * 2).collect::<Vec<_>>());
+        let owned: Vec<String> = vec!["a".to_string(), "b".to_string()]
+            .into_par_iter()
+            .map(|s| s + "!")
+            .collect();
+        assert_eq!(owned, vec!["a!", "b!"]);
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let v: Vec<u64> = (1..=1000).collect();
+        let s: u64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 500_500);
+    }
+
+    #[test]
+    fn nested_parallelism_stays_ordered() {
+        // The nested inner par_iter must degrade to in-thread execution
+        // (see IN_WORKER) while producing the exact sequential result.
+        let outer: Vec<usize> = (0..8).collect();
+        let nested: Vec<Vec<usize>> = outer
+            .par_iter()
+            .map(|&i| (0..64).into_par_iter().map(move |j| i * 100 + j).collect())
+            .collect();
+        for (i, inner) in nested.iter().enumerate() {
+            assert_eq!(inner, &(0..64).map(|j| i * 100 + j).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<i32> = Vec::new();
+        let out: Vec<i32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one: Vec<i32> = vec![7].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+}
