@@ -1,4 +1,9 @@
 //! Regenerates the paper's fig12 (see `bbs_bench::experiments::fig12`).
+//! `--json` prints machine-readable output instead of the table.
 fn main() {
-    bbs_bench::experiments::fig12::run();
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", bbs_bench::experiments::fig12::to_json().pretty(2));
+    } else {
+        bbs_bench::experiments::fig12::run();
+    }
 }

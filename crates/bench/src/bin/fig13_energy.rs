@@ -1,4 +1,9 @@
 //! Regenerates the paper's fig13 (see `bbs_bench::experiments::fig13`).
+//! `--json` prints machine-readable output instead of the table.
 fn main() {
-    bbs_bench::experiments::fig13::run();
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", bbs_bench::experiments::fig13::to_json().pretty(2));
+    } else {
+        bbs_bench::experiments::fig13::run();
+    }
 }

@@ -2,6 +2,7 @@
 //! seven benchmarks.
 
 use crate::{f, print_table, weight_cap, SEED};
+use bbs_json::Json;
 use bbs_models::zoo;
 use bbs_sim::accel::{
     ant::Ant, bitlet::Bitlet, bitvert::BitVert, bitwave::BitWave, pragmatic::Pragmatic,
@@ -35,6 +36,43 @@ pub fn model_speedups(model: &bbs_models::ModelSpec, cfg: &ArrayConfig) -> Vec<f
         .par_iter()
         .map(|a| base / simulate(a.as_ref(), model, cfg, SEED, cap).total_cycles() as f64)
         .collect()
+}
+
+/// Fig. 12 as machine-readable JSON (the `--json` output mode): raw
+/// speedups per model plus the geomean row, keyed by accelerator name.
+pub fn to_json() -> Json {
+    let cfg = ArrayConfig::paper_16x32();
+    let names: Vec<String> = lineup().iter().map(|a| a.name()).collect();
+    let mut per_accel: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
+    let rows: Vec<Json> = zoo::paper_benchmarks()
+        .iter()
+        .map(|model| {
+            let speedups = model_speedups(model, &cfg);
+            for (col, &s) in speedups.iter().enumerate() {
+                per_accel[col].push(s);
+            }
+            Json::obj(vec![
+                ("model", Json::str(model.name)),
+                (
+                    "speedup",
+                    Json::Arr(speedups.into_iter().map(Json::Num).collect()),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("figure", Json::str("fig12")),
+        ("baseline", Json::str("Stripes")),
+        (
+            "accelerators",
+            Json::Arr(names.iter().map(|n| Json::str(n)).collect()),
+        ),
+        ("rows", Json::Arr(rows)),
+        (
+            "geomean",
+            Json::Arr(per_accel.iter().map(|v| Json::Num(geomean(v))).collect()),
+        ),
+    ])
 }
 
 /// Regenerates Fig. 12.

@@ -2,6 +2,8 @@
 //! compute) normalized to SparTen.
 
 use crate::{f, print_table, weight_cap, SEED};
+use bbs_hw::json::energy_breakdown_to_json;
+use bbs_json::Json;
 use bbs_models::zoo;
 use bbs_sim::accel::{
     ant::Ant, bitlet::Bitlet, bitvert::BitVert, bitwave::BitWave, pragmatic::Pragmatic,
@@ -24,6 +26,46 @@ fn lineup() -> Vec<Box<dyn Accelerator>> {
         Box::new(BitVert::conservative()),
         Box::new(BitVert::moderate()),
     ]
+}
+
+/// Fig. 13 as machine-readable JSON (the `--json` output mode): absolute
+/// per-accelerator energy breakdowns (via the shared serialization layer)
+/// plus the SparTen-normalized totals the figure plots.
+pub fn to_json() -> Json {
+    let cfg = ArrayConfig::paper_16x32();
+    let cap = weight_cap();
+    let names: Vec<String> = lineup().iter().map(|a| a.name()).collect();
+    let rows: Vec<Json> = zoo::paper_benchmarks()
+        .iter()
+        .map(|model| {
+            let base = simulate(&SparTen::new(), model, &cfg, SEED, cap).total_energy_pj();
+            let cells: Vec<Json> = lineup()
+                .par_iter()
+                .map(|accel| {
+                    let r = simulate(accel.as_ref(), model, &cfg, SEED, cap);
+                    let b = r.energy_breakdown();
+                    Json::obj(vec![
+                        ("accelerator", Json::str(&accel.name())),
+                        ("energy_pj", energy_breakdown_to_json(&b)),
+                        ("normalized_total", Json::Num(b.total_pj() / base)),
+                    ])
+                })
+                .collect();
+            Json::obj(vec![
+                ("model", Json::str(model.name)),
+                ("breakdown", Json::Arr(cells)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("figure", Json::str("fig13")),
+        ("baseline", Json::str("SparTen")),
+        (
+            "accelerators",
+            Json::Arr(names.iter().map(|n| Json::str(n)).collect()),
+        ),
+        ("rows", Json::Arr(rows)),
+    ])
 }
 
 /// Regenerates Fig. 13.

@@ -1,0 +1,136 @@
+//! JSON serialization of the hardware cost-model types.
+//!
+//! Part of the workspace-wide serialization layer (`bbs-json`): every field
+//! is carried verbatim so a decode → encode round trip is lossless, and the
+//! compact encoding feeds the content-addressed cache keys in `bbs-serve`.
+
+use crate::dram::Dram;
+use crate::energy::EnergyBreakdown;
+use crate::gates::Technology;
+use crate::sram::Sram;
+use bbs_json::{field_f64, field_usize, Json};
+
+/// Encodes a [`Technology`].
+pub fn technology_to_json(t: &Technology) -> Json {
+    Json::obj(vec![
+        ("ge_area_um2", Json::Num(t.ge_area_um2)),
+        ("ge_power_mw_per_mhz", Json::Num(t.ge_power_mw_per_mhz)),
+        ("ge_leakage_mw", Json::Num(t.ge_leakage_mw)),
+        ("freq_mhz", Json::Num(t.freq_mhz)),
+    ])
+}
+
+/// Decodes a [`Technology`].
+pub fn technology_from_json(v: &Json) -> Result<Technology, String> {
+    Ok(Technology {
+        ge_area_um2: field_f64(v, "ge_area_um2")?,
+        ge_power_mw_per_mhz: field_f64(v, "ge_power_mw_per_mhz")?,
+        ge_leakage_mw: field_f64(v, "ge_leakage_mw")?,
+        freq_mhz: field_f64(v, "freq_mhz")?,
+    })
+}
+
+/// Encodes an [`Sram`] buffer.
+pub fn sram_to_json(s: &Sram) -> Json {
+    Json::obj(vec![
+        ("bytes", Json::from_usize(s.bytes)),
+        ("banks", Json::from_usize(s.banks)),
+    ])
+}
+
+/// Decodes an [`Sram`] buffer.
+pub fn sram_from_json(v: &Json) -> Result<Sram, String> {
+    let bytes = field_usize(v, "bytes")?;
+    let banks = field_usize(v, "banks")?;
+    if bytes == 0 || banks == 0 {
+        return Err("sram bytes/banks must be positive".to_string());
+    }
+    Ok(Sram::new(bytes).with_banks(banks))
+}
+
+/// Encodes a [`Dram`] channel.
+pub fn dram_to_json(d: &Dram) -> Json {
+    Json::obj(vec![
+        ("energy_per_bit_pj", Json::Num(d.energy_per_bit_pj)),
+        ("bandwidth_bytes_per_s", Json::Num(d.bandwidth_bytes_per_s)),
+    ])
+}
+
+/// Decodes a [`Dram`] channel.
+pub fn dram_from_json(v: &Json) -> Result<Dram, String> {
+    let d = Dram {
+        energy_per_bit_pj: field_f64(v, "energy_per_bit_pj")?,
+        bandwidth_bytes_per_s: field_f64(v, "bandwidth_bytes_per_s")?,
+    };
+    if !d.bandwidth_bytes_per_s.is_finite() || d.bandwidth_bytes_per_s <= 0.0 {
+        return Err("dram bandwidth must be positive".to_string());
+    }
+    Ok(d)
+}
+
+/// Encodes an [`EnergyBreakdown`] (the Fig. 13 taxonomy).
+pub fn energy_breakdown_to_json(e: &EnergyBreakdown) -> Json {
+    Json::obj(vec![
+        ("dram_pj", Json::Num(e.dram_pj)),
+        ("sram_pj", Json::Num(e.sram_pj)),
+        ("compute_pj", Json::Num(e.compute_pj)),
+    ])
+}
+
+/// Decodes an [`EnergyBreakdown`].
+pub fn energy_breakdown_from_json(v: &Json) -> Result<EnergyBreakdown, String> {
+    Ok(EnergyBreakdown {
+        dram_pj: field_f64(v, "dram_pj")?,
+        sram_pj: field_f64(v, "sram_pj")?,
+        compute_pj: field_f64(v, "compute_pj")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn technology_roundtrips() {
+        let t = Technology::tsmc28();
+        let back = technology_from_json(&technology_to_json(&t)).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn sram_roundtrips_and_validates() {
+        let s = Sram::new(256 * 1024).with_banks(8);
+        assert_eq!(sram_from_json(&sram_to_json(&s)).unwrap(), s);
+        let bad = Json::parse("{\"bytes\":0,\"banks\":1}").unwrap();
+        assert!(sram_from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn dram_roundtrips_and_validates() {
+        let d = Dram::ddr3();
+        assert_eq!(dram_from_json(&dram_to_json(&d)).unwrap(), d);
+        let bad = Json::parse("{\"energy_per_bit_pj\":20,\"bandwidth_bytes_per_s\":0}").unwrap();
+        assert!(dram_from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn energy_breakdown_roundtrips_bit_exact() {
+        let e = EnergyBreakdown {
+            dram_pj: 1.0 / 3.0,
+            sram_pj: 2.5e11,
+            compute_pj: 0.1,
+        };
+        // Through the *textual* form, to prove f64 round-trip fidelity.
+        let text = energy_breakdown_to_json(&e).to_string();
+        let back = energy_breakdown_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.dram_pj.to_bits(), e.dram_pj.to_bits());
+        assert_eq!(back.sram_pj.to_bits(), e.sram_pj.to_bits());
+        assert_eq!(back.compute_pj.to_bits(), e.compute_pj.to_bits());
+    }
+
+    #[test]
+    fn missing_fields_are_reported_by_name() {
+        let err = technology_from_json(&Json::parse("{}").unwrap()).unwrap_err();
+        assert!(err.contains("ge_area_um2"), "{err}");
+    }
+}

@@ -35,5 +35,6 @@ pub mod dram;
 pub mod energy;
 pub mod explore;
 pub mod gates;
+pub mod json;
 pub mod pe;
 pub mod sram;

@@ -26,6 +26,7 @@
 
 pub mod accuracy;
 pub mod engine;
+pub mod json;
 pub mod layer;
 pub mod lm;
 pub mod synth;

@@ -305,6 +305,43 @@ pub fn paper_benchmarks() -> Vec<ModelSpec> {
     ]
 }
 
+/// A zoo registry entry: display name and constructor.
+type ZooEntry = (&'static str, fn() -> ModelSpec);
+
+/// Name → constructor table: the seven paper benchmarks plus Llama-3-8B.
+/// Single source of truth for [`all`]/[`by_name`]/[`names`], so name
+/// lookups don't have to materialize every layer table.
+const ZOO: [ZooEntry; 8] = [
+    ("VGG-16", vgg16),
+    ("ResNet-34", resnet34),
+    ("ResNet-50", resnet50),
+    ("ViT-Small", vit_small),
+    ("ViT-Base", vit_base),
+    ("Bert-MRPC", bert_mrpc),
+    ("Bert-SST2", bert_sst2),
+    ("Llama-3-8B", llama3_8b),
+];
+
+/// Every zoo model: the seven paper benchmarks plus Llama-3-8B.
+pub fn all() -> Vec<ModelSpec> {
+    ZOO.iter().map(|(_, build)| build()).collect()
+}
+
+/// The zoo model with the given name (the paper's figure labels,
+/// case-insensitive), or `None`. This is the lookup `bbs-serve` uses to
+/// decode requests that reference models by name; only the matching
+/// model is constructed.
+pub fn by_name(name: &str) -> Option<ModelSpec> {
+    ZOO.iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, build)| build())
+}
+
+/// All zoo model names, in [`all`] order (no layer tables built).
+pub fn names() -> Vec<&'static str> {
+    ZOO.iter().map(|(n, _)| *n).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -384,6 +421,16 @@ mod tests {
                 "Bert-SST2"
             ]
         );
+    }
+
+    #[test]
+    fn by_name_finds_every_model_case_insensitively() {
+        assert_eq!(names().len(), 8);
+        for name in names() {
+            let m = by_name(&name.to_lowercase()).expect(name);
+            assert_eq!(m.name, name);
+        }
+        assert!(by_name("AlexNet").is_none());
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! The sharded content-addressed result cache.
+//!
+//! Keys are [`bbs_sim::json::sim_request_key`] hashes — a stable digest of
+//! everything a simulation depends on — and values are the serialized
+//! result JSON (`Arc<str>`, so a hit is a pointer clone, not a copy).
+//! Sharding by the key's low bits keeps lock contention flat as worker and
+//! connection counts grow; hit/miss counters feed the `/stats` endpoint
+//! the dedup/caching tests assert against.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A sharded `u64 → Arc<str>` cache with hit/miss accounting and a
+/// bounded entry count (random replacement within the full shard, which
+/// is cheap and adequate for a memoization cache — eviction only costs a
+/// re-simulation).
+pub struct ShardedCache {
+    shards: Vec<Mutex<HashMap<u64, Arc<str>>>>,
+    per_shard_cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ShardedCache {
+    /// Creates a cache with `shards` lock domains (rounded up to a power
+    /// of two so shard selection is a mask) holding at most ~`max_entries`
+    /// results in total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `max_entries` is zero.
+    pub fn new(shards: usize, max_entries: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(max_entries > 0, "need capacity for at least one result");
+        let n = shards.next_power_of_two();
+        ShardedCache {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            per_shard_cap: max_entries.div_ceil(n),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Arc<str>>> {
+        // The FNV key is well-mixed; low bits select the shard.
+        &self.shards[(key as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Looks up `key`, bumping the hit/miss counters.
+    pub fn get(&self, key: u64) -> Option<Arc<str>> {
+        let found = self.shard(key).lock().unwrap().get(&key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Looks up `key` *without* touching the hit/miss counters — used by
+    /// the worker's double-check, which is bookkeeping, not traffic.
+    pub fn peek(&self, key: u64) -> Option<Arc<str>> {
+        self.shard(key).lock().unwrap().get(&key).cloned()
+    }
+
+    /// Inserts a completed result, evicting an arbitrary entry if the
+    /// shard is at capacity. Last write wins (results for one key are
+    /// identical by construction, so racing inserts are benign).
+    pub fn insert(&self, key: u64, value: Arc<str>) {
+        let mut shard = self.shard(key).lock().unwrap();
+        if shard.len() >= self.per_shard_cap && !shard.contains_key(&key) {
+            if let Some(&victim) = shard.keys().next() {
+                shard.remove(&victim);
+            }
+        }
+        shard.insert(key, value);
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// Whether the cache holds no results.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_insert_get_counts_hit_and_miss() {
+        let c = ShardedCache::new(4, 1024);
+        assert!(c.get(42).is_none());
+        c.insert(42, Arc::from("r"));
+        assert_eq!(c.get(42).as_deref(), Some("r"));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.peek(42).as_deref(), Some("r"));
+        assert!(c.peek(43).is_none());
+        assert_eq!((c.hits(), c.misses()), (1, 1), "peek leaves counters");
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let c = ShardedCache::new(5, 1024);
+        assert_eq!(c.shards.len(), 8);
+        // Keys land in different shards but all resolve.
+        for k in 0..64u64 {
+            c.insert(k, Arc::from(k.to_string().as_str()));
+        }
+        assert_eq!(c.len(), 64);
+        for k in 0..64u64 {
+            assert_eq!(c.get(k).as_deref(), Some(k.to_string().as_str()));
+        }
+    }
+
+    #[test]
+    fn capacity_is_bounded_by_eviction() {
+        let c = ShardedCache::new(1, 8);
+        for k in 0..100u64 {
+            c.insert(k, Arc::from("v"));
+        }
+        assert!(c.len() <= 8, "{} entries exceed the bound", c.len());
+        // Re-inserting an existing key at capacity must not evict anyone.
+        let before = c.len();
+        let resident = (0..100u64).find(|&k| c.peek(k).is_some()).unwrap();
+        c.insert(resident, Arc::from("v2"));
+        assert_eq!(c.len(), before);
+        assert_eq!(c.peek(resident).as_deref(), Some("v2"));
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let c = Arc::new(ShardedCache::new(8, 4096));
+        let writers: Vec<_> = (0..4u64)
+            .map(|w| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..256u64 {
+                        c.insert(w * 1000 + i, Arc::from("v"));
+                    }
+                })
+            })
+            .collect();
+        for h in writers {
+            h.join().unwrap();
+        }
+        assert_eq!(c.len(), 4 * 256);
+    }
+}

@@ -1,0 +1,248 @@
+//! A minimal hand-rolled HTTP/1.1 codec — exactly the slice of the
+//! protocol the service needs (the registry is unreachable, so no hyper;
+//! see `vendor/README.md` for the offline-dependency policy).
+//!
+//! Supported: request line + headers, `Content-Length` bodies, keep-alive
+//! (`Connection: close` honored both ways), hard limits on header and body
+//! sizes so untrusted input cannot balloon memory.
+
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request line or header line, in bytes.
+pub const MAX_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+pub const MAX_HEADERS: usize = 64;
+/// Largest accepted request body, in bytes (a full Llama-3-8B model spec
+/// is ~25 KB; 4 MB leaves two orders of magnitude of headroom).
+pub const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), uppercased by the client.
+    pub method: String,
+    /// Request path, e.g. `/simulate` (query strings are not split off).
+    pub path: String,
+    /// Header name/value pairs; names are lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header (name matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the peer asked to close the connection after this exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Reads one request from the stream. `Ok(None)` means the peer closed
+/// the connection cleanly before sending another request (keep-alive end).
+pub fn read_request<R: BufRead>(stream: &mut R) -> io::Result<Option<Request>> {
+    let line = match read_line(stream)? {
+        None => return Ok(None),
+        Some(l) => l,
+    };
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v),
+        _ => return Err(bad_input("malformed request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad_input("unsupported HTTP version"));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(stream)?.ok_or_else(|| bad_input("eof in headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(bad_input("too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad_input("malformed header"))?;
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| bad_input("bad content-length"))?
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(bad_input("body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+/// Reads one CRLF- (or LF-) terminated line; `None` on immediate EOF.
+fn read_line<R: BufRead>(stream: &mut R) -> io::Result<Option<String>> {
+    let mut buf = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(bad_input("eof mid-line"));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    let s = String::from_utf8(buf).map_err(|_| bad_input("non-utf8 line"))?;
+                    return Ok(Some(s));
+                }
+                buf.push(byte[0]);
+                if buf.len() > MAX_LINE {
+                    return Err(bad_input("line too long"));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn bad_input(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// The reason phrase for the status codes the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "",
+    }
+}
+
+/// Writes one `application/json` response. `close` adds
+/// `Connection: close`.
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    status: u16,
+    body: &str,
+    close: bool,
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n{}\r\n{}",
+        status,
+        reason(status),
+        body.len(),
+        if close { "connection: close\r\n" } else { "" },
+        body
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> io::Result<Option<Request>> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse("POST /simulate HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/simulate");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"abcd");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_get_without_body_and_lf_only_lines() {
+        let req = parse("GET /stats HTTP/1.1\nConnection: close\n\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("garbage\r\n\r\n").is_err());
+        assert!(parse("GET / SPDY/3\r\n\r\n").is_err());
+        assert!(parse("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n").is_err());
+        assert!(parse("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_input() {
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE + 1));
+        assert!(parse(&long).is_err());
+        let huge = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(parse(&huge).is_err());
+        let many = format!(
+            "GET / HTTP/1.1\r\n{}\r\n",
+            "a: b\r\n".repeat(MAX_HEADERS + 1)
+        );
+        assert!(parse(&many).is_err());
+    }
+
+    #[test]
+    fn truncated_body_is_an_error() {
+        assert!(parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").is_err());
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+
+        let mut out = Vec::new();
+        write_response(&mut out, 503, "{}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("503 Service Unavailable"));
+        assert!(text.contains("connection: close\r\n"));
+    }
+}

@@ -1,0 +1,59 @@
+//! # bbs-serve — simulation-as-a-service
+//!
+//! A std-only concurrent service that turns the one-shot BBS simulation
+//! sweep into a long-running server, amortizing design-space-exploration
+//! workloads (BitWave-style column sweeps, SparseCol-style precision
+//! sweeps) that are dominated by repeated evaluations of near-identical
+//! `(model, accelerator, config)` points:
+//!
+//! ```text
+//!            TCP listener (hand-rolled HTTP/1.1 + JSON)
+//!                 │ one thread per connection
+//!                 ▼
+//!   content-addressed lookup ──hit──▶ cached result (Arc<str> clone)
+//!                 │ miss
+//!                 ▼
+//!   in-flight table ──duplicate──▶ coalesce: wait on existing flight
+//!                 │ first
+//!                 ▼
+//!   bounded MPMC job queue (full ⇒ 503 backpressure)
+//!                 │
+//!                 ▼
+//!   worker pool ──▶ bbs_sim::engine::simulate ──▶ sharded result cache
+//! ```
+//!
+//! Everything rides the workspace serialization layer (`bbs-json` +
+//! `to_json`/`from_json` in `bbs-hw`/`bbs-models`/`bbs-sim`), so a cached
+//! response decodes to a [`bbs_sim::SimResult`] bit-identical to calling
+//! the engine directly — asserted end-to-end by `tests/integration.rs`
+//! and property-tested in `tests/proptests.rs`.
+//!
+//! # In-process quickstart
+//!
+//! ```
+//! use bbs_serve::server::{start, ServeConfig};
+//! use bbs_serve::client::Client;
+//!
+//! let server = start(ServeConfig::default()).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! let (status, body) = client
+//!     .simulate(r#"{"model":"ViT-Small","accelerator":"stripes","max_weights_per_layer":256}"#)
+//!     .unwrap();
+//! assert_eq!(status, 200);
+//! assert!(body.contains("\"result\""));
+//! server.stop();
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod queue;
+pub mod registry;
+pub mod request;
+pub mod server;
+pub mod service;
+
+pub use cache::ShardedCache;
+pub use request::SimRequest;
+pub use server::{start, ServeConfig, ServerHandle};
+pub use service::{ServiceConfig, SimService};

@@ -1,0 +1,99 @@
+//! Accelerator lookup by name for request decoding.
+//!
+//! Requests name accelerators by canonical id (`stripes`,
+//! `bitvert-moderate`, ...); the paper's display labels (`BitVert (mod)`)
+//! are accepted too. Matching normalizes case and punctuation so `BitWave`,
+//! `bitwave` and `bit_wave` all resolve.
+
+use bbs_sim::accel::ant::Ant;
+use bbs_sim::accel::bitlet::Bitlet;
+use bbs_sim::accel::bitvert::BitVert;
+use bbs_sim::accel::bitwave::BitWave;
+use bbs_sim::accel::pragmatic::Pragmatic;
+use bbs_sim::accel::sparten::SparTen;
+use bbs_sim::accel::stripes::Stripes;
+use bbs_sim::accel::Accelerator;
+
+/// Canonical accelerator ids, in the paper's Fig. 12 lineup order.
+pub const ACCELERATOR_IDS: [&str; 8] = [
+    "stripes",
+    "sparten",
+    "ant",
+    "pragmatic",
+    "bitlet",
+    "bitwave",
+    "bitvert-conservative",
+    "bitvert-moderate",
+];
+
+/// Lowercases and strips everything but letters and digits, so spelling
+/// variants of one accelerator normalize to the same token.
+fn normalize(name: &str) -> String {
+    name.chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect::<String>()
+        .to_ascii_lowercase()
+}
+
+/// The canonical id for a name, or `None` if unknown — the single
+/// name-resolution table ([`accelerator_by_name`] builds on it, so the
+/// two can never disagree). Also accepts the display labels used in the
+/// figures (`BitVert (cons)`, `BitVert (mod)`).
+pub fn canonical_id(name: &str) -> Option<&'static str> {
+    match normalize(name).as_str() {
+        "stripes" => Some("stripes"),
+        "sparten" => Some("sparten"),
+        "ant" => Some("ant"),
+        "pragmatic" => Some("pragmatic"),
+        "bitlet" => Some("bitlet"),
+        "bitwave" => Some("bitwave"),
+        "bitvertconservative" | "bitvertcons" => Some("bitvert-conservative"),
+        "bitvertmoderate" | "bitvertmod" => Some("bitvert-moderate"),
+        _ => None,
+    }
+}
+
+/// Instantiates the accelerator with the given name (anything
+/// [`canonical_id`] resolves), or `None` if the name is unknown.
+pub fn accelerator_by_name(name: &str) -> Option<Box<dyn Accelerator>> {
+    Some(match canonical_id(name)? {
+        "stripes" => Box::new(Stripes::new()),
+        "sparten" => Box::new(SparTen::new()),
+        "ant" => Box::new(Ant::new()),
+        "pragmatic" => Box::new(Pragmatic::new()),
+        "bitlet" => Box::new(Bitlet::new()),
+        "bitwave" => Box::new(BitWave::new()),
+        "bitvert-conservative" => Box::new(BitVert::conservative()),
+        "bitvert-moderate" => Box::new(BitVert::moderate()),
+        other => unreachable!("canonical id '{other}' without a constructor"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_canonical_id_resolves() {
+        for id in ACCELERATOR_IDS {
+            let accel = accelerator_by_name(id).expect(id);
+            assert!(!accel.name().is_empty());
+            assert_eq!(canonical_id(id), Some(id));
+        }
+    }
+
+    #[test]
+    fn display_labels_and_variants_resolve() {
+        assert_eq!(
+            accelerator_by_name("BitVert (mod)").unwrap().name(),
+            "BitVert (mod)"
+        );
+        assert_eq!(
+            accelerator_by_name("BitVert (cons)").unwrap().name(),
+            "BitVert (cons)"
+        );
+        assert_eq!(canonical_id("Bit_Wave"), Some("bitwave"));
+        assert_eq!(canonical_id("SparTen"), Some("sparten"));
+        assert!(accelerator_by_name("tpu").is_none());
+    }
+}

@@ -1,0 +1,274 @@
+//! The TCP front end: accept loop, per-connection threads, routing.
+//!
+//! Routes:
+//!
+//! | route              | method | body                                      |
+//! |--------------------|--------|-------------------------------------------|
+//! | `/simulate`        | POST   | simulation request → result + meta        |
+//! | `/stats`           | GET    | hit/miss/coalesce/run counters            |
+//! | `/healthz`         | GET    | liveness                                  |
+//! | `/models`          | GET    | zoo model names                           |
+//! | `/accelerators`    | GET    | canonical accelerator ids                 |
+//!
+//! Connection threads only parse, route and wait; all simulation happens
+//! on the service's worker pool, so slow clients cannot starve compute
+//! and the bounded queue is the single backpressure point.
+
+use crate::http::{read_request, write_response, Request};
+use crate::registry::ACCELERATOR_IDS;
+use crate::request::SimRequest;
+use crate::service::{self, ExecuteError, Served, ServiceConfig, SimService};
+use bbs_json::Json;
+use bbs_models::zoo;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Most simultaneously open connections; beyond this, new sockets are
+/// answered 503 and closed (each connection costs a thread).
+pub const MAX_CONNECTIONS: usize = 1024;
+/// Idle/slow-client socket timeout. Generous against the slowest
+/// simulation a connection might be waiting out, fatal to sockets that
+/// hold a thread while sending nothing.
+pub const SOCKET_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker-pool / queue / cache sizing.
+    pub service: ServiceConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            service: ServiceConfig::default(),
+        }
+    }
+}
+
+struct Shared {
+    service: Arc<service::ServiceHandle>,
+    requests: AtomicU64,
+    connections: AtomicUsize,
+    stopping: AtomicBool,
+}
+
+/// A running server; dropping it does *not* stop it — call
+/// [`ServerHandle::stop`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+}
+
+/// Binds, spawns the worker pool and the accept loop, and returns.
+pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        service: Arc::new(service::start(config.service)),
+        requests: AtomicU64::new(0),
+        connections: AtomicUsize::new(0),
+        stopping: AtomicBool::new(false),
+    });
+
+    let accept_shared = Arc::clone(&shared);
+    let acceptor = std::thread::Builder::new()
+        .name("bbs-serve-accept".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.stopping.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(mut stream) = stream else { continue };
+                if accept_shared.connections.fetch_add(1, Ordering::SeqCst) >= MAX_CONNECTIONS {
+                    accept_shared.connections.fetch_sub(1, Ordering::SeqCst);
+                    let _ = write_response(
+                        &mut stream,
+                        503,
+                        &error_body("connection limit reached"),
+                        true,
+                    );
+                    continue;
+                }
+                let conn_shared = Arc::clone(&accept_shared);
+                let spawned = std::thread::Builder::new()
+                    .name("bbs-serve-conn".to_string())
+                    .spawn(move || handle_connection(stream, &conn_shared));
+                if spawned.is_err() {
+                    // handle_connection never ran, so its guard never will.
+                    accept_shared.connections.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        })
+        .expect("spawn acceptor");
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        acceptor,
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains queued simulations and joins the workers.
+    /// In-flight connection threads finish their current exchange.
+    pub fn stop(self) {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.acceptor.join();
+        self.shared.service.stop();
+    }
+}
+
+/// Decrements the live-connection count when a connection thread exits,
+/// whichever path it takes out.
+struct ConnectionGuard<'a>(&'a AtomicUsize);
+
+impl Drop for ConnectionGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _guard = ConnectionGuard(&shared.connections);
+    let _ = stream.set_nodelay(true);
+    // Slow-client protection: a socket that neither sends a request nor
+    // drains its response within the timeout forfeits its thread.
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => return, // clean keep-alive end
+            Err(_) => {
+                let _ = write_response(&mut writer, 400, &error_body("malformed request"), true);
+                return;
+            }
+        };
+        let close = request.wants_close() || shared.stopping.load(Ordering::SeqCst);
+        let (status, body) = route(&request, shared);
+        if write_response(&mut writer, status, &body, close).is_err() || close {
+            return;
+        }
+    }
+}
+
+fn error_body(message: &str) -> String {
+    Json::obj(vec![("error", Json::str(message))]).to_string()
+}
+
+fn route(request: &Request, shared: &Shared) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/simulate") => {
+            shared.requests.fetch_add(1, Ordering::Relaxed);
+            simulate_route(&request.body, shared)
+        }
+        ("GET", "/stats") => (200, stats_body(shared)),
+        ("GET", "/healthz") => (
+            200,
+            Json::obj(vec![("status", Json::str("ok"))]).to_string(),
+        ),
+        ("GET", "/models") => (
+            200,
+            Json::obj(vec![(
+                "models",
+                Json::Arr(zoo::names().into_iter().map(Json::str).collect()),
+            )])
+            .to_string(),
+        ),
+        ("GET", "/accelerators") => (
+            200,
+            Json::obj(vec![(
+                "accelerators",
+                Json::Arr(ACCELERATOR_IDS.into_iter().map(Json::str).collect()),
+            )])
+            .to_string(),
+        ),
+        ("POST", _) | ("GET", _) => (404, error_body("no such route")),
+        _ => (405, error_body("method not allowed")),
+    }
+}
+
+fn simulate_route(body: &[u8], shared: &Shared) -> (u16, String) {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return (400, error_body("body must be utf-8 JSON")),
+    };
+    let parsed = match Json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return (400, error_body(&e.to_string())),
+    };
+    let service = shared.service.service();
+    let request = match SimRequest::from_json(&parsed, service.max_cap()) {
+        Ok(r) => r,
+        Err(e) => return (400, error_body(&e)),
+    };
+    let key = request.key();
+    match shared.service.execute(request) {
+        Ok((result_text, served)) => {
+            // The cached payload is spliced in verbatim — the result is
+            // *not* re-parsed/re-encoded, so byte identity across hits is
+            // structural, not probabilistic.
+            let meta = Json::obj(vec![
+                ("cached", Json::Bool(served == Served::Hit)),
+                (
+                    "served",
+                    Json::str(match served {
+                        Served::Hit => "cache",
+                        Served::Coalesced => "coalesced",
+                        Served::Fresh => "simulated",
+                    }),
+                ),
+                ("key", Json::str(&format!("{key:016x}"))),
+            ])
+            .to_string();
+            (200, format!("{{\"meta\":{meta},\"result\":{result_text}}}"))
+        }
+        Err(ExecuteError::Busy) => (503, error_body("queue full, retry later")),
+        Err(ExecuteError::ShuttingDown) => (503, error_body("shutting down")),
+        Err(ExecuteError::Failed(e)) => (500, error_body(&e)),
+    }
+}
+
+fn stats_body(shared: &Shared) -> String {
+    let service: &Arc<SimService> = shared.service.service();
+    Json::obj(vec![
+        (
+            "requests",
+            Json::from_u64(shared.requests.load(Ordering::Relaxed)),
+        ),
+        ("cache_hits", Json::from_u64(service.cache.hits())),
+        ("cache_misses", Json::from_u64(service.cache.misses())),
+        ("cached_results", Json::from_usize(service.cache.len())),
+        ("coalesced", Json::from_u64(service.coalesced())),
+        ("sim_runs", Json::from_u64(service.sim_runs())),
+        ("errors", Json::from_u64(service.errors())),
+        ("queued", Json::from_usize(service.queued())),
+        ("workers", Json::from_usize(service.workers())),
+        (
+            "connections",
+            Json::from_usize(shared.connections.load(Ordering::SeqCst)),
+        ),
+    ])
+    .to_string()
+}

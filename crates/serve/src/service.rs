@@ -1,0 +1,465 @@
+//! The simulation service: a fixed worker pool behind the bounded job
+//! queue, duplicate-request coalescing, and the result cache.
+//!
+//! ## Life of a request
+//!
+//! 1. The request's content address ([`crate::request::SimRequest::key`])
+//!    is probed in the [`ShardedCache`] — a hit returns immediately.
+//! 2. On a miss the in-flight table is consulted: if the same key is
+//!    already being simulated the caller *coalesces* — it blocks on the
+//!    existing flight instead of enqueueing duplicate work.
+//! 3. Otherwise the caller registers a new flight and enqueues a job; a
+//!    full queue is backpressure ([`ExecuteError::Busy`] → HTTP 503).
+//! 4. A worker pops the job, double-checks the cache (the result may have
+//!    landed between the caller's miss and the pop — without this
+//!    re-check that race would re-simulate), runs the engine, caches the
+//!    serialized result and completes the flight.
+//!
+//! The engine call is wrapped in `catch_unwind` so a panic (e.g. a
+//! degenerate custom layer table) fails that one request instead of
+//! killing the worker.
+
+use crate::cache::ShardedCache;
+use crate::queue::{Bounded, PushError};
+use crate::registry::accelerator_by_name;
+use crate::request::SimRequest;
+use bbs_sim::engine::simulate;
+use bbs_sim::json::sim_result_to_json;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Sizing knobs for the service.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Simulation worker threads.
+    pub workers: usize,
+    /// Bounded job-queue depth (backpressure beyond this).
+    pub queue_depth: usize,
+    /// Cache shard count (rounded up to a power of two).
+    pub cache_shards: usize,
+    /// Upper bound on cached results (random replacement beyond it, so a
+    /// long-running server's memory is bounded).
+    pub cache_entries: usize,
+    /// Upper bound on a request's `max_weights_per_layer`.
+    pub max_cap: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(2, |p| p.get());
+        ServiceConfig {
+            workers: cores.clamp(1, 8),
+            queue_depth: 64,
+            cache_shards: 16,
+            cache_entries: 4096,
+            max_cap: 64 * 1024,
+        }
+    }
+}
+
+/// How a request was satisfied (reported in the response and `/stats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Served {
+    /// Straight from the result cache.
+    Hit,
+    /// Joined an in-flight computation for the same key.
+    Coalesced,
+    /// Enqueued and computed (or resolved by the worker's cache
+    /// double-check).
+    Fresh,
+}
+
+/// Why a request could not be served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecuteError {
+    /// Queue full — retry later (HTTP 503).
+    Busy,
+    /// Service shutting down (HTTP 503).
+    ShuttingDown,
+    /// The simulation itself failed (HTTP 500).
+    Failed(String),
+}
+
+/// One in-flight computation; completed exactly once — by a worker, or by
+/// the owner when its enqueue fails. Carrying [`ExecuteError`] (not a bare
+/// string) means coalesced waiters see the same error class as the owner:
+/// backpressure stays a 503 for everyone, not a 500.
+struct Flight {
+    result: Mutex<Option<Result<Arc<str>, ExecuteError>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Arc<Flight> {
+        Arc::new(Flight {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    fn complete(&self, r: Result<Arc<str>, ExecuteError>) {
+        *self.result.lock().unwrap() = Some(r);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Result<Arc<str>, ExecuteError> {
+        let mut guard = self.result.lock().unwrap();
+        loop {
+            if let Some(r) = guard.as_ref() {
+                return r.clone();
+            }
+            guard = self.done.wait(guard).unwrap();
+        }
+    }
+}
+
+struct Job {
+    key: u64,
+    request: SimRequest,
+    flight: Arc<Flight>,
+}
+
+/// Shared state of the simulation service.
+pub struct SimService {
+    /// The content-addressed result cache.
+    pub cache: ShardedCache,
+    inflight: Mutex<HashMap<u64, Arc<Flight>>>,
+    queue: Bounded<Job>,
+    sim_runs: AtomicU64,
+    coalesced: AtomicU64,
+    errors: AtomicU64,
+    config: ServiceConfig,
+}
+
+/// The running service: shared state plus the worker threads.
+pub struct ServiceHandle {
+    service: Arc<SimService>,
+    // Behind a mutex so `stop` works through shared references (the
+    // server's connection threads hold `Arc<ServiceHandle>` clones).
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Spawns the worker pool and returns the service handle.
+pub fn start(config: ServiceConfig) -> ServiceHandle {
+    assert!(config.workers > 0, "need at least one worker");
+    let service = Arc::new(SimService {
+        cache: ShardedCache::new(config.cache_shards, config.cache_entries),
+        inflight: Mutex::new(HashMap::new()),
+        queue: Bounded::new(config.queue_depth),
+        sim_runs: AtomicU64::new(0),
+        coalesced: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+        config: config.clone(),
+    });
+    let workers = (0..config.workers)
+        .map(|i| {
+            let service = Arc::clone(&service);
+            std::thread::Builder::new()
+                .name(format!("bbs-serve-worker-{i}"))
+                .spawn(move || service.worker_loop())
+                .expect("spawn worker")
+        })
+        .collect();
+    ServiceHandle {
+        service,
+        workers: Mutex::new(workers),
+    }
+}
+
+impl ServiceHandle {
+    /// The shared service state.
+    pub fn service(&self) -> &Arc<SimService> {
+        &self.service
+    }
+
+    /// Executes one request to completion (blocking). See the module docs
+    /// for the hit/coalesce/enqueue decision tree.
+    pub fn execute(&self, request: SimRequest) -> Result<(Arc<str>, Served), ExecuteError> {
+        self.service.execute(request)
+    }
+
+    /// Closes the queue, drains pending jobs and joins the workers.
+    /// Idempotent: later calls find no workers left to join.
+    pub fn stop(&self) {
+        self.service.queue.close();
+        let workers = std::mem::take(&mut *self.workers.lock().unwrap());
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+impl SimService {
+    /// The configured request cap (`max_weights_per_layer` clamp).
+    pub fn max_cap(&self) -> usize {
+        self.config.max_cap
+    }
+
+    /// Worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.config.workers
+    }
+
+    /// Jobs currently queued.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Simulations actually executed (the dedup test's ground truth).
+    pub fn sim_runs(&self) -> u64 {
+        self.sim_runs.load(Ordering::Relaxed)
+    }
+
+    /// Requests that joined an in-flight computation.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Simulation failures.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    fn execute(&self, request: SimRequest) -> Result<(Arc<str>, Served), ExecuteError> {
+        let key = request.key();
+        if let Some(cached) = self.cache.get(key) {
+            return Ok((cached, Served::Hit));
+        }
+
+        let (flight, owner) = {
+            let mut inflight = self.inflight.lock().unwrap();
+            match inflight.get(&key) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Flight::new();
+                    inflight.insert(key, Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+
+        if !owner {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            return flight.wait().map(|r| (r, Served::Coalesced));
+        }
+
+        let job = Job {
+            key,
+            request,
+            flight: Arc::clone(&flight),
+        };
+        if let Err(e) = self.queue.try_push(job) {
+            // Nobody will ever complete this flight — unregister it so
+            // coalesced waiters can't pile onto a dead key.
+            self.inflight.lock().unwrap().remove(&key);
+            let err = match e {
+                PushError::Full => ExecuteError::Busy,
+                PushError::Closed => ExecuteError::ShuttingDown,
+            };
+            flight.complete(Err(err.clone()));
+            return Err(err);
+        }
+        flight.wait().map(|r| (r, Served::Fresh))
+    }
+
+    fn worker_loop(&self) {
+        while let Some(job) = self.queue.pop() {
+            // Double-check: the result may have been cached between the
+            // caller's miss and this pop (see module docs).
+            let outcome = match self.cache.peek(job.key) {
+                Some(cached) => Ok(cached),
+                None => self
+                    .run_simulation(&job.request)
+                    .map(|text| {
+                        let text: Arc<str> = Arc::from(text.as_str());
+                        self.cache.insert(job.key, Arc::clone(&text));
+                        text
+                    })
+                    .map_err(ExecuteError::Failed),
+            };
+            if outcome.is_err() {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            // Unregister *after* the cache insert so a key absent from the
+            // in-flight table is always either uncached (never computed or
+            // failed) or already visible in the cache.
+            self.inflight.lock().unwrap().remove(&job.key);
+            job.flight.complete(outcome);
+        }
+    }
+
+    fn run_simulation(&self, request: &SimRequest) -> Result<String, String> {
+        let accel = accelerator_by_name(request.accelerator)
+            .ok_or_else(|| format!("accelerator '{}' vanished", request.accelerator))?;
+        // Serialization is inside the guard too: its exact-integer
+        // assertions are unreachable for validated requests, but a panic
+        // here must fail the request, not kill the worker.
+        let text = catch_unwind(AssertUnwindSafe(|| {
+            let sim = simulate(
+                accel.as_ref(),
+                &request.model,
+                &request.config,
+                request.seed,
+                request.max_weights_per_layer,
+            );
+            sim_result_to_json(&sim).to_string()
+        }))
+        .map_err(|panic| {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "simulation panicked".to_string());
+            format!("simulation failed: {msg}")
+        })?;
+        self.sim_runs.fetch_add(1, Ordering::Relaxed);
+        Ok(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbs_json::Json;
+    use bbs_sim::json::sim_result_from_json;
+    use bbs_sim::ArrayConfig;
+
+    fn request(model: &str, accel: &str, cap: usize) -> SimRequest {
+        SimRequest::from_json(
+            &Json::parse(&format!(
+                "{{\"model\":\"{model}\",\"accelerator\":\"{accel}\",\
+                 \"max_weights_per_layer\":{cap}}}"
+            ))
+            .unwrap(),
+            65536,
+        )
+        .unwrap()
+    }
+
+    fn test_service() -> ServiceHandle {
+        start(ServiceConfig {
+            workers: 2,
+            queue_depth: 8,
+            cache_shards: 4,
+            cache_entries: 1024,
+            max_cap: 65536,
+        })
+    }
+
+    #[test]
+    fn fresh_then_hit_same_bytes() {
+        let svc = test_service();
+        let req = request("ViT-Small", "stripes", 256);
+        let (first, how1) = svc.execute(req.clone()).unwrap();
+        assert_eq!(how1, Served::Fresh);
+        let (second, how2) = svc.execute(req.clone()).unwrap();
+        assert_eq!(how2, Served::Hit);
+        assert_eq!(first, second, "cache hit must be byte-identical");
+        assert_eq!(svc.service().sim_runs(), 1);
+
+        // And the payload decodes to the engine's exact result.
+        let direct = simulate(
+            &*accelerator_by_name("stripes").unwrap(),
+            &req.model,
+            &req.config,
+            req.seed,
+            req.max_weights_per_layer,
+        );
+        let decoded = sim_result_from_json(&Json::parse(&first).unwrap()).unwrap();
+        assert_eq!(decoded, direct);
+        svc.stop();
+    }
+
+    #[test]
+    fn concurrent_duplicates_run_once() {
+        let svc = Arc::new(test_service());
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let svc = Arc::clone(&svc);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    svc.execute(request("ResNet-34", "bitlet", 256)).unwrap().0
+                })
+            })
+            .collect();
+        let results: Vec<Arc<str>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+        assert_eq!(svc.service().sim_runs(), 1, "deduplicated to one run");
+        svc.stop();
+    }
+
+    #[test]
+    fn distinct_requests_each_run() {
+        let svc = test_service();
+        svc.execute(request("ViT-Small", "stripes", 128)).unwrap();
+        svc.execute(request("ViT-Small", "stripes", 192)).unwrap();
+        assert_eq!(svc.service().sim_runs(), 2, "different cap, different key");
+        svc.stop();
+    }
+
+    #[test]
+    fn full_queue_reports_busy() {
+        // One worker, depth 1: saturate with slow jobs, then overflow.
+        let svc = Arc::new(start(ServiceConfig {
+            workers: 1,
+            queue_depth: 1,
+            cache_shards: 1,
+            cache_entries: 1024,
+            max_cap: 65536,
+        }));
+        let running: Vec<_> = (0..4)
+            .map(|i| {
+                let svc = Arc::clone(&svc);
+                std::thread::spawn(move || {
+                    // Distinct seeds -> distinct keys -> no coalescing.
+                    let mut req = request("VGG-16", "bitvert-moderate", 2048);
+                    req.seed = 100 + i;
+                    svc.execute(req)
+                })
+            })
+            .collect();
+        // With 4 distinct slow jobs racing a depth-1 queue, at least one
+        // push must see it full.
+        let outcomes: Vec<_> = running.into_iter().map(|h| h.join().unwrap()).collect();
+        let busy = outcomes
+            .iter()
+            .filter(|o| matches!(o, Err(ExecuteError::Busy)))
+            .count();
+        let ok = outcomes.iter().filter(|o| o.is_ok()).count();
+        assert!(ok >= 1, "some requests must succeed");
+        assert!(busy + ok == 4);
+        svc.stop();
+    }
+
+    #[test]
+    fn healthy_traffic_records_no_errors() {
+        let svc = test_service();
+        svc.execute(request("Bert-SST2", "ant", 128)).unwrap();
+        assert_eq!(svc.service().errors(), 0);
+        svc.stop();
+    }
+
+    #[test]
+    fn stop_drains_pending_work() {
+        let svc = test_service();
+        let req = request("ViT-Small", "sparten", 128);
+        let (bytes, _) = svc.execute(req).unwrap();
+        assert!(!bytes.is_empty());
+        svc.stop(); // must not hang
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = ServiceConfig::default();
+        assert!(c.workers >= 1);
+        assert!(c.queue_depth >= c.workers);
+        let _ = ArrayConfig::default();
+    }
+}

@@ -1,0 +1,226 @@
+//! End-to-end integration tests: real TCP server on an ephemeral port,
+//! concurrent clients, dedup/caching asserted through the `/stats`
+//! endpoint, and response payloads checked bit-identical against calling
+//! the simulation engine directly.
+//!
+//! This is the CI integration step — it runs inside `cargo test`, no
+//! external tooling.
+
+use bbs_json::Json;
+use bbs_serve::client::Client;
+use bbs_serve::registry::accelerator_by_name;
+use bbs_serve::server::{start, ServeConfig};
+use bbs_serve::service::ServiceConfig;
+use bbs_sim::json::{sim_result_from_json, sim_result_to_json};
+use bbs_sim::ArrayConfig;
+use std::sync::{Arc, Barrier};
+
+fn test_server() -> bbs_serve::server::ServerHandle {
+    start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        service: ServiceConfig {
+            workers: 2,
+            queue_depth: 16,
+            cache_shards: 4,
+            cache_entries: 1024,
+            max_cap: 65536,
+        },
+    })
+    .expect("bind ephemeral port")
+}
+
+fn stat(stats: &Json, key: &str) -> u64 {
+    stats.get(key).and_then(Json::as_u64).unwrap_or_else(|| {
+        panic!("stats missing {key}: {stats}");
+    })
+}
+
+/// The acceptance scenario: concurrent clients submit the same request;
+/// the server simulates exactly once, everyone gets JSON that decodes to
+/// a `SimResult` bit-identical to calling the engine directly.
+#[test]
+fn concurrent_duplicates_simulate_once_and_match_engine() {
+    const CLIENTS: usize = 4;
+    const BODY: &str = "{\"model\":\"ViT-Small\",\"accelerator\":\"bitvert-moderate\",\
+                        \"seed\":7,\"max_weights_per_layer\":512}";
+
+    let server = test_server();
+    let addr = server.addr();
+
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                barrier.wait();
+                client.simulate(BODY).unwrap()
+            })
+        })
+        .collect();
+    let responses: Vec<(u16, String)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    for (status, _) in &responses {
+        assert_eq!(*status, 200);
+    }
+    // Every client got the same result payload.
+    let parsed: Vec<Json> = responses
+        .iter()
+        .map(|(_, body)| Json::parse(body).unwrap())
+        .collect();
+    let first_result = parsed[0].get("result").expect("result field");
+    for p in &parsed[1..] {
+        assert_eq!(p.get("result").unwrap(), first_result);
+    }
+
+    // Dedup verified via the stats endpoint: N requests, one engine run.
+    let mut client = Client::connect(addr).unwrap();
+    let (status, stats_body) = client.get("/stats").unwrap();
+    assert_eq!(status, 200);
+    let stats = Json::parse(&stats_body).unwrap();
+    assert_eq!(stat(&stats, "requests"), CLIENTS as u64);
+    assert_eq!(stat(&stats, "sim_runs"), 1, "deduplicated: {stats}");
+    assert_eq!(stat(&stats, "errors"), 0);
+    assert_eq!(stat(&stats, "cached_results"), 1);
+
+    // A follow-up request is a pure cache hit (still one engine run) and
+    // byte-identical to the first response's result.
+    let (status, body) = client.simulate(BODY).unwrap();
+    assert_eq!(status, 200);
+    let warm = Json::parse(&body).unwrap();
+    assert_eq!(warm.get("result").unwrap(), first_result);
+    assert_eq!(
+        warm.get("meta").unwrap().get("cached").unwrap(),
+        &Json::Bool(true)
+    );
+    let (_, stats_body) = client.get("/stats").unwrap();
+    let stats = Json::parse(&stats_body).unwrap();
+    assert_eq!(stat(&stats, "sim_runs"), 1);
+    assert!(stat(&stats, "cache_hits") >= 1);
+
+    // Bit-identical to the engine: decode the wire payload and compare
+    // against a direct simulation, both structurally and re-serialized.
+    let direct = bbs_sim::engine::simulate(
+        &*accelerator_by_name("bitvert-moderate").unwrap(),
+        &bbs_models::zoo::vit_small(),
+        &ArrayConfig::paper_16x32(),
+        7,
+        512,
+    );
+    let decoded = sim_result_from_json(first_result).unwrap();
+    assert_eq!(decoded, direct, "wire result == direct engine result");
+    assert_eq!(
+        sim_result_to_json(&decoded).to_string(),
+        sim_result_to_json(&direct).to_string()
+    );
+
+    server.stop();
+}
+
+#[test]
+fn distinct_requests_simulate_separately() {
+    let server = test_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    for (model, accel) in [("ResNet-34", "stripes"), ("ResNet-34", "bitlet")] {
+        let body = format!(
+            "{{\"model\":\"{model}\",\"accelerator\":\"{accel}\",\"max_weights_per_layer\":256}}"
+        );
+        let (status, response) = client.simulate(&body).unwrap();
+        assert_eq!(status, 200, "{response}");
+    }
+    let (_, stats_body) = client.get("/stats").unwrap();
+    let stats = Json::parse(&stats_body).unwrap();
+    assert_eq!(stat(&stats, "sim_runs"), 2);
+    assert_eq!(stat(&stats, "cached_results"), 2);
+    server.stop();
+}
+
+#[test]
+fn discovery_and_health_routes() {
+    let server = test_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let (status, body) = client.get("/healthz").unwrap();
+    assert_eq!((status, body.as_str()), (200, "{\"status\":\"ok\"}"));
+
+    let (status, body) = client.get("/models").unwrap();
+    assert_eq!(status, 200);
+    let models = Json::parse(&body).unwrap();
+    let names = models.get("models").unwrap().as_arr().unwrap();
+    assert_eq!(names.len(), 8);
+    assert!(names.iter().any(|n| n.as_str() == Some("Llama-3-8B")));
+
+    let (status, body) = client.get("/accelerators").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("bitvert-moderate"));
+
+    server.stop();
+}
+
+#[test]
+fn bad_requests_get_400s_and_unknown_routes_404() {
+    let server = test_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let cases = [
+        ("not json at all", "parse error"),
+        ("{\"accelerator\":\"ant\"}", "model"),
+        (
+            "{\"model\":\"NoSuch\",\"accelerator\":\"ant\"}",
+            "unknown model",
+        ),
+        (
+            "{\"model\":\"VGG-16\",\"accelerator\":\"tpu\"}",
+            "unknown accelerator",
+        ),
+    ];
+    for (body, needle) in cases {
+        let (status, response) = client.simulate(body).unwrap();
+        assert_eq!(status, 400, "{body} -> {response}");
+        assert!(response.contains(needle), "{body} -> {response}");
+    }
+
+    let (status, _) = client.get("/nope").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = client.request("PUT", "/simulate", "").unwrap();
+    assert_eq!(status, 405);
+
+    // The connection is still usable after errors (keep-alive survives).
+    let (status, _) = client.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+
+    server.stop();
+}
+
+#[test]
+fn custom_config_and_full_model_spec_roundtrip() {
+    let server = test_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Narrow array (Fig. 14-style column sweep) via explicit config.
+    let cfg = ArrayConfig::paper_16x32().with_pe_cols(8);
+    let cfg_json = bbs_sim::json::array_config_to_json(&cfg);
+    let mut model = bbs_models::zoo::bert_sst2();
+    model.layers.truncate(6);
+    let model_json = bbs_models::json::model_spec_to_json(&model);
+    let body = format!(
+        "{{\"model\":{model_json},\"accelerator\":\"bitwave\",\"seed\":9,\
+         \"config\":{cfg_json},\"max_weights_per_layer\":256}}"
+    );
+    let (status, response) = client.simulate(&body).unwrap();
+    assert_eq!(status, 200, "{response}");
+
+    let direct = bbs_sim::engine::simulate(
+        &*accelerator_by_name("bitwave").unwrap(),
+        &model,
+        &cfg,
+        9,
+        256,
+    );
+    let parsed = Json::parse(&response).unwrap();
+    let decoded = sim_result_from_json(parsed.get("result").unwrap()).unwrap();
+    assert_eq!(decoded, direct);
+    assert_eq!(decoded.layers.len(), 6);
+
+    server.stop();
+}

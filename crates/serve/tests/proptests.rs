@@ -1,0 +1,108 @@
+//! Property tests for the content-addressed cache (vendored proptest):
+//!
+//! * the cache key is a pure function of request *content* — stable across
+//!   independently reconstructed requests and wire round trips;
+//! * a cache hit returns bytes that decode to a `SimResult` bit-identical
+//!   to a fresh run of the engine, for random zoo models / accelerators /
+//!   configs / seeds / caps.
+
+use bbs_json::Json;
+use bbs_serve::registry::{accelerator_by_name, ACCELERATOR_IDS};
+use bbs_serve::request::SimRequest;
+use bbs_serve::service::{start, Served, ServiceConfig};
+use bbs_sim::json::{array_config_to_json, sim_result_from_json, sim_result_to_json};
+use bbs_sim::ArrayConfig;
+use proptest::prelude::*;
+
+/// Light zoo models (the heavyweights would make 64 cases crawl).
+const MODELS: [&str; 4] = ["ViT-Small", "ResNet-34", "Bert-SST2", "ResNet-50"];
+const PE_COLS: [usize; 4] = [8, 16, 32, 64];
+
+fn build_request(
+    model_idx: usize,
+    accel_idx: usize,
+    cols_idx: usize,
+    seed: u64,
+    cap: usize,
+) -> (String, SimRequest) {
+    let cfg = ArrayConfig::paper_16x32().with_pe_cols(PE_COLS[cols_idx % PE_COLS.len()]);
+    let body = format!(
+        "{{\"model\":\"{}\",\"accelerator\":\"{}\",\"seed\":{},\
+         \"max_weights_per_layer\":{},\"config\":{}}}",
+        MODELS[model_idx % MODELS.len()],
+        ACCELERATOR_IDS[accel_idx % ACCELERATOR_IDS.len()],
+        seed,
+        cap,
+        array_config_to_json(&cfg)
+    );
+    let request = SimRequest::from_json(&Json::parse(&body).unwrap(), 65536).unwrap();
+    (body, request)
+}
+
+proptest! {
+    /// Decoding the same body twice — and re-decoding the request's own
+    /// re-encoding — always lands on the same content address, and
+    /// perturbing the seed never does.
+    #[test]
+    fn cache_key_is_stable_across_reconstruction(
+        model_idx in 0usize..4,
+        accel_idx in 0usize..8,
+        cols_idx in 0usize..4,
+        seed in 0u64..1_000_000,
+        cap in 64usize..=2048,
+    ) {
+        let (body, request) = build_request(model_idx, accel_idx, cols_idx, seed, cap);
+        let again = SimRequest::from_json(&Json::parse(&body).unwrap(), 65536).unwrap();
+        prop_assert_eq!(request.key(), again.key());
+
+        let wire = SimRequest::from_json(&request.to_json(), 65536).unwrap();
+        prop_assert_eq!(request.key(), wire.key());
+
+        let (_, perturbed) = build_request(model_idx, accel_idx, cols_idx, seed + 1, cap);
+        prop_assert_ne!(request.key(), perturbed.key());
+    }
+}
+
+proptest! {
+    /// Serving the same request twice yields one fresh run and one cache
+    /// hit whose bytes decode to a `SimResult` equal (`==`, so every
+    /// cycle count and f64 bit-exact) to a direct engine run.
+    #[test]
+    fn cache_hits_are_bit_identical_to_fresh_simulation(
+        model_idx in 0usize..4,
+        accel_idx in 0usize..8,
+        seed in 0u64..1000,
+        cap in 64usize..=256,
+    ) {
+        let (_, request) = build_request(model_idx, accel_idx, 1, seed, cap);
+
+        let service = start(ServiceConfig {
+            workers: 2,
+            queue_depth: 4,
+            cache_shards: 2,
+            cache_entries: 1024,
+            max_cap: 65536,
+        });
+        let (fresh, how_fresh) = service.execute(request.clone()).unwrap();
+        let (hit, how_hit) = service.execute(request.clone()).unwrap();
+        service.stop();
+
+        prop_assert_eq!(how_fresh, Served::Fresh);
+        prop_assert_eq!(how_hit, Served::Hit);
+        prop_assert_eq!(&fresh, &hit, "hit must be byte-identical");
+
+        let direct = bbs_sim::engine::simulate(
+            &*accelerator_by_name(request.accelerator).unwrap(),
+            &request.model,
+            &request.config,
+            request.seed,
+            request.max_weights_per_layer,
+        );
+        let decoded = sim_result_from_json(&Json::parse(&hit).unwrap()).unwrap();
+        prop_assert_eq!(&decoded, &direct);
+        prop_assert_eq!(
+            sim_result_to_json(&decoded).to_string(),
+            sim_result_to_json(&direct).to_string()
+        );
+    }
+}

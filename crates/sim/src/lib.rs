@@ -37,6 +37,7 @@ pub mod accel;
 pub mod bitvert_func;
 pub mod config;
 pub mod engine;
+pub mod json;
 pub mod workload;
 
 pub use config::ArrayConfig;

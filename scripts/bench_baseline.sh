@@ -2,9 +2,22 @@
 # Emits the perf baseline JSON on stdout: wall-clock of a BBS_CAP=4096
 # repro smoke run plus the Criterion kernel/scheduler medians. Run from the
 # repo root after `cargo build --release`; redirect into BENCH_<tag>.json.
+#
+# Also drives a short bbs-serve load run (self-hosted server, ephemeral
+# port: SERVE_REQUESTS unique requests cold, then the same again warm) and
+# writes the cold/warm latency + dedup counters to BENCH_serve.json.
 set -euo pipefail
 
+SERVE_REQUESTS="${SERVE_REQUESTS:-8}"
+SERVE_CLIENTS="${SERVE_CLIENTS:-4}"
+SERVE_CAP="${SERVE_CAP:-2048}"
+
 cargo build --release --workspace --all-targets >&2
+
+./target/release/serve_client --self-host \
+    --requests "${SERVE_REQUESTS}" --clients "${SERVE_CLIENTS}" \
+    --cap "${SERVE_CAP}" > BENCH_serve.json
+echo "wrote BENCH_serve.json (serve load: ${SERVE_REQUESTS} requests, ${SERVE_CLIENTS} clients)" >&2
 
 start=$(date +%s.%N)
 BBS_CAP=4096 ./target/release/repro > /dev/null

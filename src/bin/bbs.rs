@@ -1,0 +1,96 @@
+//! The `bbs` command-line entry point.
+//!
+//! ```sh
+//! bbs serve [--addr 127.0.0.1:8080] [--workers N] [--queue-depth N]
+//!           [--max-cap N]                 # run the simulation service
+//! bbs models                              # list zoo models
+//! bbs accelerators                        # list accelerator ids
+//! ```
+
+use bbs::serve::server::{start, ServeConfig};
+use bbs::serve::service::ServiceConfig;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  bbs serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--max-cap N]
+  bbs models
+  bbs accelerators
+
+serve options:
+  --addr HOST:PORT   bind address (default 127.0.0.1:8080; port 0 = ephemeral)
+  --workers N        simulation worker threads (default: CPU count, max 8)
+  --queue-depth N    bounded job queue depth (default 64)
+  --max-cap N        upper bound for max_weights_per_layer (default 65536)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => serve(&args[1..]),
+        Some("models") => {
+            for name in bbs::models::zoo::names() {
+                println!("{name}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("accelerators") => {
+            for id in bbs::serve::registry::ACCELERATOR_IDS {
+                println!("{id}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("--help" | "-h" | "help") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("bbs: unknown command '{other}'\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn serve(args: &[String]) -> ExitCode {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:8080".to_string(),
+        service: ServiceConfig::default(),
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else {
+            eprintln!("bbs serve: {flag} requires a value\n{USAGE}");
+            return ExitCode::FAILURE;
+        };
+        let parsed = value.parse::<usize>();
+        match (flag.as_str(), parsed) {
+            ("--addr", _) => config.addr = value.clone(),
+            ("--workers", Ok(n)) if n > 0 => config.service.workers = n,
+            ("--queue-depth", Ok(n)) if n > 0 => config.service.queue_depth = n,
+            ("--max-cap", Ok(n)) if n > 0 => config.service.max_cap = n,
+            _ => {
+                eprintln!("bbs serve: bad argument '{flag} {value}'\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let server = match start(config.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bbs serve: failed to bind {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "bbs-serve listening on http://{} ({} workers, queue depth {})",
+        server.addr(),
+        config.service.workers,
+        config.service.queue_depth
+    );
+    println!("routes: POST /simulate · GET /stats /healthz /models /accelerators");
+
+    // Serve until killed: the accept loop runs on its own thread, so just
+    // park this one.
+    loop {
+        std::thread::park();
+    }
+}

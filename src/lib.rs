@@ -11,7 +11,10 @@
 //! * [`core`] — binary pruning, BBS encoding, global pruning, reordering,
 //! * [`models`] — DNN model zoo, synthetic weights, inference, training,
 //! * [`hw`] — PE area/power and SRAM/DRAM energy models,
-//! * [`sim`] — cycle-accurate accelerator simulators.
+//! * [`sim`] — cycle-accurate accelerator simulators,
+//! * [`serve`] — simulation-as-a-service (worker pool, request
+//!   coalescing, content-addressed result cache); `bbs serve` starts it,
+//! * [`json`] — the std-only JSON codec the serialization layer rides on.
 //!
 //! # Quickstart
 //!
@@ -28,6 +31,8 @@
 
 pub use bbs_core as core;
 pub use bbs_hw as hw;
+pub use bbs_json as json;
 pub use bbs_models as models;
+pub use bbs_serve as serve;
 pub use bbs_sim as sim;
 pub use bbs_tensor as tensor;
