@@ -2,11 +2,11 @@
 //! end user pays at model-preparation time (the paper reports ~15 s for
 //! all of ResNet-50 on a GPU; these are the single-group CPU numbers).
 
-use bbs_core::averaging::rounded_averaging;
+use bbs_core::averaging::{rounded_averaging, rounded_averaging_scalar};
 use bbs_core::encoding::CompressedGroup;
 use bbs_core::prune::BinaryPruner;
-use bbs_core::shifting::zero_point_shifting;
-use bbs_core::zero_col::sign_magnitude_zero_column;
+use bbs_core::shifting::{zero_point_shifting, zero_point_shifting_scalar};
+use bbs_core::zero_col::{sign_magnitude_zero_column, sign_magnitude_zero_column_scalar};
 use bbs_tensor::rng::SeededRng;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -31,6 +31,22 @@ fn bench_kernels(c: &mut Criterion) {
     });
 }
 
+fn bench_scalar_oracles(c: &mut Criterion) {
+    // The per-weight reference implementations the packed kernels are
+    // property-tested against — benchmarked so the packed speedup stays
+    // visible in every baseline file.
+    let g = group32(1);
+    c.bench_function("scalar_oracle/rounded_averaging/32x2col", |b| {
+        b.iter(|| rounded_averaging_scalar(black_box(&g), 2))
+    });
+    c.bench_function("scalar_oracle/zero_point_shifting/32x4col", |b| {
+        b.iter(|| zero_point_shifting_scalar(black_box(&g), 4))
+    });
+    c.bench_function("scalar_oracle/zero_column/32x3col", |b| {
+        b.iter(|| sign_magnitude_zero_column_scalar(black_box(&g), 3))
+    });
+}
+
 fn bench_channel(c: &mut Criterion) {
     let mut rng = SeededRng::new(2);
     let channel: Vec<i8> = (0..4096).map(|_| rng.gaussian_i8(0.0, 30.0)).collect();
@@ -42,5 +58,5 @@ fn bench_channel(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_kernels, bench_channel);
+criterion_group!(benches, bench_kernels, bench_scalar_oracles, bench_channel);
 criterion_main!(benches);

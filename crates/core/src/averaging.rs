@@ -13,8 +13,10 @@
 //! constant — exactly the encoding the BitVert BBS multiplier consumes.
 
 use crate::encoding::{BbsMetadata, CompressedGroup, ConstantKind, CONSTANT_BITS};
-use crate::redundant::encoded_redundant_columns;
-use bbs_tensor::bits::{BitGroup, WEIGHT_BITS};
+use crate::redundant::{
+    encoded_redundant_columns_packed, group_redundant_columns_scalar, MAX_ENCODED_REDUNDANT,
+};
+use bbs_tensor::bits::{BitGroup, PackedGroup, WEIGHT_BITS};
 
 /// Maximum total sparse columns a single group may be asked to generate
 /// (at least one column must remain).
@@ -52,11 +54,62 @@ pub fn optimal_low_bits_constant(group: &[i8], g: usize) -> u8 {
 /// Panics if `group` is empty, exceeds 64 weights, or
 /// `target_sparse > MAX_SPARSE_COLUMNS`.
 pub fn rounded_averaging(group: &[i8], target_sparse: usize) -> CompressedGroup {
+    rounded_averaging_packed(&PackedGroup::from_words(group), target_sparse)
+}
+
+/// The packed-representation averaging kernel: redundant columns from mask
+/// comparisons, the low-bit sum from per-plane popcounts, and the kept
+/// columns sliced straight out of the bit planes (replacing the `g` low
+/// columns by the constant cannot change columns at significance ≥ `g`, so
+/// no modified group is ever materialized).
+///
+/// Bit-identical to [`rounded_averaging_scalar`].
+///
+/// # Panics
+///
+/// Panics if `target_sparse > MAX_SPARSE_COLUMNS`.
+pub fn rounded_averaging_packed(packed: &PackedGroup, target_sparse: usize) -> CompressedGroup {
     assert!(
         target_sparse <= MAX_SPARSE_COLUMNS,
         "cannot prune {target_sparse} of {WEIGHT_BITS} columns"
     );
-    let r = encoded_redundant_columns(group);
+    let r = encoded_redundant_columns_packed(packed);
+    let g = target_sparse.saturating_sub(r).min(CONSTANT_BITS);
+    let c = if g == 0 {
+        0u8
+    } else {
+        // Same integer sum and f64 rounding as the scalar oracle, so the
+        // constant (ties included) is bit-identical.
+        let mask = (1u32 << g) - 1;
+        let mean = packed.low_bits_sum(g) as f64 / packed.len() as f64;
+        (mean.round() as u32).min(mask) as u8
+    };
+    let kept: Vec<u64> = (g..WEIGHT_BITS - r).map(|b| packed.column(b)).collect();
+
+    CompressedGroup::from_parts(
+        packed.len(),
+        kept,
+        BbsMetadata {
+            num_redundant: r as u8,
+            constant: c as i8,
+        },
+        ConstantKind::LowBitsAverage,
+    )
+}
+
+/// Scalar reference oracle for [`rounded_averaging`]: per-weight low-bit
+/// replacement followed by a full repack. Kept for the packed-vs-scalar
+/// equivalence tests.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`rounded_averaging`].
+pub fn rounded_averaging_scalar(group: &[i8], target_sparse: usize) -> CompressedGroup {
+    assert!(
+        target_sparse <= MAX_SPARSE_COLUMNS,
+        "cannot prune {target_sparse} of {WEIGHT_BITS} columns"
+    );
+    let r = group_redundant_columns_scalar(group).min(MAX_ENCODED_REDUNDANT);
     let g = target_sparse.saturating_sub(r).min(CONSTANT_BITS);
     let c = optimal_low_bits_constant(group, g);
 

@@ -19,7 +19,7 @@
 //! `Σ (kept_i ± c)·a_i = Σ kept_i·a_i ± c·ΣA`.
 
 use crate::redundant::MAX_ENCODED_REDUNDANT;
-use bbs_tensor::bits::{BitGroup, MAX_GROUP, WEIGHT_BITS};
+use bbs_tensor::bits::{MAX_GROUP, WEIGHT_BITS};
 use bbs_tensor::metrics;
 use std::fmt;
 
@@ -168,8 +168,9 @@ impl CompressedGroup {
     ///
     /// Panics if `group` is empty or exceeds 64 weights.
     pub fn lossless(group: &[i8]) -> Self {
-        let r = crate::redundant::encoded_redundant_columns(group);
-        let bits = BitGroup::from_words(group);
+        // One pack serves both the redundant count and the kept columns.
+        let bits = bbs_tensor::bits::PackedGroup::from_words(group);
+        let r = crate::redundant::encoded_redundant_columns_packed(&bits);
         let kept: Vec<u64> = (0..WEIGHT_BITS - r).map(|b| bits.column(b)).collect();
         CompressedGroup::from_parts(
             group.len(),
@@ -260,15 +261,28 @@ impl CompressedGroup {
     /// Values are on the INT8 grid but may slightly exceed the `i8` range
     /// after zero-point shifting (the hardware accumulator absorbs this; the
     /// constant is applied as `±c·ΣA`).
+    ///
+    /// Reconstruction is plane-based: the kept columns are placed at their
+    /// significances, the narrowed MSB column is replicated upward (sign
+    /// extension of the narrowed two's-complement value), and the whole
+    /// group is unpacked with the fast inverse bit transpose.
     pub fn decode(&self) -> Vec<i32> {
+        let g = self.low_pruned();
+        let r = self.meta.num_redundant as usize;
+        let mut planes = [0u64; WEIGHT_BITS];
+        for (j, &col) in self.kept.iter().enumerate() {
+            planes[g + j] = col;
+        }
+        let msb = self.kept[self.kept.len() - 1];
+        for plane in planes.iter_mut().skip(WEIGHT_BITS - r) {
+            *plane = msb;
+        }
         let c = self.meta.constant as i32;
-        (0..self.n)
-            .map(|i| {
-                let kept = self.kept_value(i);
-                match self.kind {
-                    ConstantKind::LowBitsAverage => kept + c,
-                    ConstantKind::ZeroPointShift => kept - c,
-                }
+        bbs_tensor::bits::unpack_planes(&planes, self.n)
+            .into_iter()
+            .map(|w| match self.kind {
+                ConstantKind::LowBitsAverage => w as i32 + c,
+                ConstantKind::ZeroPointShift => w as i32 - c,
             })
             .collect()
     }
@@ -414,6 +428,32 @@ mod tests {
                 .map(|(&w, &x)| w as i64 * x as i64)
                 .sum();
             assert_eq!(enc.dot(&a), expect);
+        }
+    }
+
+    #[test]
+    fn plane_decode_matches_kept_value_path() {
+        // The transpose-based decode must agree with the per-lane
+        // kept_value reconstruction for every strategy.
+        let mut rng = SeededRng::new(43);
+        for _ in 0..100 {
+            let n = rng.uniform_usize(1, 65);
+            let group: Vec<i8> = (0..n).map(|_| rng.any_i8()).collect();
+            let target = rng.uniform_usize(0, 8);
+            for enc in [
+                CompressedGroup::lossless(&group),
+                crate::averaging::rounded_averaging(&group, target.min(7)),
+                crate::shifting::zero_point_shifting(&group, target.min(7)),
+            ] {
+                let c = enc.metadata().constant as i32;
+                let expect: Vec<i32> = (0..n)
+                    .map(|i| match enc.kind() {
+                        ConstantKind::LowBitsAverage => enc.kept_value(i) + c,
+                        ConstantKind::ZeroPointShift => enc.kept_value(i) - c,
+                    })
+                    .collect();
+                assert_eq!(enc.decode(), expect);
+            }
         }
     }
 

@@ -6,6 +6,11 @@
 //! model* is sensitive; within each layer the sensitive count is rounded up
 //! to a multiple of the hardware parallelism `CH` so reordered chunks map
 //! cleanly onto the PE array.
+//!
+//! Normal channels are compressed through the packed bit-plane kernels
+//! ([`BinaryPruner::compress_channel`] packs each group exactly once and
+//! runs the mask-arithmetic search), so the whole-model channel sweep is
+//! bounded by pack + mask ops rather than per-weight loops.
 
 use crate::prune::{BinaryPruner, CompressedChannel, DEFAULT_GROUP_SIZE};
 use bbs_tensor::quant::QuantTensor;

@@ -9,9 +9,10 @@
 //! group size) and whole 2-D weight tensors, and reports fidelity/storage
 //! statistics.
 
-use crate::averaging::rounded_averaging;
+use crate::averaging::{rounded_averaging_packed, rounded_averaging_scalar};
 use crate::encoding::CompressedGroup;
-use crate::shifting::zero_point_shifting;
+use crate::shifting::{zero_point_shifting_packed, zero_point_shifting_scalar};
+use bbs_tensor::bits::PackedGroup;
 use bbs_tensor::metrics;
 use std::fmt;
 
@@ -136,13 +137,40 @@ impl BinaryPruner {
     ///
     /// Panics if `group` is empty or exceeds 64 weights.
     pub fn compress_group(&self, group: &[i8]) -> CompressedGroup {
+        self.compress_group_packed(&PackedGroup::from_words(group))
+    }
+
+    /// Compresses an already-packed group — the hot path the channel and
+    /// simulator loops use, packing each group exactly once.
+    pub fn compress_group_packed(&self, packed: &PackedGroup) -> CompressedGroup {
         match self.strategy {
-            PruneStrategy::RoundedAveraging => rounded_averaging(group, self.sparse_columns),
-            PruneStrategy::ZeroPointShifting => zero_point_shifting(group, self.sparse_columns),
+            PruneStrategy::RoundedAveraging => {
+                rounded_averaging_packed(packed, self.sparse_columns)
+            }
+            PruneStrategy::ZeroPointShifting => {
+                zero_point_shifting_packed(packed, self.sparse_columns)
+            }
         }
     }
 
-    /// Compresses a channel, zero-padding the trailing partial group.
+    /// Scalar-oracle variant of [`compress_group`] (the per-weight
+    /// reference implementations), for the equivalence tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is empty or exceeds 64 weights.
+    pub fn compress_group_scalar(&self, group: &[i8]) -> CompressedGroup {
+        match self.strategy {
+            PruneStrategy::RoundedAveraging => rounded_averaging_scalar(group, self.sparse_columns),
+            PruneStrategy::ZeroPointShifting => {
+                zero_point_shifting_scalar(group, self.sparse_columns)
+            }
+        }
+    }
+
+    /// Compresses a channel, zero-padding the trailing partial group (the
+    /// padding happens inside the packed representation — no padded word
+    /// vector is materialized).
     ///
     /// # Panics
     ///
@@ -150,16 +178,12 @@ impl BinaryPruner {
     pub fn compress_channel(&self, weights: &[i8], group_size: usize) -> CompressedChannel {
         assert!(!weights.is_empty());
         assert!((1..=64).contains(&group_size));
-        let mut groups = Vec::with_capacity(weights.len().div_ceil(group_size));
-        for chunk in weights.chunks(group_size) {
-            if chunk.len() == group_size {
-                groups.push(self.compress_group(chunk));
-            } else {
-                let mut padded = chunk.to_vec();
-                padded.resize(group_size, 0);
-                groups.push(self.compress_group(&padded));
-            }
-        }
+        let groups = weights
+            .chunks(group_size)
+            .map(|chunk| {
+                self.compress_group_packed(&PackedGroup::from_words_padded(chunk, group_size))
+            })
+            .collect();
         CompressedChannel {
             groups,
             len: weights.len(),

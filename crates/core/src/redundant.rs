@@ -6,7 +6,7 @@
 //! paper's example: `-57 = 11000111b` drops its second bit to become the
 //! 7-bit `1000111b`, still `-57` once the new MSB carries `-2^6`.
 
-use bbs_tensor::bits::{redundant_sign_bits, WEIGHT_BITS};
+use bbs_tensor::bits::{redundant_sign_bits, PackedGroup, WEIGHT_BITS};
 
 /// Maximum redundant-column count representable by the 2-bit metadata field.
 pub const MAX_ENCODED_REDUNDANT: usize = 3;
@@ -14,10 +14,30 @@ pub const MAX_ENCODED_REDUNDANT: usize = 3;
 /// Exact number of redundant sign-extension columns shared by the whole
 /// group (0..=7): the minimum over each weight's redundant sign bits.
 ///
+/// Packs the group and counts via [`PackedGroup::redundant_columns`] — a
+/// handful of mask comparisons instead of a per-weight width loop. Groups
+/// beyond the 64-lane packed representation take the scalar path, keeping
+/// this function's historical unbounded-length contract.
+///
 /// # Panics
 ///
 /// Panics if `group` is empty.
 pub fn group_redundant_columns(group: &[i8]) -> usize {
+    assert!(!group.is_empty());
+    if group.len() > bbs_tensor::bits::MAX_GROUP {
+        return group_redundant_columns_scalar(group);
+    }
+    PackedGroup::from_words(group).redundant_columns()
+}
+
+/// Scalar reference oracle for [`group_redundant_columns`] (per-weight
+/// minimum of [`redundant_sign_bits`]); kept for the packed-vs-scalar
+/// equivalence tests.
+///
+/// # Panics
+///
+/// Panics if `group` is empty.
+pub fn group_redundant_columns_scalar(group: &[i8]) -> usize {
     assert!(!group.is_empty());
     group
         .iter()
@@ -31,6 +51,12 @@ pub fn group_redundant_columns(group: &[i8]) -> usize {
 /// additional lower columns instead).
 pub fn encoded_redundant_columns(group: &[i8]) -> usize {
     group_redundant_columns(group).min(MAX_ENCODED_REDUNDANT)
+}
+
+/// [`encoded_redundant_columns`] for an already-packed group — the single
+/// home of the 2-bit-metadata cap on the packed path.
+pub fn encoded_redundant_columns_packed(packed: &PackedGroup) -> usize {
+    packed.redundant_columns().min(MAX_ENCODED_REDUNDANT)
 }
 
 /// Checks that every group member is representable in `WEIGHT_BITS - r`
@@ -105,5 +131,28 @@ mod tests {
     fn redundant_count_is_min_over_members() {
         // 63 needs 7 bits (1 redundant), 1 needs 2 bits (6 redundant).
         assert_eq!(group_redundant_columns(&[63, 1]), 1);
+    }
+
+    #[test]
+    fn packed_count_matches_scalar_oracle() {
+        use bbs_tensor::rng::SeededRng;
+        // Exhaustive over single-weight groups (the full i8 space)...
+        for w in i8::MIN..=i8::MAX {
+            assert_eq!(
+                group_redundant_columns(&[w]),
+                group_redundant_columns_scalar(&[w]),
+                "w={w}"
+            );
+        }
+        // ...and random groups of every size, including beyond the 64-lane
+        // packed representation (scalar fallback keeps the old contract).
+        let mut rng = SeededRng::new(19);
+        for n in (1..=64usize).chain([65, 100, 256]) {
+            let g: Vec<i8> = (0..n).map(|_| rng.gaussian_i8(0.0, 35.0)).collect();
+            assert_eq!(
+                group_redundant_columns(&g),
+                group_redundant_columns_scalar(&g)
+            );
+        }
     }
 }

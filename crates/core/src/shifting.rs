@@ -19,7 +19,7 @@
 
 use crate::encoding::{BbsMetadata, CompressedGroup, ConstantKind};
 use crate::redundant::MAX_ENCODED_REDUNDANT;
-use bbs_tensor::bits::{redundant_sign_bits, BitGroup, WEIGHT_BITS};
+use bbs_tensor::bits::{redundant_sign_bits, BitGroup, PackedGroup, WEIGHT_BITS};
 
 /// Inclusive search range of the signed 6-bit shift constant.
 pub const SHIFT_MIN: i32 = -32;
@@ -107,11 +107,309 @@ pub fn evaluate_shift(group: &[i8], target_sparse: usize, constant: i32) -> Shif
 /// Algorithm 1: finds the optimal shift constant and returns the compressed
 /// group.
 ///
+/// Runs entirely on the packed bit-plane representation — see
+/// [`zero_point_shifting_packed`]. Bit-identical to the scalar oracle
+/// [`zero_point_shifting_scalar`].
+///
 /// # Panics
 ///
 /// Panics if `group` is empty, exceeds 64 weights, or
 /// `target_sparse >= 8`.
 pub fn zero_point_shifting(group: &[i8], target_sparse: usize) -> CompressedGroup {
+    zero_point_shifting_packed(&PackedGroup::from_words(group), target_sparse)
+}
+
+// ---------------------------------------------------------------------------
+// Bit-sliced (packed) search.
+//
+// The exhaustive 64-constant search is lane-parallel: all ≤64 weights of the
+// group live as bit planes (`u64` masks, one per significance), and every
+// per-weight step of Algorithm 1 becomes a handful of full-adder mask ops:
+//
+// * `W + c`        — one bit-sliced increment per candidate (the search
+//                    walks the constants in order, so each candidate is the
+//                    previous sum plus one),
+// * clip           — two overflow masks and a mux,
+// * redundant cols — mask equality against the MSB plane,
+// * round to 2^g   — bit-sliced add of the rounding bias, clear `g` planes,
+//                    one overflow mux,
+// * SSE            — plane-pair popcounts of the error magnitudes.
+//
+// The squared error is accumulated as an exact integer. That preserves the
+// scalar oracle's selection bit-for-bit: the scalar per-candidate f64 MSE is
+// `sse / n` with `sse` and `n` exactly representable, and `x ↦ x/n` is
+// strictly monotone and injective for these magnitudes, so integer SSE
+// comparisons (and ties) coincide with the oracle's f64 comparisons.
+// ---------------------------------------------------------------------------
+
+/// Sign-extends 8 i8 planes to 9 planes.
+#[inline]
+fn widen9(cols: &[u64; 8]) -> [u64; 9] {
+    let mut u = [0u64; 9];
+    u[..8].copy_from_slice(cols);
+    u[8] = cols[7];
+    u
+}
+
+/// Lane-parallel `u += k` (broadcast signed constant) within 9 planes.
+#[inline]
+fn add_const9(u: &mut [u64; 9], k: i32, lanes: u64) {
+    let mut carry = 0u64;
+    for (b, plane) in u.iter_mut().enumerate() {
+        let kb = if (k >> b) & 1 != 0 { lanes } else { 0 };
+        let a = *plane;
+        *plane = a ^ kb ^ carry;
+        carry = (a & kb) | (carry & (a ^ kb));
+    }
+}
+
+/// Lane-parallel `u += 1` (9 planes; the search never wraps: values stay
+/// within `[-160, 158]`).
+#[inline]
+fn increment9(u: &mut [u64; 9], lanes: u64) {
+    let mut carry = lanes;
+    for plane in u.iter_mut() {
+        if carry == 0 {
+            break;
+        }
+        let a = *plane;
+        *plane = a ^ carry;
+        carry &= a;
+    }
+}
+
+/// Fast-path SSE when no lane clipped or clamped: the error is purely the
+/// rounding residual `e = d - step/2 + [t < 0]` with `d` the low `g` bits
+/// of the biased sum `a = t + step/2 - [t < 0]` — already computed, so no
+/// wide subtract is needed and `|e| ≤ step/2` fits `g + 1` planes.
+#[inline]
+fn sse_low(a_low: &[u64; 7], g: usize, neg: u64, lanes: u64) -> u64 {
+    debug_assert!((1..WEIGHT_BITS).contains(&g));
+    let np = g + 1;
+    let mut e = [0u64; 8];
+    e[..g].copy_from_slice(&a_low[..g]);
+    // - 2^(g-1): borrow ripple from plane g-1 (mod 2^(g+1) two's complement).
+    let mut borrow = lanes;
+    for plane in e.iter_mut().take(np).skip(g - 1) {
+        if borrow == 0 {
+            break;
+        }
+        let x = *plane;
+        *plane = x ^ borrow;
+        borrow &= !x;
+    }
+    // + 1 on the lanes that were negative before biasing.
+    let mut carry = neg;
+    for plane in e.iter_mut().take(np) {
+        if carry == 0 {
+            break;
+        }
+        let x = *plane;
+        *plane = x ^ carry;
+        carry &= x;
+    }
+    // Conditional negate to magnitudes (≤ 2^(g-1), so planes 0..g suffice).
+    let sign = e[g];
+    let mut m = [0u64; 8];
+    let mut carry = sign;
+    for (b, plane) in m.iter_mut().enumerate().take(np) {
+        let x = e[b] ^ sign;
+        *plane = x ^ carry;
+        carry &= x;
+    }
+    sse_of_magnitudes(&m[..g])
+}
+
+/// `Σ_i m_i²` over lanes from non-negative magnitude planes:
+/// `Σ_{b≤b'} 2^(b+b'+[b≠b']) · |m_b ∧ m_b'|`.
+#[inline]
+fn sse_of_magnitudes(m: &[u64]) -> u64 {
+    let mut sse = 0u64;
+    for (b, &pb) in m.iter().enumerate() {
+        if pb == 0 {
+            continue;
+        }
+        sse += (pb.count_ones() as u64) << (2 * b);
+        for (b2, &pb2) in m.iter().enumerate().skip(b + 1) {
+            if pb2 == 0 {
+                continue;
+            }
+            sse += ((pb & pb2).count_ones() as u64) << (b + b2 + 1);
+        }
+    }
+    sse
+}
+
+/// Exact integer sum of squared errors `Σ (u_i - s_i)²` over the valid
+/// lanes, where `u` is the unclipped shifted sum (9 planes) and `s` the
+/// rounded result (8 planes).
+///
+/// The error fits 9-plane two's complement: `|u - s| ≤ |u - clip(u)| +
+/// |clip(u) - s| ≤ 32 + (step - 1) ≤ 159`.
+#[inline]
+fn sse_planes(u: &[u64; 9], s: &[u64; 8], lanes: u64) -> u64 {
+    // e = u - s as 9-plane two's complement.
+    let mut e = [0u64; 9];
+    let mut carry = lanes;
+    for (b, plane) in e.iter_mut().enumerate() {
+        let a = u[b];
+        let nb = !s[b.min(7)] & lanes;
+        *plane = a ^ nb ^ carry;
+        carry = (a & nb) | (carry & (a ^ nb));
+    }
+    // Conditional negate to magnitudes: small errors clear the high planes,
+    // which lets most plane-pair products below vanish.
+    let neg = e[8];
+    let mut m = [0u64; 9];
+    let mut carry = neg;
+    for (b, plane) in m.iter_mut().enumerate() {
+        let x = e[b] ^ neg;
+        *plane = x ^ carry;
+        carry &= x;
+    }
+    debug_assert_eq!(m[8], 0, "error magnitude exceeds 8 bits");
+    sse_of_magnitudes(&m[..8])
+}
+
+/// The packed-representation shifting kernel: evaluates all 64 shift
+/// constants with bit-sliced lane-parallel arithmetic. Bit-identical to
+/// [`zero_point_shifting_scalar`] (same winning constant under the same
+/// tie-breaking, same stored columns).
+///
+/// # Panics
+///
+/// Panics if `target_sparse >= 8`.
+pub fn zero_point_shifting_packed(packed: &PackedGroup, target_sparse: usize) -> CompressedGroup {
+    assert!(target_sparse < WEIGHT_BITS);
+    let lanes = packed.lane_mask();
+
+    let mut u = widen9(packed.columns());
+    add_const9(&mut u, SHIFT_MIN, lanes);
+
+    let mut best_sse = u64::MAX;
+    let mut best_r = 0usize;
+    let mut best_c = 0i32;
+    let mut best_s = [0u64; WEIGHT_BITS];
+
+    for constant in SHIFT_MIN..=SHIFT_MAX {
+        if constant != SHIFT_MIN {
+            increment9(&mut u, lanes);
+        }
+        // Clip to the INT8 rails: 127 sets bits 0..=6, -128 only bit 7.
+        let clip_hi = !u[8] & u[7] & lanes; // ≥ 128  → 127
+        let clip_lo = u[8] & !u[7] & lanes; // < -128 → -128
+        let keep = !(clip_hi | clip_lo);
+        let mut t = [0u64; 8];
+        for (b, out) in t.iter_mut().enumerate() {
+            let rail = if b < 7 { clip_hi } else { clip_lo };
+            *out = (u[b] & keep) | rail;
+        }
+        let msb = t[7];
+        let mut r = 0usize;
+        while r < MAX_ENCODED_REDUNDANT && t[6 - r] == msb {
+            r += 1;
+        }
+        let g = target_sparse.saturating_sub(r);
+        let clipped = clip_hi | clip_lo;
+
+        let (s, sse) = if g == 0 {
+            // No rounding: the only error source is clipping.
+            let sse = if clipped == 0 {
+                0
+            } else {
+                sse_planes(&u, &t, lanes)
+            };
+            (t, sse)
+        } else {
+            // Round to the nearest multiple of 2^g, ties away from zero
+            // (f64::round): floor((t + step/2 - [t < 0]) / step) · step.
+            let neg = t[7];
+            let mut a = widen9(&t);
+            let mut borrow = neg;
+            for plane in a.iter_mut() {
+                if borrow == 0 {
+                    break;
+                }
+                let x = *plane;
+                *plane = x ^ borrow;
+                borrow &= !x;
+            }
+            // step/2 is a single bit: a carry ripple from plane g-1.
+            let mut carry = lanes;
+            for plane in a.iter_mut().skip(g - 1) {
+                if carry == 0 {
+                    break;
+                }
+                let x = *plane;
+                *plane = x ^ carry;
+                carry &= x;
+            }
+            let mut a_low = [0u64; 7];
+            a_low[..g].copy_from_slice(&a[..g]);
+            for plane in a.iter_mut().take(g) {
+                *plane = 0;
+            }
+            // The only value outside [lo, hi] the rounding can produce is
+            // exactly 2^(7-r) (hi + step): positive with bit 7-r set. Mux
+            // those lanes down to hi.
+            let ov = a[7 - r] & !a[8] & lanes;
+            let hi_val = (1i32 << (7 - r)) - (1i32 << g);
+            let mut s = [0u64; 8];
+            for (b, out) in s.iter_mut().enumerate() {
+                let mut v = a[b] & !ov;
+                if (hi_val >> b) & 1 != 0 {
+                    v |= ov;
+                }
+                *out = v;
+            }
+            let sse = if clipped | ov == 0 {
+                sse_low(&a_low, g, neg, lanes)
+            } else {
+                sse_planes(&u, &s, lanes)
+            };
+            (s, sse)
+        };
+        // Ties broken toward more redundant columns (more free
+        // compression), then toward the smaller shift magnitude — the
+        // scalar oracle's rules on exact integers.
+        let better = sse < best_sse
+            || (sse == best_sse && r > best_r)
+            || (sse == best_sse && r == best_r && constant.abs() < best_c.abs());
+        if better {
+            best_sse = sse;
+            best_r = r;
+            best_c = constant;
+            best_s = s;
+        }
+    }
+
+    let g = target_sparse.saturating_sub(best_r);
+    debug_assert!(
+        best_s.iter().take(g).all(|&c| c == 0),
+        "generated low columns must be all-zero"
+    );
+    let kept: Vec<u64> = best_s[g..WEIGHT_BITS - best_r].to_vec();
+
+    CompressedGroup::from_parts(
+        packed.len(),
+        kept,
+        BbsMetadata {
+            num_redundant: best_r as u8,
+            constant: best_c as i8,
+        },
+        ConstantKind::ZeroPointShift,
+    )
+}
+
+/// Scalar reference oracle for [`zero_point_shifting`]: the per-weight
+/// Algorithm 1 search over [`evaluate_shift`] candidates. Kept for the
+/// packed-vs-scalar equivalence tests and the Fig. 5/6 diagnostics.
+///
+/// # Panics
+///
+/// Panics if `group` is empty, exceeds 64 weights, or
+/// `target_sparse >= 8`.
+pub fn zero_point_shifting_scalar(group: &[i8], target_sparse: usize) -> CompressedGroup {
     assert!(target_sparse < WEIGHT_BITS);
     let mut best: Option<ShiftCandidate> = None;
     for constant in SHIFT_MIN..=SHIFT_MAX {
@@ -268,6 +566,26 @@ mod tests {
             // Reconstructions may exceed i8 slightly but must stay sane.
             for v in recon {
                 assert!((-192..=191).contains(&v), "unreasonable recon {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_search_matches_scalar_oracle() {
+        let mut rng = SeededRng::new(67);
+        for case in 0..150 {
+            let n = rng.uniform_usize(1, 65);
+            let group: Vec<i8> = if case % 2 == 0 {
+                (0..n).map(|_| rng.any_i8()).collect()
+            } else {
+                (0..n).map(|_| rng.gaussian_i8(0.0, 35.0)).collect()
+            };
+            for target in 0..WEIGHT_BITS {
+                assert_eq!(
+                    zero_point_shifting(&group, target),
+                    zero_point_shifting_scalar(&group, target),
+                    "group {group:?} target {target}"
+                );
             }
         }
     }

@@ -9,7 +9,7 @@
 //! (Fig. 1b vs 1c): forced groups collapse onto coarse magnitude grids and
 //! lose quantization levels.
 
-use bbs_tensor::bits::sign_magnitude;
+use bbs_tensor::bits::{sign_magnitude, unpack_planes, PackedGroup};
 use bbs_tensor::metrics;
 
 /// Number of bit columns in the sign-magnitude byte (sign + 7 magnitude).
@@ -94,10 +94,148 @@ fn nearest_representable_magnitude(m: u8, mask: u8) -> u8 {
 /// columns (inherent zero columns counted first, then low-significance
 /// magnitude columns are forced).
 ///
+/// Runs on the packed bit-plane representation: inherent zero columns are
+/// mask tests, and the nearest representable magnitude is computed for all
+/// lanes at once with prefix-OR / carry-ripple mask arithmetic instead of
+/// the scalar oracle's 128-candidate scan per weight. Bit-identical to
+/// [`sign_magnitude_zero_column_scalar`], which also serves groups larger
+/// than the 64-lane packed representation (preserving the historical
+/// unbounded-length contract of this function).
+///
 /// # Panics
 ///
 /// Panics if `group` is empty or `target_sparse >= 8`.
 pub fn sign_magnitude_zero_column(group: &[i8], target_sparse: usize) -> ZeroColumnGroup {
+    assert!(!group.is_empty());
+    assert!(
+        target_sparse < SM_COLUMNS,
+        "at least one column must remain"
+    );
+    if group.len() > bbs_tensor::bits::MAX_GROUP {
+        return sign_magnitude_zero_column_scalar(group, target_sparse);
+    }
+
+    let sm: Vec<u8> = group.iter().map(|&w| sign_magnitude(w)).collect();
+    let packed = PackedGroup::from_bytes(&sm);
+    let lanes = packed.lane_mask();
+
+    // Inherent all-zero columns (sign column included: an all-positive group
+    // skips it for free).
+    let mut zero_mask = 0u8;
+    for b in 0..SM_COLUMNS {
+        if packed.column_all_zero(b) {
+            zero_mask |= 1 << b;
+        }
+    }
+
+    // Force additional low-significance magnitude columns until the target
+    // is reached (never the sign column — flipping signs is catastrophic).
+    let mut forced = 0u8;
+    let mut b = 0usize;
+    while (zero_mask | forced).count_ones() < target_sparse as u32 && b < SM_COLUMNS - 1 {
+        if (zero_mask >> b) & 1 == 0 {
+            forced |= 1 << b;
+        }
+        b += 1;
+    }
+
+    // Magnitude planes (the sign plane stays aside) and the broadcast
+    // forced-column masks.
+    let sign = packed.column(7);
+    let mut m = [0u64; 8];
+    m[..7].copy_from_slice(&packed.columns()[..7]);
+    let fmask: [u64; 8] = core::array::from_fn(|b| if (forced >> b) & 1 == 1 { lanes } else { 0 });
+
+    // floor: the largest representable magnitude ≤ m, per lane. Bits above
+    // each lane's highest conflicting (set ∧ forced) bit are kept, the rest
+    // becomes the all-non-forced-ones fill below it. `seen[b]` marks lanes
+    // with a conflict at significance ≥ b (suffix OR of conflict planes).
+    let mut seen = [0u64; 9];
+    for b in (0..8).rev() {
+        seen[b] = seen[b + 1] | (m[b] & fmask[b]);
+    }
+    let mut floor = [0u64; 8];
+    for b in 0..8 {
+        let fill = if (forced >> b) & 1 == 1 {
+            0
+        } else {
+            seen[b + 1]
+        };
+        floor[b] = (m[b] & !seen[b]) | fill;
+    }
+
+    // upper: the next representable magnitude after floor —
+    // ((floor | forced) + 1) & !forced, with the carry out of bit 6
+    // marking lanes whose upper would exceed 127 (no upper candidate).
+    let mut upper = [0u64; 8];
+    let mut carry = lanes;
+    for b in 0..8 {
+        let a = floor[b] | fmask[b];
+        upper[b] = a ^ carry;
+        carry &= a;
+    }
+    let ov = upper[7]; // magnitudes are 7-bit, so bit 7 is the +1 overflow
+    for b in 0..8 {
+        upper[b] &= !fmask[b];
+    }
+    upper[7] = 0;
+
+    // Distances: dl = m - floor, du = upper - m (both fit 7 bits on the
+    // lanes that matter), and their difference decides the mux. Ties go to
+    // floor — the scalar oracle scans candidates in ascending order with
+    // strict improvement, so the smaller candidate wins.
+    let dl = sub_planes(&m, &floor, lanes);
+    let du = sub_planes(&upper, &m, lanes);
+    let d = sub_planes(&dl, &du, lanes);
+    let nz = d.iter().fold(0u64, |acc, &p| acc | p);
+    let choose_upper = nz & !d[7] & !ov & lanes;
+
+    // Mux the winner, then apply the sign: v = sign ? -mag : mag.
+    let mut v: [u64; 8] =
+        core::array::from_fn(|b| (floor[b] & !choose_upper) | (upper[b] & choose_upper));
+    for plane in v.iter_mut() {
+        *plane ^= sign;
+    }
+    let mut carry = sign;
+    for plane in v.iter_mut() {
+        if carry == 0 {
+            break;
+        }
+        let x = *plane;
+        *plane = x ^ carry;
+        carry &= x;
+    }
+
+    ZeroColumnGroup {
+        n: group.len(),
+        zero_mask: zero_mask | forced,
+        values: unpack_planes(&v, group.len()),
+    }
+}
+
+/// Lane-parallel `a - b` in 8-plane two's complement (borrow via
+/// `a + !b + 1`).
+#[inline]
+fn sub_planes(a: &[u64; 8], b: &[u64; 8], lanes: u64) -> [u64; 8] {
+    let mut out = [0u64; 8];
+    let mut carry = lanes;
+    for (p, o) in out.iter_mut().enumerate() {
+        let x = a[p];
+        let y = !b[p] & lanes;
+        *o = x ^ y ^ carry;
+        carry = (x & y) | (carry & (x ^ y));
+    }
+    out
+}
+
+/// Scalar reference oracle for [`sign_magnitude_zero_column`]: the
+/// per-weight 128-candidate nearest-magnitude scan. Kept for the
+/// packed-vs-scalar equivalence tests.
+///
+/// # Panics
+///
+/// Panics if `group` is empty or `target_sparse >= 8`.
+pub fn sign_magnitude_zero_column_scalar(group: &[i8], target_sparse: usize) -> ZeroColumnGroup {
     assert!(!group.is_empty());
     assert!(
         target_sparse < SM_COLUMNS,
@@ -189,6 +327,41 @@ mod tests {
         let group = [7i8, 77, -25, 113, 95, -127, 66, -88];
         let z = sign_magnitude_zero_column(&group, 3);
         assert_eq!(z.decode()[0], 8);
+    }
+
+    #[test]
+    fn packed_rounding_matches_scalar_oracle() {
+        // Exhaustive over the full i8 space as single-lane groups, every
+        // target: the packed floor/upper mask arithmetic must reproduce the
+        // 128-candidate scan exactly.
+        for w in i8::MIN..=i8::MAX {
+            for target in 0..SM_COLUMNS {
+                assert_eq!(
+                    sign_magnitude_zero_column(&[w], target),
+                    sign_magnitude_zero_column_scalar(&[w], target),
+                    "w={w} target={target}"
+                );
+            }
+        }
+        let mut rng = SeededRng::new(84);
+        for _ in 0..150 {
+            let n = rng.uniform_usize(1, 65);
+            let group: Vec<i8> = (0..n).map(|_| rng.any_i8()).collect();
+            for target in 0..SM_COLUMNS {
+                assert_eq!(
+                    sign_magnitude_zero_column(&group, target),
+                    sign_magnitude_zero_column_scalar(&group, target),
+                    "group {group:?} target {target}"
+                );
+            }
+        }
+        // Groups beyond the 64-lane packed representation take the scalar
+        // fallback — the historical unbounded-length contract holds.
+        let big: Vec<i8> = (0..130).map(|_| rng.any_i8()).collect();
+        assert_eq!(
+            sign_magnitude_zero_column(&big, 3),
+            sign_magnitude_zero_column_scalar(&big, 3)
+        );
     }
 
     #[test]

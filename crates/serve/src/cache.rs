@@ -17,15 +17,21 @@ use std::sync::{Arc, Mutex};
 /// re-simulation).
 pub struct ShardedCache {
     shards: Vec<Mutex<HashMap<u64, Arc<str>>>>,
-    per_shard_cap: usize,
+    /// Per-shard capacities summing to exactly `max_entries`: the base
+    /// `max_entries / n` everywhere plus one extra on the first
+    /// `max_entries % n` shards. The shard count is clamped so every shard
+    /// has capacity ≥ 1 — no slice of the key space is ever uncacheable.
+    shard_caps: Vec<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl ShardedCache {
     /// Creates a cache with `shards` lock domains (rounded up to a power
-    /// of two so shard selection is a mask) holding at most ~`max_entries`
-    /// results in total.
+    /// of two so shard selection is a mask, then clamped down so no shard
+    /// ends up with zero capacity) holding at most `max_entries` results
+    /// in total — the bound is exact, never exceeded by per-shard
+    /// rounding.
     ///
     /// # Panics
     ///
@@ -33,18 +39,32 @@ impl ShardedCache {
     pub fn new(shards: usize, max_entries: usize) -> Self {
         assert!(shards > 0, "need at least one shard");
         assert!(max_entries > 0, "need capacity for at least one result");
-        let n = shards.next_power_of_two();
+        // Largest power of two ≤ max_entries caps the shard count, so the
+        // per-shard base capacity is always ≥ 1.
+        let entry_cap = 1usize << (usize::BITS - 1 - max_entries.leading_zeros());
+        let n = shards.next_power_of_two().min(entry_cap);
+        let base = max_entries / n;
+        let extra = max_entries % n;
         ShardedCache {
             shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
-            per_shard_cap: max_entries.div_ceil(n),
+            shard_caps: (0..n).map(|i| base + usize::from(i < extra)).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Arc<str>>> {
+    /// Total configured capacity (equals the `max_entries` bound).
+    pub fn capacity(&self) -> usize {
+        self.shard_caps.iter().sum()
+    }
+
+    fn shard_index(&self, key: u64) -> usize {
         // The FNV key is well-mixed; low bits select the shard.
-        &self.shards[(key as usize) & (self.shards.len() - 1)]
+        (key as usize) & (self.shards.len() - 1)
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Arc<str>>> {
+        &self.shards[self.shard_index(key)]
     }
 
     /// Looks up `key`, bumping the hit/miss counters.
@@ -67,8 +87,11 @@ impl ShardedCache {
     /// shard is at capacity. Last write wins (results for one key are
     /// identical by construction, so racing inserts are benign).
     pub fn insert(&self, key: u64, value: Arc<str>) {
-        let mut shard = self.shard(key).lock().unwrap();
-        if shard.len() >= self.per_shard_cap && !shard.contains_key(&key) {
+        let idx = self.shard_index(key);
+        let cap = self.shard_caps[idx];
+        debug_assert!(cap >= 1, "shard-count clamp guarantees capacity");
+        let mut shard = self.shards[idx].lock().unwrap();
+        if shard.len() >= cap && !shard.contains_key(&key) {
             if let Some(&victim) = shard.keys().next() {
                 shard.remove(&victim);
             }
@@ -142,6 +165,40 @@ mod tests {
         c.insert(resident, Arc::from("v2"));
         assert_eq!(c.len(), before);
         assert_eq!(c.peek(resident).as_deref(), Some("v2"));
+    }
+
+    #[test]
+    fn total_capacity_never_exceeds_bound_at_non_power_of_two_shards() {
+        // 5 shards round up to 8 lock domains; the old div_ceil cap gave
+        // each of the 8 shards ⌈10/8⌉ = 2 slots — 16 total, 60% over the
+        // configured bound. The clamped caps must sum to exactly 10.
+        let c = ShardedCache::new(5, 10);
+        assert_eq!(c.capacity(), 10);
+        for k in 0..10_000u64 {
+            c.insert(k, Arc::from("v"));
+        }
+        assert!(c.len() <= 10, "{} entries exceed the bound of 10", c.len());
+
+        // More shards than entries: the shard count is clamped down so no
+        // shard gets zero capacity (every key remains cacheable), and the
+        // total still respects the bound exactly.
+        let c = ShardedCache::new(6, 3);
+        assert_eq!(c.capacity(), 3);
+        assert!(c.shard_caps.iter().all(|&cap| cap >= 1));
+        for k in 0..10_000u64 {
+            c.insert(k, Arc::from("v"));
+        }
+        assert!(c.len() <= 3, "{} entries exceed the bound of 3", c.len());
+        // Every shard actually holds something after saturation — no
+        // permanently-uncacheable slice of the key space.
+        assert!(c.shards.iter().all(|s| !s.lock().unwrap().is_empty()));
+
+        // A divisible configuration keeps its full capacity resident.
+        let c = ShardedCache::new(4, 64);
+        for k in 0..10_000u64 {
+            c.insert(k, Arc::from("v"));
+        }
+        assert_eq!(c.len(), 64, "even distribution should fill exactly");
     }
 
     #[test]

@@ -5,6 +5,12 @@
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 
+/// Socket timeout for reads and writes — aliased to the server's own
+/// [`crate::server::SOCKET_TIMEOUT`] (provably equal), so a peer that
+/// neither frames its response nor closes the connection produces a timely
+/// error instead of a hung client.
+pub const CLIENT_TIMEOUT: std::time::Duration = crate::server::SOCKET_TIMEOUT;
+
 /// One keep-alive client connection.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -16,6 +22,8 @@ impl Client {
     pub fn connect(addr: SocketAddr) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+        stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
             reader,
@@ -63,25 +71,154 @@ impl Client {
             .nth(1)
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
-        let mut content_length = 0usize;
+        let mut content_length: Option<usize> = None;
         loop {
             let line = self.read_line()?;
             if line.is_empty() {
                 break;
             }
             if let Some((name, value)) = line.split_once(':') {
+                // Mirror the server parser: duplicate Content-Length or any
+                // Transfer-Encoding desyncs keep-alive framing (this client
+                // only understands Content-Length and EOF framing).
+                if name.eq_ignore_ascii_case("transfer-encoding") {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "transfer-encoding responses not supported",
+                    ));
+                }
                 if name.eq_ignore_ascii_case("content-length") {
-                    content_length = value
-                        .trim()
-                        .parse()
-                        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad length"))?;
+                    if content_length.is_some() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "duplicate content-length in response",
+                        ));
+                    }
+                    content_length =
+                        Some(value.trim().parse().map_err(|_| {
+                            io::Error::new(io::ErrorKind::InvalidData, "bad length")
+                        })?);
                 }
             }
         }
-        let mut body = vec![0u8; content_length];
-        self.reader.read_exact(&mut body)?;
+        let body = match content_length {
+            Some(len) => {
+                let mut body = vec![0u8; len];
+                self.reader.read_exact(&mut body).map_err(|e| {
+                    if e.kind() == io::ErrorKind::UnexpectedEof {
+                        io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            format!("truncated response body: expected {len} bytes, connection closed early"),
+                        )
+                    } else {
+                        e
+                    }
+                })?;
+                body
+            }
+            None => {
+                // Connection-close framing: without Content-Length the body
+                // runs to EOF. Reading in a loop (rather than hanging on an
+                // exact-length read) terminates as soon as the server closes.
+                let mut body = Vec::new();
+                self.reader.read_to_end(&mut body)?;
+                body
+            }
+        };
         String::from_utf8(body)
             .map(|b| (status, b))
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 body"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Serves one connection with a canned byte response, then closes.
+    fn canned_server(response: &'static [u8]) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().unwrap();
+            // Drain the full request head before responding — the client
+            // writes in several small chunks, and closing early would turn
+            // its write into a BrokenPipe instead of exercising the read
+            // path under test.
+            let mut head = Vec::new();
+            let mut buf = [0u8; 1024];
+            loop {
+                match io::Read::read(&mut sock, &mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(k) => {
+                        head.extend_from_slice(&buf[..k]);
+                        if head.windows(4).any(|w| w == b"\r\n\r\n") {
+                            break;
+                        }
+                    }
+                }
+            }
+            sock.write_all(response).unwrap();
+            // Dropping the socket closes the connection (EOF framing).
+        });
+        addr
+    }
+
+    #[test]
+    fn missing_content_length_falls_back_to_eof_framing() {
+        let addr = canned_server(b"HTTP/1.1 200 OK\r\nconnection: close\r\n\r\n{\"ok\":true}");
+        let mut client = Client::connect(addr).unwrap();
+        let (status, body) = client.get("/whatever").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"ok\":true}");
+    }
+
+    #[test]
+    fn truncated_body_reports_a_clear_error() {
+        let addr = canned_server(b"HTTP/1.1 200 OK\r\ncontent-length: 10\r\n\r\nabc");
+        let mut client = Client::connect(addr).unwrap();
+        let err = client.get("/whatever").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(
+            err.to_string().contains("truncated response body"),
+            "unhelpful error: {err}"
+        );
+        assert!(err.to_string().contains("10 bytes"), "error: {err}");
+    }
+
+    #[test]
+    fn duplicate_response_content_length_is_rejected() {
+        let addr = canned_server(
+            b"HTTP/1.1 200 OK\r\ncontent-length: 100\r\ncontent-length: 3\r\n\r\nabc",
+        );
+        let mut client = Client::connect(addr).unwrap();
+        let err = client.get("/whatever").unwrap_err();
+        assert!(
+            err.to_string().contains("duplicate content-length"),
+            "error: {err}"
+        );
+    }
+
+    #[test]
+    fn transfer_encoding_response_is_rejected() {
+        let addr = canned_server(
+            b"HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\nb\r\n{\"ok\":true}\r\n0\r\n\r\n",
+        );
+        let mut client = Client::connect(addr).unwrap();
+        let err = client.get("/whatever").unwrap_err();
+        assert!(
+            err.to_string().contains("transfer-encoding"),
+            "error: {err}"
+        );
+    }
+
+    #[test]
+    fn explicit_zero_length_body_does_not_wait_for_eof() {
+        let addr = canned_server(b"HTTP/1.1 204 No Content\r\ncontent-length: 0\r\n\r\n");
+        let mut client = Client::connect(addr).unwrap();
+        let (status, body) = client.get("/whatever").unwrap();
+        assert_eq!(status, 204);
+        assert!(body.is_empty());
     }
 }

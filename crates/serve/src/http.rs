@@ -76,13 +76,28 @@ pub fn read_request<R: BufRead>(stream: &mut R) -> io::Result<Option<Request>> {
         headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
     }
 
-    let content_length = headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
-        .map(|(_, v)| v.parse::<usize>())
-        .transpose()
-        .map_err(|_| bad_input("bad content-length"))?
-        .unwrap_or(0);
+    // Request-smuggling hardening (RFC 9112 §6.3). This parser only frames
+    // bodies by Content-Length, so any Transfer-Encoding header is rejected
+    // — honoring CL while a TE-aware intermediary honors chunked framing is
+    // the classic CL.TE desync, and silently ignoring TE would leave the
+    // chunked body bytes in the stream as a forged next request.
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(bad_input("transfer-encoding not supported"));
+    }
+    // Likewise a request carrying more than one `Content-Length` header is
+    // rejected outright — even when the values agree — rather than trusting
+    // whichever copy a downstream peer might pick.
+    let mut content_length = None;
+    for (_, v) in headers.iter().filter(|(k, _)| k == "content-length") {
+        if content_length.is_some() {
+            return Err(bad_input("duplicate content-length"));
+        }
+        let parsed = v
+            .parse::<usize>()
+            .map_err(|_| bad_input("bad content-length"))?;
+        content_length = Some(parsed);
+    }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY {
         return Err(bad_input("body too large"));
     }
@@ -228,6 +243,49 @@ mod tests {
     #[test]
     fn truncated_body_is_an_error() {
         assert!(parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").is_err());
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected() {
+        // Conflicting values: classic request-smuggling vector.
+        let conflicting = "POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 2\r\n\r\nabcd";
+        assert!(parse(conflicting).is_err());
+        // Even agreeing duplicates are rejected — no second-guessing which
+        // copy an intermediary would honor.
+        let agreeing = "POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nabcd";
+        assert!(parse(agreeing).is_err());
+        // Mixed case still counts as the same header.
+        let mixed = "POST / HTTP/1.1\r\ncontent-length: 4\r\nCONTENT-LENGTH: 2\r\n\r\nabcd";
+        assert!(parse(mixed).is_err());
+        let err = parse(conflicting).unwrap_err();
+        assert!(err.to_string().contains("duplicate content-length"));
+    }
+
+    #[test]
+    fn transfer_encoding_is_rejected() {
+        // CL.TE / TE-only desync vectors: this parser frames by
+        // Content-Length exclusively, so TE-bearing requests get 400.
+        let te_only = "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n";
+        assert!(parse(te_only).is_err());
+        let cl_te =
+            "POST / HTTP/1.1\r\nContent-Length: 4\r\nTransfer-Encoding: chunked\r\n\r\nabcd";
+        assert!(parse(cl_te).is_err());
+        let identity = "GET / HTTP/1.1\r\ntransfer-encoding: identity\r\n\r\n";
+        assert!(parse(identity).is_err());
+    }
+
+    #[test]
+    fn empty_or_whitespace_content_length_is_rejected() {
+        assert!(parse("POST / HTTP/1.1\r\nContent-Length:\r\n\r\n").is_err());
+        assert!(parse("POST / HTTP/1.1\r\nContent-Length:   \r\n\r\n").is_err());
+        // Signed and hex forms are not valid lengths either.
+        assert!(parse("POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n").is_err());
+        assert!(parse("POST / HTTP/1.1\r\nContent-Length: 0x10\r\n\r\n").is_err());
+        // A single well-formed zero-length header still parses.
+        let req = parse("POST / HTTP/1.1\r\nContent-Length: 0\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.body.is_empty());
     }
 
     #[test]

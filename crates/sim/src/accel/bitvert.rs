@@ -19,7 +19,7 @@ use bbs_core::encoding::CompressedGroup;
 use bbs_core::global::{select_sensitive_channels, GlobalPruneConfig};
 use bbs_core::reorder::ChannelOrder;
 use bbs_hw::pe::{bitvert_pe, PeModel};
-use bbs_tensor::bits::{BitGroup, WEIGHT_BITS};
+use bbs_tensor::bits::{PackedGroup, WEIGHT_BITS};
 
 /// Weights per PE pass.
 pub const PE_GROUP: usize = 16;
@@ -107,24 +107,18 @@ impl Accelerator for BitVert {
             let mut lat_row = Vec::new();
             let mut use_row = Vec::new();
             for chunk in row.chunks(group) {
-                let padded: Vec<i8> = if chunk.len() == group {
-                    chunk.to_vec()
-                } else {
-                    let mut p = chunk.to_vec();
-                    p.resize(group, 0);
-                    p
-                };
+                // Packed once per group; the zero padding of trailing
+                // partial groups happens in the bit planes.
+                let packed = PackedGroup::from_words_padded(chunk, group);
                 if masks[0][c] {
                     // Sensitive: raw 8-bit storage, all 8 columns processed.
                     stored_bits_sampled += (group * WEIGHT_BITS) as u64;
-                    let bits = BitGroup::from_words(&padded);
-                    let columns: Vec<u64> = (0..WEIGHT_BITS).map(|b| bits.column(b)).collect();
                     for pass in 0..passes_per_group {
                         lat_row.push(WEIGHT_BITS as u32);
-                        use_row.push(pass_useful(&columns, pass * PE_GROUP));
+                        use_row.push(pass_useful(packed.columns(), pass * PE_GROUP));
                     }
                 } else {
-                    let enc: CompressedGroup = self.prune.pruner.compress_group(&padded);
+                    let enc: CompressedGroup = self.prune.pruner.compress_group_packed(&packed);
                     stored_bits_sampled += enc.stored_bits() as u64;
                     let kept = enc.kept_column_count();
                     let columns: Vec<u64> = (0..kept).map(|j| enc.kept_column(j)).collect();

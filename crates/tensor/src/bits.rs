@@ -96,16 +96,8 @@ impl BitGroup {
             "group size must be in 1..={MAX_GROUP}, got {}",
             words.len()
         );
-        let mut columns = [0u64; WEIGHT_BITS];
-        for (i, &w) in words.iter().enumerate() {
-            for (b, col) in columns.iter_mut().enumerate() {
-                if bit_of(w, b) {
-                    *col |= 1u64 << i;
-                }
-            }
-        }
         BitGroup {
-            columns,
+            columns: pack_planes(words),
             n: words.len(),
         }
     }
@@ -202,12 +194,287 @@ impl BitGroup {
 
     /// Reconstructs all words.
     pub fn into_words(self) -> Vec<i8> {
-        (0..self.n).map(|i| self.word(i)).collect()
+        unpack_planes(&self.columns, self.n)
     }
 
     /// Reconstructs all words without consuming the view.
     pub fn to_words(&self) -> Vec<i8> {
-        (0..self.n).map(|i| self.word(i)).collect()
+        unpack_planes(&self.columns, self.n)
+    }
+}
+
+/// Transposes an 8×8 bit matrix held in a `u64` (byte `i` = row `i`,
+/// bit `b` of a byte = column `b`), in 18 word ops (Hacker's Delight 7-3).
+///
+/// An involution: applying it twice is the identity, so the same routine
+/// packs words into bit planes and unpacks planes back into words.
+#[inline]
+fn transpose8(mut x: u64) -> u64 {
+    let t = (x ^ (x >> 7)) & 0x00aa_00aa_00aa_00aa;
+    x ^= t ^ (t << 7);
+    let t = (x ^ (x >> 14)) & 0x0000_cccc_0000_cccc;
+    x ^= t ^ (t << 14);
+    let t = (x ^ (x >> 28)) & 0x0000_0000_f0f0_f0f0;
+    x ^= t ^ (t << 28);
+    x
+}
+
+/// The shared chunk/transpose/scatter packing loop, generic over the
+/// word-to-byte view (`i8` two's complement or raw `u8`). The closure is
+/// monomorphized and inlined, so both entry points compile to the same
+/// code as a hand-written loop.
+#[inline]
+fn pack_planes_with<T: Copy>(words: &[T], to_byte: impl Fn(T) -> u8) -> [u64; WEIGHT_BITS] {
+    let mut cols = [0u64; WEIGHT_BITS];
+    debug_assert!(words.len() <= MAX_GROUP);
+    for (ci, chunk) in words.chunks(8).enumerate() {
+        let mut x = 0u64;
+        for (i, &w) in chunk.iter().enumerate() {
+            x |= (to_byte(w) as u64) << (8 * i);
+        }
+        let t = transpose8(x);
+        for (b, col) in cols.iter_mut().enumerate() {
+            *col |= ((t >> (8 * b)) & 0xff) << (8 * ci);
+        }
+    }
+    cols
+}
+
+/// Packs up to 64 words into their eight bit-plane masks: bit `i` of plane
+/// `b` is bit `b` of word `i`. Lanes beyond `words.len()` are zero.
+///
+/// # Panics
+///
+/// Panics if `words` has more than [`MAX_GROUP`] elements (a larger slice
+/// cannot be represented and would otherwise corrupt the lane masks).
+pub fn pack_planes(words: &[i8]) -> [u64; WEIGHT_BITS] {
+    assert!(words.len() <= MAX_GROUP, "at most {MAX_GROUP} lanes");
+    pack_planes_with(words, |w| w as u8)
+}
+
+/// Inverse of [`pack_planes`]: reconstructs the first `n` words from their
+/// bit-plane masks.
+///
+/// # Panics
+///
+/// Panics if `n > MAX_GROUP`.
+pub fn unpack_planes(cols: &[u64; WEIGHT_BITS], n: usize) -> Vec<i8> {
+    assert!(n <= MAX_GROUP, "at most {MAX_GROUP} lanes");
+    let mut out = Vec::with_capacity(n);
+    for ci in 0..n.div_ceil(8) {
+        let mut t = 0u64;
+        for (b, col) in cols.iter().enumerate() {
+            t |= ((col >> (8 * ci)) & 0xff) << (8 * b);
+        }
+        let x = transpose8(t);
+        let take = (n - ci * 8).min(8);
+        for i in 0..take {
+            out.push(((x >> (8 * i)) & 0xff) as u8 as i8);
+        }
+    }
+    out
+}
+
+/// Bit-plane (bit-sliced) view of a weight group, the representation the
+/// packed pruning kernels in `bbs-core` operate on directly.
+///
+/// Layout is identical to [`BitGroup`] — eight `u64` column masks plus the
+/// group length — but `PackedGroup` adds the mask-arithmetic surface the
+/// binary-pruning algorithms need: fast transpose-based pack/unpack,
+/// popcount column statistics, redundant-column counting as mask
+/// comparisons, and zero-padded packing for partial trailing groups.
+///
+/// # Example
+///
+/// ```
+/// use bbs_tensor::bits::PackedGroup;
+///
+/// let g = PackedGroup::from_words(&[-11, 2, -57, 13]);
+/// assert_eq!(g.len(), 4);
+/// // Fig. 4: the group shares exactly one redundant sign column.
+/// assert_eq!(g.redundant_columns(), 1);
+/// assert_eq!(g.to_words(), vec![-11, 2, -57, 13]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedGroup {
+    cols: [u64; WEIGHT_BITS],
+    n: usize,
+}
+
+impl PackedGroup {
+    /// Packs a weight group into bit planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group is empty or larger than [`MAX_GROUP`].
+    pub fn from_words(words: &[i8]) -> Self {
+        assert!(
+            !words.is_empty() && words.len() <= MAX_GROUP,
+            "group size must be in 1..={MAX_GROUP}, got {}",
+            words.len()
+        );
+        PackedGroup {
+            cols: pack_planes(words),
+            n: words.len(),
+        }
+    }
+
+    /// Packs a group zero-padded to `n` lanes (the trailing-partial-group
+    /// convention of channel compression) without materializing the padded
+    /// word vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is empty, `n < words.len()`, or `n > MAX_GROUP`.
+    pub fn from_words_padded(words: &[i8], n: usize) -> Self {
+        assert!(!words.is_empty() && words.len() <= n && n <= MAX_GROUP);
+        PackedGroup {
+            cols: pack_planes(words),
+            n,
+        }
+    }
+
+    /// Packs raw bytes (e.g. sign-magnitude encodings) into bit planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty or larger than [`MAX_GROUP`].
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        assert!(
+            !bytes.is_empty() && bytes.len() <= MAX_GROUP,
+            "group size must be in 1..={MAX_GROUP}, got {}",
+            bytes.len()
+        );
+        PackedGroup {
+            cols: pack_planes_with(bytes, |b| b),
+            n: bytes.len(),
+        }
+    }
+
+    /// Rebuilds a packed group from raw column masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not in `1..=MAX_GROUP` or a mask has bits beyond `n`.
+    pub fn from_columns(n: usize, cols: [u64; WEIGHT_BITS]) -> Self {
+        assert!((1..=MAX_GROUP).contains(&n));
+        let valid = lane_mask_of(n);
+        for (b, &c) in cols.iter().enumerate() {
+            assert!(c & !valid == 0, "column {b} has bits beyond group size");
+        }
+        PackedGroup { cols, n }
+    }
+
+    /// Number of lanes in the group.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the group is empty (never true for a constructed group).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The mask of valid lanes (`n` low bits set).
+    pub fn lane_mask(&self) -> u64 {
+        lane_mask_of(self.n)
+    }
+
+    /// Column mask at significance `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= 8`.
+    pub fn column(&self, b: usize) -> u64 {
+        self.cols[b]
+    }
+
+    /// All eight column masks, LSB plane first.
+    pub fn columns(&self) -> &[u64; WEIGHT_BITS] {
+        &self.cols
+    }
+
+    /// Number of one-bits in column `b`.
+    pub fn column_popcount(&self, b: usize) -> usize {
+        self.cols[b].count_ones() as usize
+    }
+
+    /// Whether column `b` is entirely zero.
+    pub fn column_all_zero(&self, b: usize) -> bool {
+        self.cols[b] == 0
+    }
+
+    /// Whether column `b` is entirely one.
+    pub fn column_all_one(&self, b: usize) -> bool {
+        self.cols[b] == self.lane_mask()
+    }
+
+    /// Exact shared redundant sign-extension column count (0..=7) as mask
+    /// comparisons: the number of consecutive columns below the MSB whose
+    /// mask equals the MSB column mask.
+    ///
+    /// Equals `min` over lanes of `redundant_sign_bits(word)`.
+    pub fn redundant_columns(&self) -> usize {
+        let msb = self.cols[WEIGHT_BITS - 1];
+        let mut r = 0;
+        while r < WEIGHT_BITS - 1 && self.cols[WEIGHT_BITS - 2 - r] == msb {
+            r += 1;
+        }
+        r
+    }
+
+    /// Sum over lanes of the low `g` bits of each word, via one popcount
+    /// per plane: `Σ_i (word_i & (2^g - 1)) = Σ_{b<g} 2^b · |plane_b|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g > 8`.
+    pub fn low_bits_sum(&self, g: usize) -> u32 {
+        assert!(g <= WEIGHT_BITS);
+        (0..g).map(|b| (self.cols[b].count_ones()) << b).sum()
+    }
+
+    /// Reconstructs the word at lane `i`.
+    pub fn word(&self, i: usize) -> i8 {
+        debug_assert!(i < self.n);
+        let mut v = 0u8;
+        for b in 0..WEIGHT_BITS {
+            if (self.cols[b] >> i) & 1 == 1 {
+                v |= 1 << b;
+            }
+        }
+        v as i8
+    }
+
+    /// Reconstructs all words (fast inverse transpose).
+    pub fn to_words(&self) -> Vec<i8> {
+        unpack_planes(&self.cols, self.n)
+    }
+}
+
+impl From<&BitGroup> for PackedGroup {
+    fn from(g: &BitGroup) -> Self {
+        PackedGroup {
+            cols: g.columns,
+            n: g.n,
+        }
+    }
+}
+
+impl From<&PackedGroup> for BitGroup {
+    fn from(g: &PackedGroup) -> Self {
+        BitGroup {
+            columns: g.cols,
+            n: g.n,
+        }
+    }
+}
+
+fn lane_mask_of(n: usize) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
     }
 }
 
@@ -402,6 +669,93 @@ mod tests {
         let mut cols = [0u64; WEIGHT_BITS];
         cols[0] = 0b100; // lane 2 does not exist in a group of 2
         let _ = BitGroup::from_columns(2, cols);
+    }
+
+    #[test]
+    fn transpose_pack_matches_naive_pack() {
+        // The transpose fast path must agree with per-bit packing for every
+        // group size, including sizes that are not multiples of 8.
+        let mut rng = crate::rng::SeededRng::new(13);
+        for n in 1..=64usize {
+            let words: Vec<i8> = (0..n).map(|_| rng.any_i8()).collect();
+            let cols = pack_planes(&words);
+            for (i, &w) in words.iter().enumerate() {
+                for (b, col) in cols.iter().enumerate() {
+                    assert_eq!((col >> i) & 1 == 1, bit_of(w, b), "n={n} i={i} b={b}");
+                }
+            }
+            // Lanes beyond n stay zero.
+            let valid = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+            for col in cols {
+                assert_eq!(col & !valid, 0);
+            }
+            assert_eq!(unpack_planes(&cols, n), words);
+        }
+    }
+
+    #[test]
+    fn packed_group_matches_bitgroup() {
+        let mut rng = crate::rng::SeededRng::new(14);
+        for n in [1usize, 3, 8, 17, 32, 63, 64] {
+            let words: Vec<i8> = (0..n).map(|_| rng.gaussian_i8(0.0, 40.0)).collect();
+            let p = PackedGroup::from_words(&words);
+            let b = BitGroup::from_words(&words);
+            for col in 0..WEIGHT_BITS {
+                assert_eq!(p.column(col), b.column(col));
+            }
+            assert_eq!(p.to_words(), words);
+            assert_eq!(PackedGroup::from(&b), p);
+            assert_eq!(BitGroup::from(&p), b);
+            for (i, &w) in words.iter().enumerate() {
+                assert_eq!(p.word(i), w);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_redundant_columns_is_min_over_lanes() {
+        let mut rng = crate::rng::SeededRng::new(15);
+        for _ in 0..300 {
+            let n = rng.uniform_usize(1, 65);
+            let words: Vec<i8> = (0..n).map(|_| rng.gaussian_i8(0.0, 35.0)).collect();
+            let p = PackedGroup::from_words(&words);
+            let expect = words.iter().map(|&w| redundant_sign_bits(w)).min().unwrap();
+            assert_eq!(p.redundant_columns(), expect, "group {words:?}");
+        }
+        // Degenerate all-equal-column groups.
+        assert_eq!(PackedGroup::from_words(&[0]).redundant_columns(), 7);
+        assert_eq!(PackedGroup::from_words(&[-1, -1]).redundant_columns(), 7);
+        assert_eq!(PackedGroup::from_words(&[-128, 127]).redundant_columns(), 0);
+    }
+
+    #[test]
+    fn packed_low_bits_sum_matches_scalar_mask() {
+        let mut rng = crate::rng::SeededRng::new(16);
+        for _ in 0..100 {
+            let n = rng.uniform_usize(1, 65);
+            let words: Vec<i8> = (0..n).map(|_| rng.any_i8()).collect();
+            let p = PackedGroup::from_words(&words);
+            for g in 0..=8usize {
+                let mask = if g == 8 { 0xff } else { (1u32 << g) - 1 };
+                let expect: u32 = words.iter().map(|&w| (w as u8 as u32) & mask).sum();
+                assert_eq!(p.low_bits_sum(g), expect, "g={g}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_padded_and_bytes_constructors() {
+        let p = PackedGroup::from_words_padded(&[5, -3], 8);
+        assert_eq!(p.len(), 8);
+        assert_eq!(p.to_words(), vec![5, -3, 0, 0, 0, 0, 0, 0]);
+
+        let bytes = [0x80u8, 0x7f, 0x01, 0xff];
+        let p = PackedGroup::from_bytes(&bytes);
+        for (i, &v) in bytes.iter().enumerate() {
+            assert_eq!(p.word(i) as u8, v);
+        }
+        // Sign column of the sign-magnitude encodings.
+        assert_eq!(p.column(7), 0b1001);
     }
 
     #[test]

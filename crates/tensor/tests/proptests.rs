@@ -2,7 +2,7 @@
 
 use bbs_tensor::bits::{
     bbs_sparsity, bit_sparsity_sign_magnitude, bit_sparsity_twos_complement, redundant_sign_bits,
-    sign_magnitude, BitGroup,
+    sign_magnitude, BitGroup, PackedGroup,
 };
 use bbs_tensor::metrics::{geomean, kl_divergence_i8_binned, mse_i8, HistogramI8};
 use bbs_tensor::quant::{quantize_per_channel, requantize_i8, ScaleMethod};
@@ -15,6 +15,31 @@ proptest! {
     fn bitgroup_roundtrip(w in vec(any::<i8>(), 1..=64)) {
         let g = BitGroup::from_words(&w);
         prop_assert_eq!(g.to_words(), w);
+    }
+
+    #[test]
+    fn packed_group_roundtrip_and_agrees_with_bitgroup(w in vec(any::<i8>(), 1..=64)) {
+        let p = PackedGroup::from_words(&w);
+        let g = BitGroup::from_words(&w);
+        prop_assert_eq!(p.to_words(), w.clone());
+        for b in 0..8 {
+            prop_assert_eq!(p.column(b), g.column(b));
+        }
+        let min_redundant = w.iter().map(|&x| redundant_sign_bits(x)).min().unwrap();
+        prop_assert_eq!(p.redundant_columns(), min_redundant);
+    }
+
+    #[test]
+    fn packed_padded_matches_explicit_zero_padding(
+        w in vec(any::<i8>(), 1..=64),
+        pad in 0usize..=16,
+    ) {
+        let n = (w.len() + pad).min(64);
+        let mut padded = w.clone();
+        padded.resize(n, 0);
+        let a = PackedGroup::from_words_padded(&w, n);
+        let b = PackedGroup::from_words(&padded);
+        prop_assert_eq!(a, b);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 # port: SERVE_REQUESTS unique requests cold, then the same again warm) and
 # writes the cold/warm latency + dedup counters to BENCH_serve.json.
 set -euo pipefail
+cd "$(dirname "$0")/.."
 
 SERVE_REQUESTS="${SERVE_REQUESTS:-8}"
 SERVE_CLIENTS="${SERVE_CLIENTS:-4}"
