@@ -2,11 +2,14 @@
 //! functional BitVert datapath.
 
 use bbs_models::zoo;
-use bbs_sim::accel::{bitvert::BitVert, stripes::Stripes, Accelerator};
+use bbs_sim::accel::{
+    bitvert::BitVert, stripes::Stripes, wave_schedule, Accelerator, LatencyProfile, ProfileBuilder,
+};
 use bbs_sim::bitvert_func::pe::group_dot;
 use bbs_sim::bitvert_func::scheduler::schedule_subgroup;
 use bbs_sim::config::ArrayConfig;
-use bbs_sim::engine::simulate;
+use bbs_sim::engine::{simulate, simulate_with};
+use bbs_sim::store::WorkloadStore;
 use bbs_sim::workload::lower_model;
 use bbs_tensor::rng::SeededRng;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
@@ -39,17 +42,74 @@ fn bench_layer_sim(c: &mut Criterion) {
         let s = Stripes::new();
         b.iter(|| s.layer_performance(black_box(&wl[1]), &cfg))
     });
+    // Steady-state layer simulation: the profile memo on the workload
+    // carries the pruning work across calls, as in any sweep that reuses
+    // a lowering. `sim/bitvert_layer_cold` pins the uncached build cost
+    // (a fresh memo per iteration).
     c.bench_function("sim/bitvert_layer", |b| {
         let s = BitVert::moderate();
         b.iter(|| s.layer_performance(black_box(&wl[1]), &cfg))
+    });
+    c.bench_function("sim/bitvert_layer_cold", |b| {
+        let s = BitVert::moderate();
+        b.iter(|| {
+            let fresh = wl[1].clone(); // clones start with an empty memo
+            s.layer_performance(black_box(&fresh), &cfg)
+        })
     });
 }
 
 fn bench_model_sim(c: &mut Criterion) {
     let cfg = ArrayConfig::paper_16x32();
     let model = zoo::resnet34();
+    // The production whole-model path: `simulate_with` through a shared
+    // store, as the figure sweeps and the serve worker pool run it. The
+    // cold lowering cost this amortizes is pinned by `lower/resnet34`.
+    let store = WorkloadStore::default();
     c.bench_function("sim/resnet34_stripes_full", |b| {
+        b.iter(|| {
+            simulate_with(
+                &store,
+                &Stripes::new(),
+                black_box(&model),
+                &cfg,
+                7,
+                2 * 1024,
+            )
+        })
+    });
+    c.bench_function("sim/resnet34_stripes_fresh", |b| {
         b.iter(|| simulate(&Stripes::new(), black_box(&model), &cfg, 7, 2 * 1024))
+    });
+}
+
+fn bench_lowering(c: &mut Criterion) {
+    // The workload-synthesis seam the store caches: lowering alone.
+    let model = zoo::resnet34();
+    c.bench_function("lower/resnet34", |b| {
+        b.iter(|| lower_model(black_box(&model), 7, 2 * 1024))
+    });
+}
+
+fn bench_wave_schedule(c: &mut Criterion) {
+    // The flat scheduling seam: a Pragmatic-like imbalanced profile at
+    // 64 channels x 128 groups.
+    let mut rng = SeededRng::new(11);
+    let mut builder = ProfileBuilder::with_capacity(64, 128);
+    for _ in 0..64 {
+        for _ in 0..128 {
+            let lat = (0..8)
+                .map(|_| (rng.any_i8() as u8).count_ones())
+                .max()
+                .unwrap_or(1)
+                .max(1);
+            builder.push_group(lat, lat as u64 * 4);
+        }
+        builder.finish_channel();
+    }
+    let profile: LatencyProfile = builder.build();
+    c.bench_function("wave_schedule/flat_64x128", |b| {
+        b.iter(|| wave_schedule(black_box(&profile), 16, 8))
     });
 }
 
@@ -58,6 +118,8 @@ criterion_group!(
     bench_scheduler,
     bench_functional_pe,
     bench_layer_sim,
-    bench_model_sim
+    bench_model_sim,
+    bench_lowering,
+    bench_wave_schedule
 );
 criterion_main!(benches);

@@ -6,7 +6,7 @@
 //! * array synchronization granularity (per-tile vs lock-step),
 //! * BBS strategy crossover vs pruned-column count.
 
-use crate::{f, print_table, weight_cap, SEED};
+use crate::{f, print_table, weight_cap, workload_store, SEED};
 use bbs_core::averaging::rounded_averaging;
 use bbs_core::global::GlobalPruneConfig;
 use bbs_core::prune::{BinaryPruner, PruneStrategy};
@@ -18,7 +18,7 @@ use bbs_sim::accel::bitvert::BitVert;
 use bbs_sim::accel::stripes::Stripes;
 use bbs_sim::accel::{wave_schedule_with, LatencyProfile, SyncGranularity};
 use bbs_sim::config::ArrayConfig;
-use bbs_sim::engine::simulate;
+use bbs_sim::engine::simulate_with;
 use bbs_tensor::metrics::mse_i8;
 use bbs_tensor::rng::SeededRng;
 
@@ -77,9 +77,18 @@ pub fn beta_sweep() {
             ..GlobalPruneConfig::moderate()
         };
         let sim_cfg = ArrayConfig::paper_16x32();
-        let base =
-            simulate(&Stripes::new(), &model, &sim_cfg, SEED, weight_cap() / 2).total_cycles();
-        let bv = simulate(
+        let store = workload_store();
+        let base = simulate_with(
+            store,
+            &Stripes::new(),
+            &model,
+            &sim_cfg,
+            SEED,
+            weight_cap() / 2,
+        )
+        .total_cycles();
+        let bv = simulate_with(
+            store,
             &BitVert::with_config(cfg, "sweep"),
             &model,
             &sim_cfg,
@@ -125,7 +134,7 @@ pub fn sync_granularity() {
         .iter()
         .map(|ch| ch.iter().map(|&l| l as u64 * 4).collect())
         .collect();
-    let profile = LatencyProfile { latencies, useful };
+    let profile = LatencyProfile::from_nested(latencies, useful);
     let mut rows = Vec::new();
     for &cols in &[4usize, 16, 32] {
         let tile = wave_schedule_with(&profile, cols, 8, SyncGranularity::PerTile);

@@ -1,7 +1,7 @@
 //! Figure 12: end-to-end speedup over Stripes for all accelerators on the
 //! seven benchmarks.
 
-use crate::{f, print_table, weight_cap, SEED};
+use crate::{f, print_table, weight_cap, workload_store, SEED};
 use bbs_json::Json;
 use bbs_models::zoo;
 use bbs_sim::accel::{
@@ -9,7 +9,7 @@ use bbs_sim::accel::{
     sparten::SparTen, stripes::Stripes, Accelerator,
 };
 use bbs_sim::config::ArrayConfig;
-use bbs_sim::engine::simulate;
+use bbs_sim::engine::simulate_with;
 use bbs_tensor::metrics::geomean;
 use rayon::prelude::*;
 
@@ -26,16 +26,43 @@ pub fn lineup() -> Vec<Box<dyn Accelerator>> {
     ]
 }
 
+/// Speedups over Stripes for every model, in lineup order — one flat
+/// parallel sweep over `(model, accelerator)` pairs.
+///
+/// The shared [`workload_store`] means each model is lowered once for the
+/// whole sweep (not once per accelerator), and the order-preserving
+/// parallel collect keeps rows/columns deterministic and bit-identical to
+/// the sequential sweep.
+pub fn sweep(models: &[bbs_models::ModelSpec], cfg: &ArrayConfig) -> Vec<Vec<f64>> {
+    let cap = weight_cap();
+    let store = workload_store();
+    let stripes = Stripes::new();
+    let accels = lineup();
+    // Column 0 is the Stripes baseline, columns 1.. are the lineup.
+    let cols = accels.len() + 1;
+    let jobs: Vec<(usize, usize)> = (0..models.len())
+        .flat_map(|m| (0..cols).map(move |a| (m, a)))
+        .collect();
+    let cycles: Vec<u64> = jobs
+        .par_iter()
+        .map(|&(m, a)| {
+            let accel: &dyn Accelerator = if a == 0 {
+                &stripes
+            } else {
+                accels[a - 1].as_ref()
+            };
+            simulate_with(store, accel, &models[m], cfg, SEED, cap).total_cycles()
+        })
+        .collect();
+    cycles
+        .chunks(cols)
+        .map(|row| row[1..].iter().map(|&c| row[0] as f64 / c as f64).collect())
+        .collect()
+}
+
 /// Speedups over Stripes for one model, in lineup order.
 pub fn model_speedups(model: &bbs_models::ModelSpec, cfg: &ArrayConfig) -> Vec<f64> {
-    let cap = weight_cap();
-    let base = simulate(&Stripes::new(), model, cfg, SEED, cap).total_cycles() as f64;
-    // Accelerators are simulated in parallel; the collect preserves lineup
-    // order so the figure's columns are unchanged.
-    lineup()
-        .par_iter()
-        .map(|a| base / simulate(a.as_ref(), model, cfg, SEED, cap).total_cycles() as f64)
-        .collect()
+    sweep(std::slice::from_ref(model), cfg).remove(0)
 }
 
 /// Fig. 12 as machine-readable JSON (the `--json` output mode): raw
@@ -43,11 +70,13 @@ pub fn model_speedups(model: &bbs_models::ModelSpec, cfg: &ArrayConfig) -> Vec<f
 pub fn to_json() -> Json {
     let cfg = ArrayConfig::paper_16x32();
     let names: Vec<String> = lineup().iter().map(|a| a.name()).collect();
+    let models = zoo::paper_benchmarks();
+    let table = sweep(&models, &cfg);
     let mut per_accel: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
-    let rows: Vec<Json> = zoo::paper_benchmarks()
+    let rows: Vec<Json> = models
         .iter()
-        .map(|model| {
-            let speedups = model_speedups(model, &cfg);
+        .zip(&table)
+        .map(|(model, speedups)| {
             for (col, &s) in speedups.iter().enumerate() {
                 per_accel[col].push(s);
             }
@@ -55,7 +84,7 @@ pub fn to_json() -> Json {
                 ("model", Json::str(model.name)),
                 (
                     "speedup",
-                    Json::Arr(speedups.into_iter().map(Json::Num).collect()),
+                    Json::Arr(speedups.iter().copied().map(Json::Num).collect()),
                 ),
             ])
         })
@@ -83,10 +112,10 @@ pub fn run() {
     let mut header = vec!["model".to_string()];
     header.extend(names);
 
+    let table = sweep(&models, &cfg);
     let mut per_accel: Vec<Vec<f64>> = vec![Vec::new(); lineup().len()];
     let mut rows = Vec::new();
-    for model in &models {
-        let speedups = model_speedups(model, &cfg);
+    for (model, speedups) in models.iter().zip(&table) {
         let mut row = vec![model.name.to_string()];
         for (col, &s) in speedups.iter().enumerate() {
             per_accel[col].push(s);

@@ -1,7 +1,8 @@
 //! Figure 13: energy consumption breakdown (off-chip memory vs on-chip
 //! compute) normalized to SparTen.
 
-use crate::{f, print_table, weight_cap, SEED};
+use crate::{f, print_table, weight_cap, workload_store, SEED};
+use bbs_hw::energy::EnergyBreakdown;
 use bbs_hw::json::energy_breakdown_to_json;
 use bbs_json::Json;
 use bbs_models::zoo;
@@ -10,7 +11,7 @@ use bbs_sim::accel::{
     sparten::SparTen, stripes::Stripes, Accelerator,
 };
 use bbs_sim::config::ArrayConfig;
-use bbs_sim::engine::simulate;
+use bbs_sim::engine::simulate_with;
 use bbs_tensor::metrics::geomean;
 use rayon::prelude::*;
 
@@ -28,25 +29,51 @@ fn lineup() -> Vec<Box<dyn Accelerator>> {
     ]
 }
 
+/// Per-model, per-lineup-accelerator energy breakdowns: one flat parallel
+/// sweep over `(model, accelerator)` pairs through the shared
+/// [`workload_store`] (each model lowers once for all eight columns), with
+/// deterministic row/column order.
+fn energy_sweep(models: &[bbs_models::ModelSpec], cfg: &ArrayConfig) -> Vec<Vec<EnergyBreakdown>> {
+    let cap = weight_cap();
+    let store = workload_store();
+    let accels = lineup();
+    let cols = accels.len();
+    let jobs: Vec<(usize, usize)> = (0..models.len())
+        .flat_map(|m| (0..cols).map(move |a| (m, a)))
+        .collect();
+    let cells: Vec<EnergyBreakdown> = jobs
+        .par_iter()
+        .map(|&(m, a)| {
+            simulate_with(store, accels[a].as_ref(), &models[m], cfg, SEED, cap).energy_breakdown()
+        })
+        .collect();
+    cells
+        .chunks(cols)
+        .map(<[EnergyBreakdown]>::to_vec)
+        .collect()
+}
+
 /// Fig. 13 as machine-readable JSON (the `--json` output mode): absolute
 /// per-accelerator energy breakdowns (via the shared serialization layer)
 /// plus the SparTen-normalized totals the figure plots.
 pub fn to_json() -> Json {
     let cfg = ArrayConfig::paper_16x32();
-    let cap = weight_cap();
     let names: Vec<String> = lineup().iter().map(|a| a.name()).collect();
-    let rows: Vec<Json> = zoo::paper_benchmarks()
+    let models = zoo::paper_benchmarks();
+    let table = energy_sweep(&models, &cfg);
+    let rows: Vec<Json> = models
         .iter()
-        .map(|model| {
-            let base = simulate(&SparTen::new(), model, &cfg, SEED, cap).total_energy_pj();
-            let cells: Vec<Json> = lineup()
-                .par_iter()
-                .map(|accel| {
-                    let r = simulate(accel.as_ref(), model, &cfg, SEED, cap);
-                    let b = r.energy_breakdown();
+        .zip(&table)
+        .map(|(model, breakdowns)| {
+            // SparTen is lineup column 0 — the normalization base.
+            let base = breakdowns[0].total_pj();
+            let cells: Vec<Json> = names
+                .iter()
+                .zip(breakdowns)
+                .map(|(name, b)| {
                     Json::obj(vec![
-                        ("accelerator", Json::str(&accel.name())),
-                        ("energy_pj", energy_breakdown_to_json(&b)),
+                        ("accelerator", Json::str(name)),
+                        ("energy_pj", energy_breakdown_to_json(b)),
                         ("normalized_total", Json::Num(b.total_pj() / base)),
                     ])
                 })
@@ -71,36 +98,25 @@ pub fn to_json() -> Json {
 /// Regenerates Fig. 13.
 pub fn run() {
     let cfg = ArrayConfig::paper_16x32();
-    let cap = weight_cap();
     let models = zoo::paper_benchmarks();
     let mut header = vec!["model".to_string()];
     header.extend(lineup().iter().map(|a| a.name()));
 
+    let table = energy_sweep(&models, &cfg);
     let mut norm_totals: Vec<Vec<f64>> = vec![Vec::new(); lineup().len()];
     let mut rows = Vec::new();
-    for model in &models {
-        let sparten = simulate(&SparTen::new(), model, &cfg, SEED, cap);
-        let base = sparten.total_energy_pj();
+    for (model, breakdowns) in models.iter().zip(&table) {
+        let base = breakdowns[0].total_pj();
         let mut row = vec![model.name.to_string()];
-        // Parallel over the lineup; collect keeps column order stable.
-        let cells: Vec<(f64, String)> = lineup()
-            .par_iter()
-            .map(|accel| {
-                let r = simulate(accel.as_ref(), model, &cfg, SEED, cap);
-                let b = r.energy_breakdown();
-                let total = b.total_pj() / base;
-                let cell = format!(
-                    "{} ({}/{})",
-                    f(total, 2),
-                    f(b.dram_pj / base, 2),
-                    f(b.on_chip_pj() / base, 2)
-                );
-                (total, cell)
-            })
-            .collect();
-        for (col, (total, cell)) in cells.into_iter().enumerate() {
+        for (col, b) in breakdowns.iter().enumerate() {
+            let total = b.total_pj() / base;
             norm_totals[col].push(total);
-            row.push(cell);
+            row.push(format!(
+                "{} ({}/{})",
+                f(total, 2),
+                f(b.dram_pj / base, 2),
+                f(b.on_chip_pj() / base, 2)
+            ));
         }
         rows.push(row);
     }

@@ -1,23 +1,26 @@
 //! Figure 14: normalized speedup on ResNet-50 and Bert-MRPC as the number
 //! of PE columns grows (load-imbalance scaling).
 
-use crate::{f, print_table, weight_cap, SEED};
+use crate::{f, print_table, weight_cap, workload_store, SEED};
 use bbs_models::zoo;
 use bbs_sim::accel::{
     bitlet::Bitlet, bitvert::BitVert, bitwave::BitWave, pragmatic::Pragmatic, stripes::Stripes,
     Accelerator,
 };
 use bbs_sim::config::ArrayConfig;
-use bbs_sim::engine::simulate;
+use bbs_sim::engine::simulate_with;
 
 /// The Fig. 14 column sweep.
 pub const COLUMN_SWEEP: [usize; 5] = [2, 4, 8, 16, 32];
 
-/// Speedups over Stripes at one column count.
+/// Speedups over Stripes at one column count. Lowering is independent of
+/// the array geometry, so the whole 5-point column sweep reuses one stored
+/// lowering per model.
 pub fn speedups_at(model: &bbs_models::ModelSpec, cols: usize) -> Vec<f64> {
     let cfg = ArrayConfig::paper_16x32().with_pe_cols(cols);
     let cap = weight_cap();
-    let base = simulate(&Stripes::new(), model, &cfg, SEED, cap).total_cycles() as f64;
+    let store = workload_store();
+    let base = simulate_with(store, &Stripes::new(), model, &cfg, SEED, cap).total_cycles() as f64;
     let accels: Vec<Box<dyn Accelerator>> = vec![
         Box::new(Pragmatic::new()),
         Box::new(Bitlet::new()),
@@ -26,7 +29,9 @@ pub fn speedups_at(model: &bbs_models::ModelSpec, cols: usize) -> Vec<f64> {
     ];
     accels
         .iter()
-        .map(|a| base / simulate(a.as_ref(), model, &cfg, SEED, cap).total_cycles() as f64)
+        .map(|a| {
+            base / simulate_with(store, a.as_ref(), model, &cfg, SEED, cap).total_cycles() as f64
+        })
         .collect()
 }
 

@@ -1,13 +1,13 @@
 //! Figure 15: execution-cycle breakdown (useful PE work, intra-PE stall,
 //! inter-PE stall) as PE columns scale.
 
-use crate::{f, print_table, weight_cap, SEED};
+use crate::{f, print_table, weight_cap, workload_store, SEED};
 use bbs_models::zoo;
 use bbs_sim::accel::{
     bitlet::Bitlet, bitvert::BitVert, bitwave::BitWave, pragmatic::Pragmatic, Accelerator,
 };
 use bbs_sim::config::ArrayConfig;
-use bbs_sim::engine::simulate;
+use bbs_sim::engine::simulate_with;
 
 /// Regenerates Fig. 15.
 pub fn run() {
@@ -23,7 +23,7 @@ pub fn run() {
     for &cols in &[8usize, 16, 32] {
         let cfg = ArrayConfig::paper_16x32().with_pe_cols(cols);
         for accel in &accels {
-            let r = simulate(accel.as_ref(), &model, &cfg, SEED, cap);
+            let r = simulate_with(workload_store(), accel.as_ref(), &model, &cfg, SEED, cap);
             let (useful, intra, inter) = r.stall_breakdown();
             rows.push(vec![
                 cols.to_string(),

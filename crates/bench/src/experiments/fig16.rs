@@ -4,7 +4,7 @@
 //! normalized to the dense Stripes baseline, accuracy loss is the
 //! documented fidelity estimate.
 
-use crate::{f, print_table, weight_cap, SEED};
+use crate::{f, print_table, weight_cap, workload_store, SEED};
 use bbs_core::global::GlobalPruneConfig;
 use bbs_core::prune::{BinaryPruner, PruneStrategy};
 use bbs_models::accuracy::{evaluate_model_fidelity, CompressionKind, CompressionMethod};
@@ -13,7 +13,7 @@ use bbs_sim::accel::{
     ant::Ant, bitlet::Bitlet, bitvert::BitVert, bitwave::BitWave, stripes::Stripes,
 };
 use bbs_sim::config::ArrayConfig;
-use bbs_sim::engine::simulate;
+use bbs_sim::engine::simulate_with;
 
 /// One Pareto point.
 #[derive(Debug, Clone)]
@@ -44,7 +44,7 @@ pub fn pareto_points() -> Vec<ParetoPoint> {
     let model = zoo::resnet50();
     let cfg = ArrayConfig::paper_16x32();
     let cap = weight_cap();
-    let base = simulate(&Stripes::new(), &model, &cfg, SEED, cap);
+    let base = simulate_with(workload_store(), &Stripes::new(), &model, &cfg, SEED, cap);
     let base_edp = base.edp();
     let mut points = Vec::new();
 
@@ -63,7 +63,7 @@ pub fn pareto_points() -> Vec<ParetoPoint> {
             group_size: 32,
         };
         let accel = BitVert::with_config(prune, bitvert_label(cols));
-        let sim = simulate(&accel, &model, &cfg, SEED, cap);
+        let sim = simulate_with(workload_store(), &accel, &model, &cfg, SEED, cap);
         let method = CompressionMethod::new(CompressionKind::Bbs(strategy, cols), prune.beta);
         let fit = evaluate_model_fidelity(&model, &method, SEED, cap);
         points.push(ParetoPoint {
@@ -76,7 +76,14 @@ pub fn pareto_points() -> Vec<ParetoPoint> {
 
     // BitWave: zero-column sweep.
     for cols in 1..=5usize {
-        let sim = simulate(&BitWave::with_columns(cols), &model, &cfg, SEED, cap);
+        let sim = simulate_with(
+            workload_store(),
+            &BitWave::with_columns(cols),
+            &model,
+            &cfg,
+            SEED,
+            cap,
+        );
         let method = CompressionMethod::new(CompressionKind::ZeroColumn(cols), 0.10);
         let fit = evaluate_model_fidelity(&model, &method, SEED, cap);
         points.push(ParetoPoint {
@@ -88,7 +95,7 @@ pub fn pareto_points() -> Vec<ParetoPoint> {
     }
 
     // Bitlet: lossless (no compression), one point.
-    let bitlet = simulate(&Bitlet::new(), &model, &cfg, SEED, cap);
+    let bitlet = simulate_with(workload_store(), &Bitlet::new(), &model, &cfg, SEED, cap);
     points.push(ParetoPoint {
         series: "Bitlet",
         config: "lossless".into(),
@@ -97,7 +104,7 @@ pub fn pareto_points() -> Vec<ParetoPoint> {
     });
 
     // ANT at 6 bits.
-    let ant = simulate(&Ant::new(), &model, &cfg, SEED, cap);
+    let ant = simulate_with(workload_store(), &Ant::new(), &model, &cfg, SEED, cap);
     let ant_fit = evaluate_model_fidelity(&model, &CompressionMethod::ant6(), SEED, cap);
     points.push(ParetoPoint {
         series: "ANT",
@@ -108,7 +115,14 @@ pub fn pareto_points() -> Vec<ParetoPoint> {
 
     // PTQ running on reduced-precision Stripes.
     for bits in [4u32, 5, 6] {
-        let sim = simulate(&Stripes::with_bits(bits), &model, &cfg, SEED, cap);
+        let sim = simulate_with(
+            workload_store(),
+            &Stripes::with_bits(bits),
+            &model,
+            &cfg,
+            SEED,
+            cap,
+        );
         let method = CompressionMethod::new(CompressionKind::Ptq(bits as u8), 0.0);
         let fit = evaluate_model_fidelity(&model, &method, SEED, cap);
         points.push(ParetoPoint {

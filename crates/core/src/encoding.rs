@@ -228,6 +228,12 @@ impl CompressedGroup {
         self.kept[j]
     }
 
+    /// All kept column masks, lowest significance first (the allocation-free
+    /// view behind [`kept_column`](Self::kept_column)).
+    pub fn kept_columns(&self) -> &[u64] {
+        &self.kept
+    }
+
     /// Iterates kept columns as `(significance, mask)`, lowest first. The
     /// final entry is the narrowed MSB (negative weight).
     pub fn columns_with_significance(&self) -> impl Iterator<Item = (usize, u64)> + '_ {

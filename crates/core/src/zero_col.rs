@@ -57,6 +57,12 @@ impl ZeroColumnGroup {
         self.values.iter().map(|&v| v as i32).collect()
     }
 
+    /// Reconstructed values as the stored `i8` slice (allocation-free view
+    /// of what [`decode`](Self::decode) widens).
+    pub fn values(&self) -> &[i8] {
+        &self.values
+    }
+
     /// Storage in bits: kept columns plus the 8-bit column bitmap.
     pub fn stored_bits(&self) -> usize {
         self.n * self.kept_columns() + SM_COLUMNS

@@ -262,6 +262,22 @@ fn stats_body(shared: &Shared) -> String {
         ("cached_results", Json::from_usize(service.cache.len())),
         ("coalesced", Json::from_u64(service.coalesced())),
         ("sim_runs", Json::from_u64(service.sim_runs())),
+        (
+            "workload_hits",
+            Json::from_u64(service.workload_store().hits()),
+        ),
+        (
+            "workload_misses",
+            Json::from_u64(service.workload_store().misses()),
+        ),
+        (
+            "workload_entries",
+            Json::from_usize(service.workload_store().entries()),
+        ),
+        (
+            "workload_bytes",
+            Json::from_usize(service.workload_store().bytes()),
+        ),
         ("errors", Json::from_u64(service.errors())),
         ("queued", Json::from_usize(service.queued())),
         ("workers", Json::from_usize(service.workers())),

@@ -23,8 +23,9 @@ use crate::cache::ShardedCache;
 use crate::queue::{Bounded, PushError};
 use crate::registry::accelerator_by_name;
 use crate::request::SimRequest;
-use bbs_sim::engine::simulate;
+use bbs_sim::engine::simulate_with;
 use bbs_sim::json::sim_result_to_json;
+use bbs_sim::store::WorkloadStore;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -45,6 +46,14 @@ pub struct ServiceConfig {
     pub cache_entries: usize,
     /// Upper bound on a request's `max_weights_per_layer`.
     pub max_cap: usize,
+    /// Upper bound on cached *lowered models* in the shared
+    /// [`WorkloadStore`] (FIFO eviction beyond it). Distinct from
+    /// `cache_entries`, which bounds serialized *results*: a workload
+    /// entry is reused across every accelerator/config permutation of one
+    /// `(model, seed, cap)` triple.
+    pub workload_entries: usize,
+    /// Approximate byte bound on the workload store.
+    pub workload_bytes: usize,
 }
 
 impl Default for ServiceConfig {
@@ -56,6 +65,8 @@ impl Default for ServiceConfig {
             cache_shards: 16,
             cache_entries: 4096,
             max_cap: 64 * 1024,
+            workload_entries: bbs_sim::store::DEFAULT_MAX_ENTRIES,
+            workload_bytes: bbs_sim::store::DEFAULT_MAX_BYTES,
         }
     }
 }
@@ -126,6 +137,10 @@ struct Job {
 pub struct SimService {
     /// The content-addressed result cache.
     pub cache: ShardedCache,
+    /// The shared lowered-model cache: every worker reads through it, so
+    /// cold requests differing only in accelerator/config skip the
+    /// RNG weight synthesis after the first.
+    workloads: WorkloadStore,
     inflight: Mutex<HashMap<u64, Arc<Flight>>>,
     queue: Bounded<Job>,
     sim_runs: AtomicU64,
@@ -147,6 +162,7 @@ pub fn start(config: ServiceConfig) -> ServiceHandle {
     assert!(config.workers > 0, "need at least one worker");
     let service = Arc::new(SimService {
         cache: ShardedCache::new(config.cache_shards, config.cache_entries),
+        workloads: WorkloadStore::new(config.workload_entries, config.workload_bytes),
         inflight: Mutex::new(HashMap::new()),
         queue: Bounded::new(config.queue_depth),
         sim_runs: AtomicU64::new(0),
@@ -221,6 +237,11 @@ impl SimService {
     /// Simulation failures.
     pub fn errors(&self) -> u64 {
         self.errors.load(Ordering::Relaxed)
+    }
+
+    /// The shared workload store (hit/miss/entry counters for `/stats`).
+    pub fn workload_store(&self) -> &WorkloadStore {
+        &self.workloads
     }
 
     fn execute(&self, request: SimRequest) -> Result<(Arc<str>, Served), ExecuteError> {
@@ -298,7 +319,8 @@ impl SimService {
         // assertions are unreachable for validated requests, but a panic
         // here must fail the request, not kill the worker.
         let text = catch_unwind(AssertUnwindSafe(|| {
-            let sim = simulate(
+            let sim = simulate_with(
+                &self.workloads,
                 accel.as_ref(),
                 &request.model,
                 &request.config,
@@ -324,6 +346,7 @@ impl SimService {
 mod tests {
     use super::*;
     use bbs_json::Json;
+    use bbs_sim::engine::simulate;
     use bbs_sim::json::sim_result_from_json;
     use bbs_sim::ArrayConfig;
 
@@ -346,6 +369,7 @@ mod tests {
             cache_shards: 4,
             cache_entries: 1024,
             max_cap: 65536,
+            ..ServiceConfig::default()
         })
     }
 
@@ -401,6 +425,22 @@ mod tests {
         svc.execute(request("ViT-Small", "stripes", 128)).unwrap();
         svc.execute(request("ViT-Small", "stripes", 192)).unwrap();
         assert_eq!(svc.service().sim_runs(), 2, "different cap, different key");
+        let store = svc.service().workload_store();
+        assert_eq!(store.misses(), 2, "different cap, different lowering");
+        svc.stop();
+    }
+
+    #[test]
+    fn accelerator_sweep_lowers_once() {
+        let svc = test_service();
+        for accel in ["stripes", "bitlet", "bitwave", "ant"] {
+            svc.execute(request("ViT-Small", accel, 256)).unwrap();
+        }
+        assert_eq!(svc.service().sim_runs(), 4, "four distinct result keys");
+        let store = svc.service().workload_store();
+        assert_eq!(store.misses(), 1, "one (model, seed, cap) lowering");
+        assert_eq!(store.hits(), 3);
+        assert_eq!(store.entries(), 1);
         svc.stop();
     }
 
@@ -413,6 +453,7 @@ mod tests {
             cache_shards: 1,
             cache_entries: 1024,
             max_cap: 65536,
+            ..ServiceConfig::default()
         }));
         let running: Vec<_> = (0..4)
             .map(|i| {

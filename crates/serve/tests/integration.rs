@@ -24,6 +24,7 @@ fn test_server() -> bbs_serve::server::ServerHandle {
             cache_shards: 4,
             cache_entries: 1024,
             max_cap: 65536,
+            ..ServiceConfig::default()
         },
     })
     .expect("bind ephemeral port")
@@ -82,6 +83,10 @@ fn concurrent_duplicates_simulate_once_and_match_engine() {
     assert_eq!(stat(&stats, "sim_runs"), 1, "deduplicated: {stats}");
     assert_eq!(stat(&stats, "errors"), 0);
     assert_eq!(stat(&stats, "cached_results"), 1);
+    // The one engine run lowered the model once into the workload store.
+    assert_eq!(stat(&stats, "workload_misses"), 1);
+    assert_eq!(stat(&stats, "workload_entries"), 1);
+    assert!(stat(&stats, "workload_bytes") > 0, "{stats}");
 
     // A follow-up request is a pure cache hit (still one engine run) and
     // byte-identical to the first response's result.
@@ -132,6 +137,11 @@ fn distinct_requests_simulate_separately() {
     let stats = Json::parse(&stats_body).unwrap();
     assert_eq!(stat(&stats, "sim_runs"), 2);
     assert_eq!(stat(&stats, "cached_results"), 2);
+    // Two engine runs, but both requests share one (model, seed, cap):
+    // the second simulation reused the first one's lowering.
+    assert_eq!(stat(&stats, "workload_misses"), 1, "{stats}");
+    assert_eq!(stat(&stats, "workload_hits"), 1, "{stats}");
+    assert_eq!(stat(&stats, "workload_entries"), 1);
     server.stop();
 }
 

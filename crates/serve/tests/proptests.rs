@@ -82,6 +82,7 @@ proptest! {
             cache_shards: 2,
             cache_entries: 1024,
             max_cap: 65536,
+            ..ServiceConfig::default()
         });
         let (fresh, how_fresh) = service.execute(request.clone()).unwrap();
         let (hit, how_hit) = service.execute(request.clone()).unwrap();

@@ -42,10 +42,12 @@ impl Accelerator for Ant {
         let groups = epc.div_ceil(GROUP);
         let lanes = cfg.lanes_per_pe;
         let channels = wl.channels.min(wl.weights.channels());
-        let profile = LatencyProfile {
-            latencies: vec![vec![ANT_BITS; groups]; channels],
-            useful: vec![vec![(ANT_BITS as usize * lanes) as u64; groups]; channels],
-        };
+        let profile = LatencyProfile::uniform(
+            channels,
+            groups,
+            ANT_BITS,
+            (ANT_BITS as usize * lanes) as u64,
+        );
         let stats = wave_schedule(&profile, cfg.pe_cols, lanes);
 
         // 6-bit weights + 4-bit type metadata per 16-value group; 6-bit

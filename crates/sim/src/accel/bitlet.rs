@@ -7,10 +7,11 @@
 //! bound of §II-A.
 
 use crate::accel::{
-    dense_traffic, extrapolate_cycles, wave_schedule, Accelerator, LatencyProfile, LayerPerf,
+    dense_traffic, extrapolate_cycles, profile_key, wave_schedule, Accelerator, LayerPerf,
+    ProfileBuilder,
 };
 use crate::config::ArrayConfig;
-use crate::workload::LayerWorkload;
+use crate::workload::{LayerWorkload, ProfileEntry};
 use bbs_hw::pe::{bitlet_pe, PeModel};
 use bbs_tensor::bits::{BitGroup, WEIGHT_BITS};
 
@@ -38,29 +39,33 @@ impl Accelerator for Bitlet {
     }
 
     fn layer_performance(&self, wl: &LayerWorkload, cfg: &ArrayConfig) -> LayerPerf {
-        let qt = &wl.weights;
-        let mut latencies = Vec::with_capacity(qt.channels());
-        let mut useful = Vec::with_capacity(qt.channels());
-        for c in 0..qt.channels() {
-            let row = qt.channel(c);
-            let mut lat_row = Vec::new();
-            let mut use_row = Vec::new();
-            for group in row.chunks(GROUP) {
-                let bits = BitGroup::from_words(group);
-                let counts: Vec<usize> =
-                    (0..WEIGHT_BITS).map(|b| bits.column_popcount(b)).collect();
-                let lat = counts.iter().copied().max().unwrap_or(0).max(1) as u32;
-                lat_row.push(lat);
-                use_row.push(counts.iter().map(|&c| c as u64).sum());
+        // Config-independent and parameterless: memoized on the workload.
+        let entry = wl.profiles.get_or_build(profile_key(&[3]), || {
+            let qt = &wl.weights;
+            let epc = qt.elems_per_channel();
+            let mut builder = ProfileBuilder::with_capacity(qt.channels(), epc.div_ceil(GROUP));
+            for c in 0..qt.channels() {
+                let row = qt.channel(c);
+                for group in row.chunks(GROUP) {
+                    let bits = BitGroup::from_words(group);
+                    let mut lat = 0usize;
+                    let mut ones = 0u64;
+                    for b in 0..WEIGHT_BITS {
+                        let count = bits.column_popcount(b);
+                        lat = lat.max(count);
+                        ones += count as u64;
+                    }
+                    builder.push_group(lat.max(1) as u32, ones);
+                }
+                builder.finish_channel();
             }
-            latencies.push(lat_row);
-            useful.push(use_row);
-        }
-        let stats = wave_schedule(
-            &LatencyProfile { latencies, useful },
-            cfg.pe_cols,
-            cfg.lanes_per_pe,
-        );
+            ProfileEntry {
+                profile: builder.build(),
+                stored_bits_sampled: 0,
+                index_bits: 0,
+            }
+        });
+        let stats = wave_schedule(&entry.profile, cfg.pe_cols, cfg.lanes_per_pe);
         let (w_dram, a_dram, w_sram, a_sram) = dense_traffic(wl, cfg, 8.0);
         LayerPerf {
             compute_cycles: extrapolate_cycles(stats.cycles, wl, cfg),

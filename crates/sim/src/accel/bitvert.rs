@@ -10,13 +10,14 @@
 //! what keeps inter-PE stall near zero (Fig. 15).
 
 use crate::accel::{
-    dense_traffic, extrapolate_cycles, position_tiles, wave_schedule, Accelerator, LatencyProfile,
-    LayerPerf,
+    dense_traffic, extrapolate_cycles, position_tiles, profile_key, wave_schedule, Accelerator,
+    LayerPerf, ProfileBuilder,
 };
 use crate::config::ArrayConfig;
-use crate::workload::LayerWorkload;
+use crate::workload::{LayerWorkload, ProfileEntry};
 use bbs_core::encoding::CompressedGroup;
 use bbs_core::global::{select_sensitive_channels, GlobalPruneConfig};
+use bbs_core::prune::PruneStrategy;
 use bbs_core::reorder::ChannelOrder;
 use bbs_hw::pe::{bitvert_pe, PeModel};
 use bbs_tensor::bits::{PackedGroup, WEIGHT_BITS};
@@ -83,6 +84,45 @@ impl Accelerator for BitVert {
     }
 
     fn layer_performance(&self, wl: &LayerWorkload, cfg: &ArrayConfig) -> LayerPerf {
+        // The profile (pruned columns, reordering, storage bits) depends
+        // only on the weights and the pruning configuration — not on the
+        // array geometry — so it is memoized on the workload: a PE-column
+        // sweep or a serve config sweep compresses each group once.
+        let key = profile_key(&[
+            1, // accelerator tag
+            self.prune.beta.to_bits(),
+            self.prune.ch as u64,
+            match self.prune.pruner.strategy() {
+                PruneStrategy::RoundedAveraging => 0,
+                PruneStrategy::ZeroPointShifting => 1,
+            },
+            self.prune.pruner.sparse_columns() as u64,
+            self.prune.group_size as u64,
+        ]);
+        let entry = wl.profiles.get_or_build(key, || self.build_profile(wl));
+
+        let stats = wave_schedule(&entry.profile, cfg.pe_cols, cfg.lanes_per_pe);
+        let (_, a_dram, _, a_sram) = dense_traffic(wl, cfg, 8.0);
+        let w_dram =
+            (entry.stored_bits_sampled as f64 * wl.sample_factor) as u64 + entry.index_bits;
+        let w_sram = w_dram * position_tiles(wl, cfg);
+        LayerPerf {
+            compute_cycles: extrapolate_cycles(stats.cycles, wl, cfg),
+            useful_fraction: stats.useful_fraction,
+            intra_fraction: stats.intra_fraction,
+            inter_fraction: stats.inter_fraction,
+            weight_dram_bits: w_dram,
+            act_dram_bits: a_dram,
+            weight_sram_bits: w_sram,
+            act_sram_bits: a_sram,
+        }
+    }
+}
+
+impl BitVert {
+    /// Builds the config-independent profile entry: binary pruning and
+    /// channel reordering over the sampled weights.
+    fn build_profile(&self, wl: &LayerWorkload) -> ProfileEntry {
         let qt = &wl.weights;
         // Per-layer sensitivity with the global β floor (the compression
         // experiments use the model-global Algorithm 2; per-layer selection
@@ -96,16 +136,14 @@ impl Accelerator for BitVert {
 
         let group = self.prune.group_size;
         let passes_per_group = group / PE_GROUP;
-        let mut latencies = Vec::with_capacity(qt.channels());
-        let mut useful = Vec::with_capacity(qt.channels());
+        let groups_per_channel = qt.elems_per_channel().div_ceil(group) * passes_per_group;
+        let mut builder = ProfileBuilder::with_capacity(qt.channels(), groups_per_channel);
         let mut stored_bits_sampled: u64 = 0;
 
         // Channels in chunked (reordered) order: sensitive first.
         for pos in 0..order.len() {
             let c = order.original_index(pos);
             let row = qt.channel(c);
-            let mut lat_row = Vec::new();
-            let mut use_row = Vec::new();
             for chunk in row.chunks(group) {
                 // Packed once per group; the zero padding of trailing
                 // partial groups happens in the bit planes.
@@ -114,43 +152,33 @@ impl Accelerator for BitVert {
                     // Sensitive: raw 8-bit storage, all 8 columns processed.
                     stored_bits_sampled += (group * WEIGHT_BITS) as u64;
                     for pass in 0..passes_per_group {
-                        lat_row.push(WEIGHT_BITS as u32);
-                        use_row.push(pass_useful(packed.columns(), pass * PE_GROUP));
+                        builder.push_group(
+                            WEIGHT_BITS as u32,
+                            pass_useful(packed.columns(), pass * PE_GROUP),
+                        );
                     }
                 } else {
                     let enc: CompressedGroup = self.prune.pruner.compress_group_packed(&packed);
                     stored_bits_sampled += enc.stored_bits() as u64;
-                    let kept = enc.kept_column_count();
-                    let columns: Vec<u64> = (0..kept).map(|j| enc.kept_column(j)).collect();
+                    // The encoder's kept planes are borrowed in place — no
+                    // per-group column copies on this path.
+                    let columns = enc.kept_columns();
                     for pass in 0..passes_per_group {
-                        lat_row.push(kept as u32);
-                        use_row.push(pass_useful(&columns, pass * PE_GROUP));
+                        builder.push_group(
+                            columns.len() as u32,
+                            pass_useful(columns, pass * PE_GROUP),
+                        );
                     }
                 }
             }
-            latencies.push(lat_row);
-            useful.push(use_row);
+            builder.finish_channel();
         }
 
-        let stats = wave_schedule(
-            &LatencyProfile { latencies, useful },
-            cfg.pe_cols,
-            cfg.lanes_per_pe,
-        );
-        let (_, a_dram, _, a_sram) = dense_traffic(wl, cfg, 8.0);
-        // Channel-index buffer: one index per channel (trivial, counted).
-        let index_bits = order.index_buffer_bits() as u64;
-        let w_dram = (stored_bits_sampled as f64 * wl.sample_factor) as u64 + index_bits;
-        let w_sram = w_dram * position_tiles(wl, cfg);
-        LayerPerf {
-            compute_cycles: extrapolate_cycles(stats.cycles, wl, cfg),
-            useful_fraction: stats.useful_fraction,
-            intra_fraction: stats.intra_fraction,
-            inter_fraction: stats.inter_fraction,
-            weight_dram_bits: w_dram,
-            act_dram_bits: a_dram,
-            weight_sram_bits: w_sram,
-            act_sram_bits: a_sram,
+        ProfileEntry {
+            profile: builder.build(),
+            stored_bits_sampled,
+            // Channel-index buffer: one index per channel (trivial, counted).
+            index_bits: order.index_buffer_bits() as u64,
         }
     }
 }

@@ -8,10 +8,11 @@
 //! column count is nearly uniform.
 
 use crate::accel::{
-    dense_traffic, extrapolate_cycles, wave_schedule, Accelerator, LatencyProfile, LayerPerf,
+    dense_traffic, extrapolate_cycles, profile_key, wave_schedule, Accelerator, LayerPerf,
+    ProfileBuilder,
 };
 use crate::config::ArrayConfig;
-use crate::workload::LayerWorkload;
+use crate::workload::{LayerWorkload, ProfileEntry};
 use bbs_core::zero_col::sign_magnitude_zero_column;
 use bbs_hw::pe::{bitwave_pe, PeModel};
 use bbs_tensor::bits::sign_magnitude;
@@ -60,37 +61,13 @@ impl Accelerator for BitWave {
     }
 
     fn layer_performance(&self, wl: &LayerWorkload, cfg: &ArrayConfig) -> LayerPerf {
-        let qt = &wl.weights;
-        let mut latencies = Vec::with_capacity(qt.channels());
-        let mut useful = Vec::with_capacity(qt.channels());
-        let mut stored_bits_sampled: u64 = 0;
-        for c in 0..qt.channels() {
-            let row = qt.channel(c);
-            let mut lat_row = Vec::new();
-            let mut use_row = Vec::new();
-            for group in row.chunks(GROUP) {
-                let z = sign_magnitude_zero_column(group, self.target_columns);
-                stored_bits_sampled += z.stored_bits() as u64;
-                lat_row.push(z.kept_columns().max(1) as u32);
-                // Effectual = one-bits of the stored sign-magnitude values.
-                let ones: u64 = z
-                    .decode()
-                    .iter()
-                    .map(|&v| sign_magnitude(v.clamp(-128, 127) as i8).count_ones() as u64)
-                    .sum();
-                use_row.push(ones);
-            }
-            latencies.push(lat_row);
-            useful.push(use_row);
-        }
-        let stats = wave_schedule(
-            &LatencyProfile { latencies, useful },
-            cfg.pe_cols,
-            cfg.lanes_per_pe,
-        );
+        // Config-independent: memoized on the workload (see BitVert).
+        let key = profile_key(&[2, self.target_columns as u64]);
+        let entry = wl.profiles.get_or_build(key, || self.build_profile(wl));
+        let stats = wave_schedule(&entry.profile, cfg.pe_cols, cfg.lanes_per_pe);
         // Compressed weight traffic; activations remain 8-bit dense.
         let (_, a_dram, _, a_sram) = dense_traffic(wl, cfg, 8.0);
-        let w_dram = (stored_bits_sampled as f64 * wl.sample_factor) as u64;
+        let w_dram = (entry.stored_bits_sampled as f64 * wl.sample_factor) as u64;
         let w_sram = w_dram * crate::accel::position_tiles(wl, cfg);
         LayerPerf {
             compute_cycles: extrapolate_cycles(stats.cycles, wl, cfg),
@@ -101,6 +78,37 @@ impl Accelerator for BitWave {
             act_dram_bits: a_dram,
             weight_sram_bits: w_sram,
             act_sram_bits: a_sram,
+        }
+    }
+}
+
+impl BitWave {
+    /// Builds the config-independent profile entry: zero-column pruning
+    /// over the sampled weights.
+    fn build_profile(&self, wl: &LayerWorkload) -> ProfileEntry {
+        let qt = &wl.weights;
+        let epc = qt.elems_per_channel();
+        let mut builder = ProfileBuilder::with_capacity(qt.channels(), epc.div_ceil(GROUP));
+        let mut stored_bits_sampled: u64 = 0;
+        for c in 0..qt.channels() {
+            let row = qt.channel(c);
+            for group in row.chunks(GROUP) {
+                let z = sign_magnitude_zero_column(group, self.target_columns);
+                stored_bits_sampled += z.stored_bits() as u64;
+                // Effectual = one-bits of the stored sign-magnitude values.
+                let ones: u64 = z
+                    .values()
+                    .iter()
+                    .map(|&v| sign_magnitude(v).count_ones() as u64)
+                    .sum();
+                builder.push_group(z.kept_columns().max(1) as u32, ones);
+            }
+            builder.finish_channel();
+        }
+        ProfileEntry {
+            profile: builder.build(),
+            stored_bits_sampled,
+            index_bits: 0,
         }
     }
 }

@@ -11,6 +11,7 @@ pub mod bitlet;
 pub mod bitvert;
 pub mod bitwave;
 pub mod pragmatic;
+pub mod reference;
 pub mod sparten;
 pub mod stripes;
 
@@ -52,12 +53,163 @@ pub trait Accelerator: Send + Sync {
 }
 
 /// Per-channel, per-group latency/usefulness profile of one layer.
-#[derive(Debug, Clone, Default)]
+///
+/// Stored as two flat row-major buffers (`channels × groups` strides), so
+/// building a profile is append-only and scheduling it is linear slice
+/// walks — no per-channel heap allocations on the hot path. Construct via
+/// [`LatencyProfile::uniform`], [`ProfileBuilder`] or
+/// [`LatencyProfile::from_nested`].
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LatencyProfile {
-    /// `latencies[channel][group]` — PE-pass cycles.
-    pub latencies: Vec<Vec<u32>>,
-    /// `useful[channel][group]` — effectual lane-cycles in that pass.
-    pub useful: Vec<Vec<u64>>,
+    channels: usize,
+    groups: usize,
+    /// PE-pass cycles, `[channel * groups + group]`.
+    latencies: Vec<u32>,
+    /// Effectual lane-cycles in that pass, `[channel * groups + group]`.
+    useful: Vec<u64>,
+}
+
+impl LatencyProfile {
+    /// A profile where every group of every channel costs `latency` cycles
+    /// with `useful` effectual lane-cycles (the dense bit-serial designs).
+    pub fn uniform(channels: usize, groups: usize, latency: u32, useful: u64) -> Self {
+        LatencyProfile {
+            channels,
+            groups,
+            latencies: vec![latency; channels * groups],
+            useful: vec![useful; channels * groups],
+        }
+    }
+
+    /// Converts nested per-channel rows (the historical representation,
+    /// still used by tests and ad-hoc ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two nestings differ in shape or group counts differ
+    /// across channels.
+    pub fn from_nested(latencies: Vec<Vec<u32>>, useful: Vec<Vec<u64>>) -> Self {
+        assert_eq!(latencies.len(), useful.len(), "channel counts differ");
+        let groups = latencies.first().map_or(0, Vec::len);
+        let mut b = ProfileBuilder::with_capacity(latencies.len(), groups);
+        for (lat_row, use_row) in latencies.iter().zip(&useful) {
+            assert_eq!(
+                lat_row.len(),
+                use_row.len(),
+                "latency/useful row lengths differ"
+            );
+            for (&l, &u) in lat_row.iter().zip(use_row) {
+                b.push_group(l, u);
+            }
+            b.finish_channel();
+        }
+        b.build()
+    }
+
+    /// Approximate heap footprint (the two flat buffers), for the
+    /// workload store's byte accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.latencies.len() * std::mem::size_of::<u32>()
+            + self.useful.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Number of channels (profile rows).
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Groups per channel.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Whether the profile holds no channels.
+    pub fn is_empty(&self) -> bool {
+        self.channels == 0
+    }
+
+    /// The latency row of channel `c`.
+    pub fn latency_row(&self, c: usize) -> &[u32] {
+        &self.latencies[c * self.groups..(c + 1) * self.groups]
+    }
+
+    /// The useful-lane-cycle row of channel `c`.
+    pub fn useful_row(&self, c: usize) -> &[u64] {
+        &self.useful[c * self.groups..(c + 1) * self.groups]
+    }
+}
+
+/// Appends `(latency, useful)` pairs group by group, channel by channel,
+/// into the flat buffers of a [`LatencyProfile`]. Every accelerator model
+/// fills its profile through this — one pair of `Vec` grows, no per-channel
+/// allocations.
+#[derive(Debug, Clone)]
+pub struct ProfileBuilder {
+    groups: usize,
+    first_channel: bool,
+    row_len: usize,
+    channels: usize,
+    latencies: Vec<u32>,
+    useful: Vec<u64>,
+}
+
+impl ProfileBuilder {
+    /// A builder sized for `channels × groups` entries (hints only — the
+    /// built profile takes its true shape from what was pushed).
+    pub fn with_capacity(channels: usize, groups: usize) -> Self {
+        ProfileBuilder {
+            groups,
+            first_channel: true,
+            row_len: 0,
+            channels: 0,
+            latencies: Vec::with_capacity(channels * groups),
+            useful: Vec::with_capacity(channels * groups),
+        }
+    }
+
+    /// Appends one group to the current channel.
+    pub fn push_group(&mut self, latency: u32, useful: u64) {
+        self.latencies.push(latency);
+        self.useful.push(useful);
+        self.row_len += 1;
+    }
+
+    /// Closes the current channel row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's group count differs from the first channel's.
+    pub fn finish_channel(&mut self) {
+        if self.first_channel {
+            self.groups = self.row_len;
+            self.first_channel = false;
+        } else {
+            assert_eq!(
+                self.row_len, self.groups,
+                "group counts differ across channels"
+            );
+        }
+        self.channels += 1;
+        self.row_len = 0;
+    }
+
+    /// Finalizes the profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if groups were pushed after the last [`finish_channel`]
+    /// (a dangling partial row).
+    ///
+    /// [`finish_channel`]: ProfileBuilder::finish_channel
+    pub fn build(self) -> LatencyProfile {
+        assert_eq!(self.row_len, 0, "unfinished channel row");
+        LatencyProfile {
+            channels: self.channels,
+            groups: self.groups,
+            latencies: self.latencies,
+            useful: self.useful,
+        }
+    }
 }
 
 /// Result of playing a latency profile through the PE array.
@@ -90,37 +242,37 @@ pub enum SyncGranularity {
 /// column (`PerTile`) or every group completes at the slowest column
 /// (`PerGroup`).
 ///
+/// Runs on the flat profile buffers: the per-tile path reduces each
+/// channel's latency/useful rows in one linear pass, then plays the tile
+/// arithmetic on those per-channel sums. Bit-identical to
+/// [`reference::wave_schedule_nested`] (the retained nested-`Vec` oracle).
+///
 /// # Panics
 ///
-/// Panics if the profile is empty or group counts differ across channels.
+/// Panics if the profile is empty.
 pub fn wave_schedule_with(
     profile: &LatencyProfile,
     pe_cols: usize,
     lanes: usize,
     sync: SyncGranularity,
 ) -> WaveStats {
-    assert!(!profile.latencies.is_empty());
-    let groups = profile.latencies[0].len();
-    assert!(
-        profile.latencies.iter().all(|c| c.len() == groups),
-        "group counts differ across channels"
-    );
-
-    let channels = profile.latencies.len();
+    assert!(!profile.is_empty());
+    let groups = profile.groups();
+    let channels = profile.channels();
     let mut cycles: u64 = 0;
     let mut useful: f64 = 0.0;
     let mut intra: f64 = 0.0;
     let mut inter: f64 = 0.0;
 
-    for tile_start in (0..channels).step_by(pe_cols) {
-        let tile = tile_start..(tile_start + pe_cols).min(channels);
-        let idle_cols = pe_cols - tile.len();
-        match sync {
-            SyncGranularity::PerGroup => {
+    match sync {
+        SyncGranularity::PerGroup => {
+            for tile_start in (0..channels).step_by(pe_cols) {
+                let tile = tile_start..(tile_start + pe_cols).min(channels);
+                let idle_cols = pe_cols - tile.len();
                 for g in 0..groups {
                     let wave = tile
                         .clone()
-                        .map(|c| profile.latencies[c][g])
+                        .map(|c| profile.latencies[c * groups + g])
                         .max()
                         .unwrap_or(0) as u64;
                     if wave == 0 {
@@ -128,8 +280,8 @@ pub fn wave_schedule_with(
                     }
                     cycles += wave;
                     for c in tile.clone() {
-                        let lat = profile.latencies[c][g] as u64;
-                        let u = profile.useful[c][g] as f64;
+                        let lat = profile.latencies[c * groups + g] as u64;
+                        let u = profile.useful[c * groups + g] as f64;
                         useful += u;
                         intra += (lat * lanes as u64) as f64 - u;
                         inter += ((wave - lat) * lanes as u64) as f64;
@@ -137,17 +289,25 @@ pub fn wave_schedule_with(
                     inter += (idle_cols as u64 * wave * lanes as u64) as f64;
                 }
             }
-            SyncGranularity::PerTile => {
-                let col_sum =
-                    |c: usize| -> u64 { profile.latencies[c].iter().map(|&l| l as u64).sum() };
-                let tile_cycles = tile.clone().map(col_sum).max().unwrap_or(0);
+        }
+        SyncGranularity::PerTile => {
+            // One linear pass folds every channel row to (cycle, useful)
+            // sums; the tile loop below then never touches the groups axis.
+            let col_stats: Vec<(u64, f64)> = (0..channels)
+                .map(|c| {
+                    let lat: u64 = profile.latency_row(c).iter().map(|&l| l as u64).sum();
+                    let u: f64 = profile.useful_row(c).iter().map(|&x| x as f64).sum();
+                    (lat, u)
+                })
+                .collect();
+            for tile_stats in col_stats.chunks(pe_cols) {
+                let idle_cols = pe_cols - tile_stats.len();
+                let tile_cycles = tile_stats.iter().map(|&(lat, _)| lat).max().unwrap_or(0);
                 if tile_cycles == 0 {
                     continue;
                 }
                 cycles += tile_cycles;
-                for c in tile.clone() {
-                    let lat = col_sum(c);
-                    let u: f64 = profile.useful[c].iter().map(|&x| x as f64).sum();
+                for &(lat, u) in tile_stats {
                     useful += u;
                     intra += (lat * lanes as u64) as f64 - u;
                     inter += ((tile_cycles - lat) * lanes as u64) as f64;
@@ -169,6 +329,20 @@ pub fn wave_schedule_with(
 /// [`wave_schedule_with`] at the default [`SyncGranularity::PerTile`].
 pub fn wave_schedule(profile: &LatencyProfile, pe_cols: usize, lanes: usize) -> WaveStats {
     wave_schedule_with(profile, pe_cols, lanes, SyncGranularity::PerTile)
+}
+
+/// Folds an accelerator's profile-shaping parameters into a
+/// [`crate::workload::ProfileMemo`] key (FNV-1a over the little-endian
+/// words, via the workspace's one [`bbs_json::fnv1a_64`]). The first word
+/// must be the accelerator's unique tag; the rest every parameter the
+/// profile depends on — the array configuration must *not* be included
+/// (profiles are config-independent by construction).
+pub fn profile_key(words: &[u64]) -> u64 {
+    let mut bytes = Vec::with_capacity(words.len() * 8);
+    for w in words {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    bbs_json::fnv1a_64(&bytes)
 }
 
 /// Position tiles of a layer on the array (output-stationary rows).
@@ -208,10 +382,7 @@ mod tests {
             .iter()
             .map(|ch| ch.iter().map(|&l| (l as u64) * 4).collect())
             .collect();
-        LatencyProfile {
-            latencies: lat,
-            useful,
-        }
+        LatencyProfile::from_nested(lat, useful)
     }
 
     #[test]
@@ -270,10 +441,33 @@ mod tests {
     #[test]
     #[should_panic(expected = "group counts")]
     fn mismatched_groups_rejected() {
-        let p = LatencyProfile {
-            latencies: vec![vec![1, 2], vec![1]],
-            useful: vec![vec![1, 2], vec![1]],
-        };
-        let _ = wave_schedule(&p, 2, 8);
+        let _ = LatencyProfile::from_nested(vec![vec![1, 2], vec![1]], vec![vec![1, 2], vec![1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unfinished channel row")]
+    fn dangling_builder_row_rejected() {
+        let mut b = ProfileBuilder::with_capacity(1, 2);
+        b.push_group(3, 1);
+        let _ = b.build();
+    }
+
+    #[test]
+    fn builder_uniform_and_nested_agree() {
+        let mut b = ProfileBuilder::with_capacity(2, 3);
+        for _ in 0..2 {
+            for _ in 0..3 {
+                b.push_group(5, 7);
+            }
+            b.finish_channel();
+        }
+        let built = b.build();
+        assert_eq!(built, LatencyProfile::uniform(2, 3, 5, 7));
+        assert_eq!(
+            built,
+            LatencyProfile::from_nested(vec![vec![5; 3]; 2], vec![vec![7; 3]; 2])
+        );
+        assert_eq!(built.latency_row(1), &[5, 5, 5]);
+        assert_eq!(built.useful_row(0), &[7, 7, 7]);
     }
 }

@@ -7,10 +7,11 @@
 //! skipping is on-chip only.
 
 use crate::accel::{
-    dense_traffic, extrapolate_cycles, wave_schedule, Accelerator, LatencyProfile, LayerPerf,
+    dense_traffic, extrapolate_cycles, profile_key, wave_schedule, Accelerator, LayerPerf,
+    ProfileBuilder,
 };
 use crate::config::ArrayConfig;
-use crate::workload::LayerWorkload;
+use crate::workload::{LayerWorkload, ProfileEntry};
 use bbs_hw::pe::{pragmatic_pe, PeModel};
 
 /// Weights processed per PE pass.
@@ -37,27 +38,32 @@ impl Accelerator for Pragmatic {
     }
 
     fn layer_performance(&self, wl: &LayerWorkload, cfg: &ArrayConfig) -> LayerPerf {
-        let qt = &wl.weights;
-        let mut latencies = Vec::with_capacity(qt.channels());
-        let mut useful = Vec::with_capacity(qt.channels());
-        for c in 0..qt.channels() {
-            let row = qt.channel(c);
-            let mut lat_row = Vec::with_capacity(row.len().div_ceil(GROUP));
-            let mut use_row = Vec::with_capacity(lat_row.capacity());
-            for group in row.chunks(GROUP) {
-                let popcounts: Vec<u32> = group.iter().map(|&w| (w as u8).count_ones()).collect();
-                let lat = popcounts.iter().copied().max().unwrap_or(0).max(1);
-                lat_row.push(lat);
-                use_row.push(popcounts.iter().map(|&p| p as u64).sum());
+        // Config-independent and parameterless: memoized on the workload.
+        let entry = wl.profiles.get_or_build(profile_key(&[4]), || {
+            let qt = &wl.weights;
+            let epc = qt.elems_per_channel();
+            let mut builder = ProfileBuilder::with_capacity(qt.channels(), epc.div_ceil(GROUP));
+            for c in 0..qt.channels() {
+                let row = qt.channel(c);
+                for group in row.chunks(GROUP) {
+                    let mut lat = 0u32;
+                    let mut ones = 0u64;
+                    for &w in group {
+                        let p = (w as u8).count_ones();
+                        lat = lat.max(p);
+                        ones += p as u64;
+                    }
+                    builder.push_group(lat.max(1), ones);
+                }
+                builder.finish_channel();
             }
-            latencies.push(lat_row);
-            useful.push(use_row);
-        }
-        let stats = wave_schedule(
-            &LatencyProfile { latencies, useful },
-            cfg.pe_cols,
-            cfg.lanes_per_pe,
-        );
+            ProfileEntry {
+                profile: builder.build(),
+                stored_bits_sampled: 0,
+                index_bits: 0,
+            }
+        });
+        let stats = wave_schedule(&entry.profile, cfg.pe_cols, cfg.lanes_per_pe);
         let (w_dram, a_dram, w_sram, a_sram) = dense_traffic(wl, cfg, 8.0);
         LayerPerf {
             compute_cycles: extrapolate_cycles(stats.cycles, wl, cfg),

@@ -68,10 +68,12 @@ impl Accelerator for Stripes {
         let groups = epc.div_ceil(GROUP);
         let lanes = cfg.lanes_per_pe;
         let channels = wl.channels.min(wl.weights.channels());
-        let profile = LatencyProfile {
-            latencies: vec![vec![self.bits; groups]; channels],
-            useful: vec![vec![(self.bits as usize * lanes) as u64; groups]; channels],
-        };
+        let profile = LatencyProfile::uniform(
+            channels,
+            groups,
+            self.bits,
+            (self.bits as usize * lanes) as u64,
+        );
         let stats = wave_schedule(&profile, cfg.pe_cols, lanes);
         let (w_dram, a_dram, w_sram, a_sram) = dense_traffic(wl, cfg, self.bits as f64);
         LayerPerf {

@@ -3,6 +3,7 @@
 
 use crate::accel::{Accelerator, LayerPerf};
 use crate::config::ArrayConfig;
+use crate::store::WorkloadStore;
 use crate::workload::{lower_model, LayerWorkload};
 use bbs_hw::energy::{EnergyBreakdown, EnergyModel};
 use bbs_models::layer::ModelSpec;
@@ -89,15 +90,20 @@ impl SimResult {
         (useful, intra, inter)
     }
 
-    /// Fraction of execution time stalled on memory.
+    /// Fraction of execution time stalled on memory. An execution with no
+    /// cycles at all (empty model, zero-position layers) has no stall —
+    /// the division is guarded so this never returns NaN.
     pub fn memory_stall_fraction(&self) -> f64 {
-        let total = self.total_cycles() as f64;
+        let total = self.total_cycles();
+        if total == 0 {
+            return 0.0;
+        }
         let stall: u64 = self
             .layers
             .iter()
             .map(|l| l.total_cycles - l.compute_cycles.min(l.total_cycles))
             .sum();
-        stall as f64 / total
+        stall as f64 / total as f64
     }
 }
 
@@ -150,15 +156,14 @@ pub fn simulate_layer(accel: &dyn Accelerator, wl: &LayerWorkload, cfg: &ArrayCo
     }
 }
 
-/// Simulates a whole model.
-pub fn simulate(
+/// Simulates pre-lowered workloads (the shared tail of [`simulate`] and
+/// [`simulate_with`]).
+fn simulate_lowered(
     accel: &dyn Accelerator,
-    model: &ModelSpec,
+    model_name: &str,
+    workloads: &[LayerWorkload],
     cfg: &ArrayConfig,
-    seed: u64,
-    max_weights_per_layer: usize,
 ) -> SimResult {
-    let workloads = lower_model(model, seed, max_weights_per_layer);
     // Layers are independent; the parallel map preserves input order, so
     // the result is bit-identical to the sequential sweep.
     let layers = workloads
@@ -167,9 +172,44 @@ pub fn simulate(
         .collect();
     SimResult {
         accelerator: accel.name(),
-        model: model.name.to_string(),
+        model: model_name.to_string(),
         layers,
     }
+}
+
+/// Simulates a whole model, lowering it fresh.
+///
+/// Sweeps that simulate the same `(model, seed, cap)` on several
+/// accelerators or array configurations should use [`simulate_with`] and a
+/// shared [`WorkloadStore`] instead — it skips the redundant weight
+/// synthesis and produces bit-identical results.
+pub fn simulate(
+    accel: &dyn Accelerator,
+    model: &ModelSpec,
+    cfg: &ArrayConfig,
+    seed: u64,
+    max_weights_per_layer: usize,
+) -> SimResult {
+    let workloads = lower_model(model, seed, max_weights_per_layer);
+    simulate_lowered(accel, model.name, &workloads, cfg)
+}
+
+/// Simulates a whole model, reusing (or populating) `store`'s lowered
+/// workloads for `(model, seed, max_weights_per_layer)`.
+///
+/// Results are bit-identical to [`simulate`]; only the redundant lowering
+/// work is skipped. The store is safe to share across threads — parallel
+/// sweeps over accelerators and array geometries lower each model once.
+pub fn simulate_with(
+    store: &WorkloadStore,
+    accel: &dyn Accelerator,
+    model: &ModelSpec,
+    cfg: &ArrayConfig,
+    seed: u64,
+    max_weights_per_layer: usize,
+) -> SimResult {
+    let workloads = store.get_or_lower(model, seed, max_weights_per_layer);
+    simulate_lowered(accel, model.name, &workloads, cfg)
 }
 
 #[cfg(test)]
@@ -278,6 +318,68 @@ mod tests {
             .find(|l| l.name == "conv1.2")
             .expect("conv1.2");
         assert!(!conv.memory_bound());
+    }
+
+    #[test]
+    fn memory_stall_fraction_is_zero_not_nan_for_empty_results() {
+        // An empty model (or one whose layers all collapse to zero cycles)
+        // must report "no stall", not NaN.
+        let empty = SimResult {
+            accelerator: "Stripes".into(),
+            model: "empty".into(),
+            layers: Vec::new(),
+        };
+        assert_eq!(empty.total_cycles(), 0);
+        assert_eq!(empty.memory_stall_fraction(), 0.0);
+
+        let zero_layer = SimResult {
+            layers: vec![LayerSim {
+                name: "z".into(),
+                compute_cycles: 0,
+                memory_cycles: 0,
+                total_cycles: 0,
+                perf: LayerPerf {
+                    compute_cycles: 0,
+                    useful_fraction: 0.0,
+                    intra_fraction: 0.0,
+                    inter_fraction: 0.0,
+                    weight_dram_bits: 0,
+                    act_dram_bits: 0,
+                    weight_sram_bits: 0,
+                    act_sram_bits: 0,
+                },
+                energy: Default::default(),
+            }],
+            ..empty
+        };
+        assert!(!zero_layer.memory_stall_fraction().is_nan());
+        assert_eq!(zero_layer.memory_stall_fraction(), 0.0);
+    }
+
+    #[test]
+    fn simulate_with_matches_fresh_simulation() {
+        let cfg = ArrayConfig::paper_16x32();
+        let model = zoo::vit_small();
+        let store = WorkloadStore::default();
+        let stripes = simulate_with(&store, &Stripes::new(), &model, &cfg, 7, 1024);
+        assert_eq!(stripes, simulate(&Stripes::new(), &model, &cfg, 7, 1024));
+        let lowered_only = store.bytes();
+        for accel in [&BitVert::moderate() as &dyn Accelerator, &SparTen::new()] {
+            let cached = simulate_with(&store, accel, &model, &cfg, 7, 1024);
+            let fresh = simulate(accel, &model, &cfg, 7, 1024);
+            assert_eq!(cached, fresh, "{}", accel.name());
+        }
+        // Three accelerators, one lowering.
+        assert_eq!(store.misses(), 1);
+        assert_eq!(store.hits(), 2);
+        // BitVert memoized its profile on the stored workloads; the byte
+        // accounting must see that growth, not just the lowered data.
+        assert!(
+            store.bytes() > lowered_only,
+            "memoized profiles must be accounted: {} vs {}",
+            store.bytes(),
+            lowered_only
+        );
     }
 
     #[test]

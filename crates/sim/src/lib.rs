@@ -17,18 +17,34 @@
 //! exact) models of the BitVert PE datapath (Fig. 7b) and scheduler
 //! (Fig. 8), verified against reference dot products.
 //!
+//! # Lower once, simulate many
+//!
+//! [`engine::simulate`] lowers the model (synthesizes per-layer weights)
+//! on every call. Sweeps that run several accelerators or array
+//! geometries over the same `(model, seed, cap)` triple should share a
+//! [`store::WorkloadStore`] and call [`engine::simulate_with`] instead:
+//! the store is a thread-safe, content-addressed, bounded cache of
+//! `Arc<[LayerWorkload]>` lowerings, concurrent misses on one key
+//! coalesce onto a single lowering, and results stay bit-identical to
+//! fresh lowering (property-tested). The `bbs-bench` figure sweeps and the
+//! `bbs-serve` worker pool both read through one store.
+//!
 //! # Example
 //!
 //! ```
 //! use bbs_sim::accel::{bitvert::BitVert, stripes::Stripes};
 //! use bbs_sim::config::ArrayConfig;
-//! use bbs_sim::engine::simulate;
+//! use bbs_sim::engine::simulate_with;
+//! use bbs_sim::store::WorkloadStore;
 //! use bbs_models::zoo;
 //!
 //! let cfg = ArrayConfig::paper_16x32();
 //! let model = zoo::vit_small();
-//! let stripes = simulate(&Stripes::new(), &model, &cfg, 7, 8 * 1024);
-//! let bitvert = simulate(&BitVert::moderate(), &model, &cfg, 7, 8 * 1024);
+//! // One store, two simulations — ViT-Small is lowered exactly once.
+//! let store = WorkloadStore::default();
+//! let stripes = simulate_with(&store, &Stripes::new(), &model, &cfg, 7, 8 * 1024);
+//! let bitvert = simulate_with(&store, &BitVert::moderate(), &model, &cfg, 7, 8 * 1024);
+//! assert_eq!((store.misses(), store.hits()), (1, 1));
 //! let speedup = stripes.total_cycles() as f64 / bitvert.total_cycles() as f64;
 //! assert!(speedup > 1.5, "BitVert must beat dense bit-serial: {speedup}");
 //! ```
@@ -38,7 +54,9 @@ pub mod bitvert_func;
 pub mod config;
 pub mod engine;
 pub mod json;
+pub mod store;
 pub mod workload;
 
 pub use config::ArrayConfig;
-pub use engine::{simulate, LayerSim, SimResult};
+pub use engine::{simulate, simulate_with, LayerSim, SimResult};
+pub use store::WorkloadStore;

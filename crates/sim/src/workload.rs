@@ -1,13 +1,88 @@
 //! Model lowering: layer specs → simulation workloads with real bit
 //! patterns.
 
+use crate::accel::LatencyProfile;
 use bbs_models::layer::{ModelFamily, ModelSpec};
 use bbs_models::synth::{synthesize_activations, synthesize_weights_sampled};
 use bbs_tensor::bits::value_sparsity;
 use bbs_tensor::quant::QuantTensor;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A memoized accelerator view of one workload: the latency profile plus
+/// the profile-derived storage counters, all independent of the array
+/// configuration (`pe_cols`/`lanes` only enter at scheduling time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileEntry {
+    /// Per-channel, per-group pass latencies and effectual lane-cycles.
+    pub profile: LatencyProfile,
+    /// Stored weight bits over the sampled fan-in (pre-extrapolation).
+    pub stored_bits_sampled: u64,
+    /// Side-band metadata bits (e.g. BitVert's channel-index buffer).
+    pub index_bits: u64,
+}
+
+/// Lazily-built per-accelerator [`ProfileEntry`]s, keyed by the
+/// accelerator's profile key (a hash of every parameter that shapes the
+/// profile). Lives on the workload, so store-shared lowerings carry their
+/// profiles to every simulation that reuses them — a PE-column sweep
+/// compresses each weight group once, not once per array geometry.
+#[derive(Default)]
+pub struct ProfileMemo(Mutex<HashMap<u64, Arc<ProfileEntry>>>);
+
+impl ProfileMemo {
+    /// Returns the memoized entry for `key`, building it if absent. A
+    /// concurrent race may build twice; the build is deterministic, so
+    /// either result is the same and the first insert wins.
+    pub fn get_or_build(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> ProfileEntry,
+    ) -> Arc<ProfileEntry> {
+        if let Some(hit) = self.0.lock().unwrap().get(&key) {
+            return Arc::clone(hit);
+        }
+        let built = Arc::new(build());
+        Arc::clone(self.0.lock().unwrap().entry(key).or_insert(built))
+    }
+
+    /// Memoized entries (diagnostics).
+    pub fn len(&self) -> usize {
+        self.0.lock().unwrap().len()
+    }
+
+    /// Approximate heap footprint of all memoized profiles, for the
+    /// workload store's byte accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.0
+            .lock()
+            .unwrap()
+            .values()
+            .map(|e| e.profile.approx_bytes() + 64)
+            .sum()
+    }
+
+    /// Whether nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for ProfileMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ProfileMemo({} entries)", self.len())
+    }
+}
+
+impl Clone for ProfileMemo {
+    /// Clones start empty: the memo is a cache, not data.
+    fn clone(&self) -> Self {
+        ProfileMemo::default()
+    }
+}
 
 /// One layer ready for simulation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct LayerWorkload {
     /// Layer name.
     pub name: String,
@@ -27,6 +102,24 @@ pub struct LayerWorkload {
     pub sample_factor: f64,
     /// Sampled activations (value-sparsity statistics for SparTen).
     pub activations: Vec<i8>,
+    /// Lazily-built per-accelerator latency profiles (ignored by `==`).
+    pub profiles: ProfileMemo,
+}
+
+impl PartialEq for LayerWorkload {
+    /// Equality is over the lowered *data*; the profile memo is a derived
+    /// cache and never participates.
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.channels == other.channels
+            && self.elems_per_channel == other.elems_per_channel
+            && self.positions == other.positions
+            && self.unique_input_elems == other.unique_input_elems
+            && self.family == other.family
+            && self.weights == other.weights
+            && self.sample_factor == other.sample_factor
+            && self.activations == other.activations
+    }
 }
 
 impl LayerWorkload {
@@ -88,6 +181,7 @@ pub fn lower_model(
                 weights: synth.weights,
                 sample_factor: synth.sample_factor,
                 activations,
+                profiles: ProfileMemo::default(),
             }
         })
         .collect()

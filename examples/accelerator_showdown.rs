@@ -13,7 +13,8 @@ use bbs::sim::accel::{
     sparten::SparTen, stripes::Stripes, Accelerator,
 };
 use bbs::sim::config::ArrayConfig;
-use bbs::sim::engine::simulate;
+use bbs::sim::engine::simulate_with;
+use bbs::sim::store::WorkloadStore;
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "resnet50".into());
@@ -32,12 +33,15 @@ fn main() {
     };
     let cfg = ArrayConfig::paper_16x32();
     let cap = 16 * 1024;
+    // One store for the whole showdown: the model is lowered once, all
+    // nine simulations below reuse the same workloads.
+    let store = WorkloadStore::default();
 
     println!(
         "{model} on a {}x{} array @ {} MHz",
         cfg.pe_rows, cfg.pe_cols, cfg.tech.freq_mhz
     );
-    let base = simulate(&Stripes::new(), &model, &cfg, 7, cap);
+    let base = simulate_with(&store, &Stripes::new(), &model, &cfg, 7, cap);
     let base_cycles = base.total_cycles() as f64;
     let base_energy = base.total_energy_pj();
 
@@ -56,7 +60,7 @@ fn main() {
         "accelerator", "cycles", "speedup", "energy uJ", "vs base", "useful", "intra", "inter"
     );
     for accel in &accels {
-        let r = simulate(accel.as_ref(), &model, &cfg, 7, cap);
+        let r = simulate_with(&store, accel.as_ref(), &model, &cfg, 7, cap);
         let (useful, intra, inter) = r.stall_breakdown();
         println!(
             "{:<16} {:>12} {:>7.2}x {:>10.1} {:>7.2}x {:>7.1}% {:>7.1}% {:>7.1}%",

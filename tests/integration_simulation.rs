@@ -8,10 +8,31 @@ use bbs::sim::accel::{
     sparten::SparTen, stripes::Stripes, Accelerator,
 };
 use bbs::sim::config::ArrayConfig;
-use bbs::sim::engine::simulate;
+use bbs::sim::engine::simulate_with;
+use bbs::sim::store::WorkloadStore;
+use bbs::sim::SimResult;
 use bbs::tensor::metrics::geomean;
+use std::sync::OnceLock;
 
 const CAP: usize = 4 * 1024;
+
+/// Every test in this binary shares seed 7 and `CAP`, so one store lowers
+/// each zoo model once for the whole suite (results are bit-identical to
+/// fresh lowering — enforced by the bbs-sim proptests).
+fn store() -> &'static WorkloadStore {
+    static STORE: OnceLock<WorkloadStore> = OnceLock::new();
+    STORE.get_or_init(WorkloadStore::default)
+}
+
+fn simulate(
+    accel: &dyn Accelerator,
+    model: &bbs::models::ModelSpec,
+    cfg: &ArrayConfig,
+    seed: u64,
+    cap: usize,
+) -> SimResult {
+    simulate_with(store(), accel, model, cfg, seed, cap)
+}
 
 fn speedups(model: &bbs::models::ModelSpec, accel: &dyn Accelerator) -> f64 {
     let cfg = ArrayConfig::paper_16x32();
