@@ -1,9 +1,40 @@
 //! Regenerates the paper's fig13 (see `bbs_bench::experiments::fig13`).
-//! `--json` prints machine-readable output instead of the table.
-fn main() {
-    if std::env::args().any(|a| a == "--json") {
-        println!("{}", bbs_bench::experiments::fig13::to_json().pretty(2));
-    } else {
-        bbs_bench::experiments::fig13::run();
+//!
+//! Flags:
+//! * `--json` — machine-readable output instead of the table;
+//! * `--via-serve` — compute the sweep through an in-process `bbs-serve`
+//!   instance's `/sweep` route (byte-identical output);
+//! * `--via-serve-addr HOST:PORT` — same, against a running server.
+use bbs_bench::experiments::fig13;
+use bbs_bench::serve_path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let json = std::env::args().any(|a| a == "--json");
+    let outcome = match serve_path::serve_mode_from_args() {
+        Ok(None) => {
+            if json {
+                println!("{}", fig13::to_json().pretty(2));
+            } else {
+                fig13::run();
+            }
+            Ok(())
+        }
+        Ok(Some(mode)) => mode.with_addr(|addr| {
+            if json {
+                println!("{}", fig13::to_json_via_serve(addr)?.pretty(2));
+                Ok(())
+            } else {
+                fig13::run_via_serve(addr)
+            }
+        }),
+        Err(e) => Err(e),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig13_energy: {e}");
+            ExitCode::FAILURE
+        }
     }
 }

@@ -1,6 +1,13 @@
 //! Figure 12: end-to-end speedup over Stripes for all accelerators on the
 //! seven benchmarks.
+//!
+//! Two ways to produce the same table: the in-process parallel sweep
+//! ([`sweep`]) and the `--via-serve` path ([`sweep_via_serve`]), which
+//! POSTs the grid to a `bbs-serve` `/sweep` route. Both feed the same
+//! rendering, and the serve wire is bit-exact, so the outputs are
+//! byte-identical (diffed in CI).
 
+use crate::serve_path;
 use crate::{f, print_table, weight_cap, workload_store, SEED};
 use bbs_json::Json;
 use bbs_models::zoo;
@@ -65,17 +72,54 @@ pub fn model_speedups(model: &bbs_models::ModelSpec, cfg: &ArrayConfig) -> Vec<f
     sweep(std::slice::from_ref(model), cfg).remove(0)
 }
 
+/// The same speedup table as [`sweep`], computed by POSTing the grid to
+/// a `bbs-serve` `/sweep` route. Cycle counts travel the wire as exact
+/// integers, so the resulting table is bit-identical to the in-process
+/// sweep's.
+pub fn sweep_via_serve(
+    models: &[bbs_models::ModelSpec],
+    cfg: &ArrayConfig,
+    addr: std::net::SocketAddr,
+) -> Result<Vec<Vec<f64>>, String> {
+    // Column 0 is the Stripes baseline, columns 1.. are the lineup — the
+    // exact (model, accelerator) job order of the in-process sweep.
+    let mut names = vec![Stripes::new().name()];
+    names.extend(lineup().iter().map(|a| a.name()));
+    let ids = serve_path::canonical_ids(&names);
+    let cols = ids.len();
+    let spec =
+        bbs_sim::sweep::SweepSpec::grid(models.to_vec(), ids, cfg.clone(), SEED, weight_cap());
+    let results = serve_path::sweep_results(&spec, addr)?;
+    let cycles: Vec<u64> = results.iter().map(|r| r.total_cycles()).collect();
+    Ok(cycles
+        .chunks(cols)
+        .map(|row| row[1..].iter().map(|&c| row[0] as f64 / c as f64).collect())
+        .collect())
+}
+
 /// Fig. 12 as machine-readable JSON (the `--json` output mode): raw
 /// speedups per model plus the geomean row, keyed by accelerator name.
 pub fn to_json() -> Json {
     let cfg = ArrayConfig::paper_16x32();
-    let names: Vec<String> = lineup().iter().map(|a| a.name()).collect();
     let models = zoo::paper_benchmarks();
     let table = sweep(&models, &cfg);
+    table_to_json(&models, &table)
+}
+
+/// [`to_json`] with the table computed through a `bbs-serve` instance.
+pub fn to_json_via_serve(addr: std::net::SocketAddr) -> Result<Json, String> {
+    let cfg = ArrayConfig::paper_16x32();
+    let models = zoo::paper_benchmarks();
+    let table = sweep_via_serve(&models, &cfg, addr)?;
+    Ok(table_to_json(&models, &table))
+}
+
+fn table_to_json(models: &[bbs_models::ModelSpec], table: &[Vec<f64>]) -> Json {
+    let names: Vec<String> = lineup().iter().map(|a| a.name()).collect();
     let mut per_accel: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
     let rows: Vec<Json> = models
         .iter()
-        .zip(&table)
+        .zip(table)
         .map(|(model, speedups)| {
             for (col, &s) in speedups.iter().enumerate() {
                 per_accel[col].push(s);
@@ -108,14 +152,28 @@ pub fn to_json() -> Json {
 pub fn run() {
     let cfg = ArrayConfig::paper_16x32();
     let models = zoo::paper_benchmarks();
+    let table = sweep(&models, &cfg);
+    print_run(&models, &table);
+}
+
+/// [`run`] with the table computed through a `bbs-serve` instance —
+/// byte-identical output (same rendering, bit-exact wire).
+pub fn run_via_serve(addr: std::net::SocketAddr) -> Result<(), String> {
+    let cfg = ArrayConfig::paper_16x32();
+    let models = zoo::paper_benchmarks();
+    let table = sweep_via_serve(&models, &cfg, addr)?;
+    print_run(&models, &table);
+    Ok(())
+}
+
+fn print_run(models: &[bbs_models::ModelSpec], table: &[Vec<f64>]) {
     let names: Vec<String> = lineup().iter().map(|a| a.name()).collect();
     let mut header = vec!["model".to_string()];
     header.extend(names);
 
-    let table = sweep(&models, &cfg);
     let mut per_accel: Vec<Vec<f64>> = vec![Vec::new(); lineup().len()];
     let mut rows = Vec::new();
-    for (model, speedups) in models.iter().zip(&table) {
+    for (model, speedups) in models.iter().zip(table) {
         let mut row = vec![model.name.to_string()];
         for (col, &s) in speedups.iter().enumerate() {
             per_accel[col].push(s);

@@ -1,6 +1,12 @@
 //! Figure 13: energy consumption breakdown (off-chip memory vs on-chip
 //! compute) normalized to SparTen.
+//!
+//! Like fig12, the table can be computed in-process ([`run`]/[`to_json`])
+//! or through a `bbs-serve` `/sweep` route (`*_via_serve`); energies ride
+//! the wire in bit-exact shortest-round-trip form, so both paths render
+//! byte-identical output.
 
+use crate::serve_path;
 use crate::{f, print_table, weight_cap, workload_store, SEED};
 use bbs_hw::energy::EnergyBreakdown;
 use bbs_hw::json::energy_breakdown_to_json;
@@ -12,6 +18,7 @@ use bbs_sim::accel::{
 };
 use bbs_sim::config::ArrayConfig;
 use bbs_sim::engine::simulate_with;
+use bbs_sim::SimResult;
 use bbs_tensor::metrics::geomean;
 use rayon::prelude::*;
 
@@ -53,17 +60,50 @@ fn energy_sweep(models: &[bbs_models::ModelSpec], cfg: &ArrayConfig) -> Vec<Vec<
         .collect()
 }
 
+/// The same per-cell energy breakdowns as [`energy_sweep`], served by a
+/// `bbs-serve` `/sweep` route (bit-identical — energies round-trip the
+/// wire exactly).
+fn energy_sweep_via_serve(
+    models: &[bbs_models::ModelSpec],
+    cfg: &ArrayConfig,
+    addr: std::net::SocketAddr,
+) -> Result<Vec<Vec<EnergyBreakdown>>, String> {
+    let names: Vec<String> = lineup().iter().map(|a| a.name()).collect();
+    let ids = serve_path::canonical_ids(&names);
+    let cols = ids.len();
+    let spec =
+        bbs_sim::sweep::SweepSpec::grid(models.to_vec(), ids, cfg.clone(), SEED, weight_cap());
+    let results = serve_path::sweep_results(&spec, addr)?;
+    let cells: Vec<EnergyBreakdown> = results.iter().map(SimResult::energy_breakdown).collect();
+    Ok(cells
+        .chunks(cols)
+        .map(<[EnergyBreakdown]>::to_vec)
+        .collect())
+}
+
 /// Fig. 13 as machine-readable JSON (the `--json` output mode): absolute
 /// per-accelerator energy breakdowns (via the shared serialization layer)
 /// plus the SparTen-normalized totals the figure plots.
 pub fn to_json() -> Json {
     let cfg = ArrayConfig::paper_16x32();
-    let names: Vec<String> = lineup().iter().map(|a| a.name()).collect();
     let models = zoo::paper_benchmarks();
     let table = energy_sweep(&models, &cfg);
+    table_to_json(&models, &table)
+}
+
+/// [`to_json`] with the table computed through a `bbs-serve` instance.
+pub fn to_json_via_serve(addr: std::net::SocketAddr) -> Result<Json, String> {
+    let cfg = ArrayConfig::paper_16x32();
+    let models = zoo::paper_benchmarks();
+    let table = energy_sweep_via_serve(&models, &cfg, addr)?;
+    Ok(table_to_json(&models, &table))
+}
+
+fn table_to_json(models: &[bbs_models::ModelSpec], table: &[Vec<EnergyBreakdown>]) -> Json {
+    let names: Vec<String> = lineup().iter().map(|a| a.name()).collect();
     let rows: Vec<Json> = models
         .iter()
-        .zip(&table)
+        .zip(table)
         .map(|(model, breakdowns)| {
             // SparTen is lineup column 0 — the normalization base.
             let base = breakdowns[0].total_pj();
@@ -99,13 +139,27 @@ pub fn to_json() -> Json {
 pub fn run() {
     let cfg = ArrayConfig::paper_16x32();
     let models = zoo::paper_benchmarks();
+    let table = energy_sweep(&models, &cfg);
+    print_run(&models, &table);
+}
+
+/// [`run`] with the table computed through a `bbs-serve` instance —
+/// byte-identical output.
+pub fn run_via_serve(addr: std::net::SocketAddr) -> Result<(), String> {
+    let cfg = ArrayConfig::paper_16x32();
+    let models = zoo::paper_benchmarks();
+    let table = energy_sweep_via_serve(&models, &cfg, addr)?;
+    print_run(&models, &table);
+    Ok(())
+}
+
+fn print_run(models: &[bbs_models::ModelSpec], table: &[Vec<EnergyBreakdown>]) {
     let mut header = vec!["model".to_string()];
     header.extend(lineup().iter().map(|a| a.name()));
 
-    let table = energy_sweep(&models, &cfg);
     let mut norm_totals: Vec<Vec<f64>> = vec![Vec::new(); lineup().len()];
     let mut rows = Vec::new();
-    for (model, breakdowns) in models.iter().zip(&table) {
+    for (model, breakdowns) in models.iter().zip(table) {
         let base = breakdowns[0].total_pj();
         let mut row = vec![model.name.to_string()];
         for (col, b) in breakdowns.iter().enumerate() {

@@ -3,8 +3,13 @@
 //! prints a latency/throughput summary as JSON. Feeds `BENCH_serve.json`
 //! via `scripts/bench_baseline.sh`.
 //!
+//! `--sweep` switches from single `/simulate` requests to `/sweep` batch
+//! jobs: each "request" becomes one 4×4 (models × accelerators) grid with
+//! a per-request seed, and latencies are per-sweep (16 cells each).
+//!
 //! ```sh
 //! serve_client --self-host --requests 8 --clients 4 --cap 2048
+//! serve_client --self-host --sweep --requests 4 --clients 2 --cap 512
 //! serve_client --addr 127.0.0.1:8080 --requests 16
 //! ```
 
@@ -16,6 +21,10 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// The request mix both modes cycle through.
+const MODELS: [&str; 4] = ["ViT-Small", "ResNet-34", "Bert-SST2", "VGG-16"];
+const ACCELS: [&str; 4] = ["stripes", "bitwave", "bitvert-moderate", "bitlet"];
+
 struct Args {
     addr: Option<String>,
     self_host: bool,
@@ -23,6 +32,7 @@ struct Args {
     clients: usize,
     cap: usize,
     warm_mult: usize,
+    sweep: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,12 +43,14 @@ fn parse_args() -> Result<Args, String> {
         clients: 4,
         cap: 2048,
         warm_mult: 4,
+        sweep: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
             "--self-host" => args.self_host = true,
+            "--sweep" => args.sweep = true,
             "--addr" => args.addr = Some(value("--addr")?),
             "--requests" => args.requests = parse_num(&value("--requests")?)?,
             "--clients" => args.clients = parse_num(&value("--clients")?)?,
@@ -46,7 +58,7 @@ fn parse_args() -> Result<Args, String> {
             "--warm-mult" => args.warm_mult = parse_num(&value("--warm-mult")?)?,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: serve_client (--self-host | --addr HOST:PORT) \
+                    "usage: serve_client (--self-host | --addr HOST:PORT) [--sweep] \
                      [--requests N] [--clients C] [--cap CAP] [--warm-mult M]"
                 );
                 std::process::exit(0);
@@ -73,13 +85,11 @@ fn parse_num(s: &str) -> Result<usize, String> {
 /// The request mix: unique (model, accelerator, seed) points cycling
 /// through light zoo models and the full accelerator spread.
 fn request_bodies(n: usize, cap: usize) -> Vec<String> {
-    let models = ["ViT-Small", "ResNet-34", "Bert-SST2", "VGG-16"];
-    let accels = ["stripes", "bitwave", "bitvert-moderate", "bitlet"];
     (0..n)
         .map(|i| {
-            let model = models[i % models.len()];
-            let accel = accels[(i / models.len()) % accels.len()];
-            let seed = 7 + (i / (models.len() * accels.len())) as u64;
+            let model = MODELS[i % MODELS.len()];
+            let accel = ACCELS[(i / MODELS.len()) % ACCELS.len()];
+            let seed = 7 + (i / (MODELS.len() * ACCELS.len())) as u64;
             format!(
                 "{{\"model\":\"{model}\",\"accelerator\":\"{accel}\",\
                  \"seed\":{seed},\"max_weights_per_layer\":{cap}}}"
@@ -88,22 +98,63 @@ fn request_bodies(n: usize, cap: usize) -> Vec<String> {
         .collect()
 }
 
-/// Issues `bodies` across `clients` keep-alive connections (request `i`
-/// goes to client `i % clients`); returns per-request latencies in ms.
-fn run_phase(addr: SocketAddr, bodies: &[String], clients: usize) -> Result<Vec<f64>, String> {
+/// The sweep mix: request `i` is one whole models × accelerators grid at
+/// seed `7 + i` — unique work per sweep in the cold phase, all cache hits
+/// when repeated warm.
+fn sweep_bodies(n: usize, cap: usize) -> Vec<String> {
+    let quoted = |names: &[&str]| {
+        names
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    (0..n)
+        .map(|i| {
+            format!(
+                "{{\"models\":[{}],\"accelerators\":[{}],\"seeds\":[{}],\
+                 \"max_weights_per_layer\":[{cap}]}}",
+                quoted(&MODELS),
+                quoted(&ACCELS),
+                7 + i as u64
+            )
+        })
+        .collect()
+}
+
+/// Issues `bodies` across `clients` workers (request `i` goes to client
+/// `i % clients`); returns per-request latencies in ms. Simulate mode
+/// reuses one keep-alive connection per worker; sweep responses are
+/// EOF-framed, so sweep mode reconnects per request.
+fn run_phase(
+    addr: SocketAddr,
+    bodies: &[String],
+    clients: usize,
+    sweep: bool,
+) -> Result<Vec<f64>, String> {
     let bodies = Arc::new(bodies.to_vec());
     let clients = clients.min(bodies.len());
     let handles: Vec<_> = (0..clients)
         .map(|c| {
             let bodies = Arc::clone(&bodies);
             std::thread::spawn(move || -> Result<Vec<f64>, String> {
-                let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+                let mut keep_alive = if sweep {
+                    None
+                } else {
+                    Some(Client::connect(addr).map_err(|e| e.to_string())?)
+                };
                 let mut latencies = Vec::new();
                 for body in bodies.iter().skip(c).step_by(clients) {
                     let t = Instant::now();
-                    let (status, response) = client.simulate(body).map_err(|e| e.to_string())?;
-                    if status != 200 {
-                        return Err(format!("request failed: {status} {response}"));
+                    match &mut keep_alive {
+                        Some(client) => {
+                            let (status, response) =
+                                client.simulate(body).map_err(|e| e.to_string())?;
+                            if status != 200 {
+                                return Err(format!("request failed: {status} {response}"));
+                            }
+                        }
+                        None => run_one_sweep(addr, body)?,
                     }
                     latencies.push(t.elapsed().as_secs_f64() * 1e3);
                 }
@@ -116,6 +167,36 @@ fn run_phase(addr: SocketAddr, bodies: &[String], clients: usize) -> Result<Vec<
         all.extend(h.join().map_err(|_| "client thread panicked")??);
     }
     Ok(all)
+}
+
+/// One `/sweep` round trip: stream the grid, verify every cell succeeded
+/// and the summary arrived.
+fn run_one_sweep(addr: SocketAddr, body: &str) -> Result<(), String> {
+    let client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let (status, lines) = client.sweep(body).map_err(|e| e.to_string())?;
+    let mut saw_summary = false;
+    for line in lines {
+        let line = line.map_err(|e| e.to_string())?;
+        if status != 200 {
+            return Err(format!("sweep failed: {status} {line}"));
+        }
+        let v = Json::parse(&line).map_err(|e| e.to_string())?;
+        if let Some(summary) = v.get("summary") {
+            saw_summary = true;
+            if summary.get("errors").and_then(Json::as_u64) != Some(0) {
+                return Err(format!("sweep had failing cells: {line}"));
+            }
+        } else if let Some(err) = v.get("error") {
+            return Err(format!("sweep cell failed: {err}"));
+        }
+    }
+    if status != 200 {
+        return Err(format!("sweep failed: {status}"));
+    }
+    if !saw_summary {
+        return Err("sweep stream ended without summary".to_string());
+    }
+    Ok(())
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -175,16 +256,20 @@ fn main() -> ExitCode {
     };
 
     let outcome = (|| -> Result<Json, String> {
-        let bodies = request_bodies(args.requests, args.cap);
+        let bodies = if args.sweep {
+            sweep_bodies(args.requests, args.cap)
+        } else {
+            request_bodies(args.requests, args.cap)
+        };
         let cold_start = Instant::now();
-        let mut cold = run_phase(addr, &bodies, args.clients)?;
+        let mut cold = run_phase(addr, &bodies, args.clients, args.sweep)?;
         let cold_wall = cold_start.elapsed().as_secs_f64() * 1e3;
 
         let warm_bodies: Vec<String> = (0..args.warm_mult)
             .flat_map(|_| bodies.iter().cloned())
             .collect();
         let warm_start = Instant::now();
-        let mut warm = run_phase(addr, &warm_bodies, args.clients)?;
+        let mut warm = run_phase(addr, &warm_bodies, args.clients, args.sweep)?;
         let warm_wall = warm_start.elapsed().as_secs_f64() * 1e3;
 
         let stats_text = Client::connect(addr)
@@ -198,7 +283,19 @@ fn main() -> ExitCode {
             (
                 "config",
                 Json::obj(vec![
+                    (
+                        "mode",
+                        Json::str(if args.sweep { "sweep" } else { "simulate" }),
+                    ),
                     ("requests", Json::from_usize(args.requests)),
+                    (
+                        "cells_per_request",
+                        Json::from_usize(if args.sweep {
+                            MODELS.len() * ACCELS.len()
+                        } else {
+                            1
+                        }),
+                    ),
                     ("clients", Json::from_usize(args.clients)),
                     ("cap", Json::from_usize(args.cap)),
                     ("warm_mult", Json::from_usize(args.warm_mult)),

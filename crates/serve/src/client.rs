@@ -53,6 +53,32 @@ impl Client {
         self.request("GET", path, "")
     }
 
+    /// `POST /sweep` with a grid-spec body. Consumes the client: the
+    /// sweep response is EOF-framed (`Connection: close`), so the
+    /// connection is spent once the stream ends.
+    ///
+    /// Returns the status and a line iterator. On 200 the lines are the
+    /// NDJSON cell records (completion order, `cell` index for
+    /// reassembly) ending with the summary record; on an error status
+    /// the single line is the JSON error body.
+    pub fn sweep(mut self, body: &str) -> io::Result<(u16, SweepLines)> {
+        write!(
+            self.writer,
+            "POST /sweep HTTP/1.1\r\nhost: bbs-serve\r\nconnection: close\r\n\
+             content-length: {}\r\n\r\n{body}",
+            body.len()
+        )?;
+        self.writer.flush()?;
+        let (status, content_length) = self.read_head()?;
+        Ok((
+            status,
+            SweepLines {
+                reader: self.reader,
+                sized: content_length,
+            },
+        ))
+    }
+
     fn read_line(&mut self) -> io::Result<String> {
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
@@ -64,7 +90,9 @@ impl Client {
         Ok(line.trim_end_matches(['\r', '\n']).to_string())
     }
 
-    fn read_response(&mut self) -> io::Result<(u16, String)> {
+    /// Reads a response's status line and headers, returning the status
+    /// and the declared `Content-Length` (if any).
+    fn read_head(&mut self) -> io::Result<(u16, Option<usize>)> {
         let status_line = self.read_line()?;
         let status: u16 = status_line
             .split_whitespace()
@@ -101,6 +129,11 @@ impl Client {
                 }
             }
         }
+        Ok((status, content_length))
+    }
+
+    fn read_response(&mut self) -> io::Result<(u16, String)> {
+        let (status, content_length) = self.read_head()?;
         let body = match content_length {
             Some(len) => {
                 let mut body = vec![0u8; len];
@@ -128,6 +161,62 @@ impl Client {
         String::from_utf8(body)
             .map(|b| (status, b))
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 body"))
+    }
+}
+
+/// The body of a [`Client::sweep`] response, yielded line by line —
+/// records arrive as the server completes cells, so iterating observes
+/// the stream live rather than after the whole grid finishes.
+pub struct SweepLines {
+    reader: BufReader<TcpStream>,
+    /// `Some(len)` for a sized (non-streamed) error body, `None` for the
+    /// EOF-framed NDJSON stream.
+    sized: Option<usize>,
+}
+
+impl SweepLines {
+    /// Collects the remaining lines (empty lines dropped).
+    pub fn collect_lines(self) -> io::Result<Vec<String>> {
+        self.collect()
+    }
+}
+
+impl Iterator for SweepLines {
+    type Item = io::Result<String>;
+
+    fn next(&mut self) -> Option<io::Result<String>> {
+        if let Some(len) = self.sized.take() {
+            // A sized body (error responses) is one pseudo-line; the next
+            // call falls through to the EOF path below and ends cleanly.
+            if len == 0 {
+                return None;
+            }
+            let mut body = vec![0u8; len];
+            if let Err(e) = self.reader.read_exact(&mut body) {
+                return Some(Err(e));
+            }
+            return match String::from_utf8(body) {
+                Ok(s) => Some(Ok(s)),
+                Err(_) => Some(Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "non-utf8 body",
+                ))),
+            };
+        }
+        loop {
+            let mut line = String::new();
+            match self.reader.read_line(&mut line) {
+                Ok(0) => return None, // clean EOF: stream over
+                Ok(_) => {
+                    let line = line.trim_end_matches(['\r', '\n']);
+                    if line.is_empty() {
+                        continue;
+                    }
+                    return Some(Ok(line.to_string()));
+                }
+                Err(e) => return Some(Err(e)),
+            }
+        }
     }
 }
 

@@ -180,6 +180,24 @@ pub fn write_response<W: Write>(
     stream.flush()
 }
 
+/// Writes the head of a streamed response: no `Content-Length`, always
+/// `Connection: close`, so the body is EOF-framed (the `/sweep` NDJSON
+/// stream — record sizes are unknown up front).
+pub fn write_stream_head<W: Write>(
+    stream: &mut W,
+    status: u16,
+    content_type: &str,
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\nconnection: close\r\n\r\n",
+        status,
+        reason(status),
+        content_type
+    )?;
+    stream.flush()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,5 +320,17 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("503 Service Unavailable"));
         assert!(text.contains("connection: close\r\n"));
+    }
+
+    #[test]
+    fn stream_head_has_no_content_length_and_closes() {
+        let mut out = Vec::new();
+        write_stream_head(&mut out, 200, "application/x-ndjson").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-type: application/x-ndjson\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(!text.contains("content-length"));
+        assert!(text.ends_with("\r\n\r\n"));
     }
 }

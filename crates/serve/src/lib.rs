@@ -28,6 +28,13 @@
 //! the engine directly — asserted end-to-end by `tests/integration.rs`
 //! and property-tested in `tests/proptests.rs`.
 //!
+//! Whole grids go through `POST /sweep` (see [`sweep`]): a compact spec
+//! (models × accelerators × configs × seeds × caps) expands server-side
+//! into cells that each ride the pipeline above, streamed back as
+//! newline-delimited JSON in completion order with a trailing summary.
+//! The `fig12`/`fig13` binaries' `--via-serve` mode reproduces the
+//! paper's sweep tables byte-identically over this route.
+//!
 //! # In-process quickstart
 //!
 //! ```
@@ -52,8 +59,10 @@ pub mod registry;
 pub mod request;
 pub mod server;
 pub mod service;
+pub mod sweep;
 
 pub use cache::ShardedCache;
 pub use request::SimRequest;
 pub use server::{start, ServeConfig, ServerHandle};
 pub use service::{ServiceConfig, SimService};
+pub use sweep::{SweepPlan, MAX_SWEEP_CELLS};

@@ -5,19 +5,24 @@
 //! | route              | method | body                                      |
 //! |--------------------|--------|-------------------------------------------|
 //! | `/simulate`        | POST   | simulation request → result + meta        |
-//! | `/stats`           | GET    | hit/miss/coalesce/run counters            |
+//! | `/sweep`           | POST   | grid spec → NDJSON cell stream + summary  |
+//! | `/stats`           | GET    | hit/miss/coalesce/run/sweep counters      |
 //! | `/healthz`         | GET    | liveness                                  |
 //! | `/models`          | GET    | zoo model names                           |
 //! | `/accelerators`    | GET    | canonical accelerator ids                 |
 //!
 //! Connection threads only parse, route and wait; all simulation happens
 //! on the service's worker pool, so slow clients cannot starve compute
-//! and the bounded queue is the single backpressure point.
+//! and the bounded queue is the single backpressure point. `/sweep` is
+//! the one streaming route: it answers with `Connection: close` and
+//! EOF-framed newline-delimited JSON, one record per grid cell in
+//! completion order (see [`crate::sweep`]).
 
-use crate::http::{read_request, write_response, Request};
+use crate::http::{read_request, write_response, write_stream_head, Request};
 use crate::registry::ACCELERATOR_IDS;
 use crate::request::SimRequest;
 use crate::service::{self, ExecuteError, Served, ServiceConfig, SimService};
+use crate::sweep::SweepPlan;
 use bbs_json::Json;
 use bbs_models::zoo;
 use std::io::{self, BufReader, BufWriter};
@@ -56,6 +61,8 @@ impl Default for ServeConfig {
 struct Shared {
     service: Arc<service::ServiceHandle>,
     requests: AtomicU64,
+    sweeps: AtomicU64,
+    sweep_cells: AtomicU64,
     connections: AtomicUsize,
     stopping: AtomicBool,
 }
@@ -75,6 +82,8 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
     let shared = Arc::new(Shared {
         service: Arc::new(service::start(config.service)),
         requests: AtomicU64::new(0),
+        sweeps: AtomicU64::new(0),
+        sweep_cells: AtomicU64::new(0),
         connections: AtomicUsize::new(0),
         stopping: AtomicBool::new(false),
     });
@@ -165,12 +174,46 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 return;
             }
         };
+        // /sweep streams its own EOF-framed response and always ends the
+        // connection — there is no Content-Length to keep keep-alive
+        // framing honest afterwards.
+        if request.method == "POST" && request.path == "/sweep" {
+            shared.requests.fetch_add(1, Ordering::Relaxed);
+            sweep_route(&request.body, shared, &mut writer);
+            return;
+        }
         let close = request.wants_close() || shared.stopping.load(Ordering::SeqCst);
         let (status, body) = route(&request, shared);
         if write_response(&mut writer, status, &body, close).is_err() || close {
             return;
         }
     }
+}
+
+/// Decodes a sweep grid and streams its cells. Shape errors answer a
+/// regular 400; once the 200 stream head is out, per-cell failures ride
+/// inside the stream as error records.
+fn sweep_route(body: &[u8], shared: &Shared, writer: &mut impl io::Write) {
+    let service = shared.service.service();
+    let plan = match std::str::from_utf8(body)
+        .map_err(|_| "body must be utf-8 JSON".to_string())
+        .and_then(|text| Json::parse(text).map_err(|e| e.to_string()))
+        .and_then(|parsed| SweepPlan::from_json(&parsed, service.max_cap()))
+    {
+        Ok(p) => p,
+        Err(e) => {
+            let _ = write_response(writer, 400, &error_body(&e), true);
+            return;
+        }
+    };
+    shared.sweeps.fetch_add(1, Ordering::Relaxed);
+    shared
+        .sweep_cells
+        .fetch_add(plan.cell_count() as u64, Ordering::Relaxed);
+    if write_stream_head(writer, 200, "application/x-ndjson").is_err() {
+        return;
+    }
+    let _ = crate::sweep::run_streaming(&shared.service, &plan, writer);
 }
 
 fn error_body(message: &str) -> String {
@@ -262,6 +305,14 @@ fn stats_body(shared: &Shared) -> String {
         ("cached_results", Json::from_usize(service.cache.len())),
         ("coalesced", Json::from_u64(service.coalesced())),
         ("sim_runs", Json::from_u64(service.sim_runs())),
+        (
+            "sweeps_total",
+            Json::from_u64(shared.sweeps.load(Ordering::Relaxed)),
+        ),
+        (
+            "sweep_cells_total",
+            Json::from_u64(shared.sweep_cells.load(Ordering::Relaxed)),
+        ),
         (
             "workload_hits",
             Json::from_u64(service.workload_store().hits()),

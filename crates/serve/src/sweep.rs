@@ -1,0 +1,567 @@
+//! Batch sweep orchestration: `POST /sweep` decoding and the scheduler
+//! that fans grid cells across the worker pool.
+//!
+//! A sweep body is the compact grid schema of
+//! [`bbs_sim::json::sweep_spec_from_json`] — lists of models (zoo names
+//! or full spec objects), accelerators, array configs, seeds and caps —
+//! expanded server-side in the deterministic row-major order of
+//! [`bbs_sim::sweep::SweepSpec`] (model outermost, cap innermost), one
+//! job key per cell.
+//!
+//! Decoding here is deliberately *lenient per axis entry*: an unknown
+//! model or accelerator mid-grid does not fail the request — the cells
+//! crossing that entry become error records in the stream while every
+//! other cell still simulates (partial-failure semantics). Shape errors
+//! (missing/empty axes, malformed seeds, an oversized grid) still reject
+//! the whole request with a 400.
+//!
+//! Cells run through [`crate::service::ServiceHandle::execute`], so each
+//! one rides the exact hit/coalesce/enqueue path of a single `/simulate`
+//! request: duplicate cells across concurrent sweeps coalesce onto one
+//! engine run, results land in (and are served from) the shared
+//! content-addressed cache, and the lowering store amortizes weight
+//! synthesis across the grid's accelerator/config axes.
+//!
+//! Results stream back as newline-delimited JSON **in completion order**
+//! (each line carries its `cell` index for reassembly), with a trailing
+//! `summary` record. The response uses `Connection: close` / EOF framing
+//! — cell latencies are unknown up front, so there is no Content-Length.
+
+use crate::registry;
+use crate::request::{SimRequest, DEFAULT_CAP};
+use crate::service::{ExecuteError, Served, ServiceHandle};
+use bbs_json::{field_arr, Json};
+use bbs_models::json::model_spec_from_json;
+use bbs_models::{zoo, ModelSpec};
+use bbs_sim::json::array_config_from_json;
+use bbs_sim::ArrayConfig;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Most cells one sweep may expand to (work-size protection: a sweep is
+/// cheap to *request* but each cell is a full simulation).
+pub const MAX_SWEEP_CELLS: usize = 4096;
+
+/// A decoded sweep grid: per-axis entries, each either resolved or
+/// carrying its decode error (crossed into per-cell error records).
+#[derive(Debug)]
+pub struct SweepPlan {
+    /// `(display name, resolved spec or decode error)` per model entry.
+    models: Vec<(String, Result<ModelSpec, String>)>,
+    /// `(echoed id, canonical id or decode error)` per accelerator entry.
+    accelerators: Vec<(String, Result<&'static str, String>)>,
+    /// Array configs (echoed by index), each resolved or in error.
+    configs: Vec<Result<ArrayConfig, String>>,
+    seeds: Vec<u64>,
+    /// Caps, already clamped to the server limit.
+    caps: Vec<usize>,
+}
+
+/// One expanded grid cell: echo coordinates plus the request to run (or
+/// the axis decode error that poisons this cell).
+#[derive(Debug)]
+pub struct PlannedCell {
+    /// Flat index in expansion order (clients reassemble by this).
+    pub index: usize,
+    /// Display name of the model axis entry.
+    pub model: String,
+    /// Canonical accelerator id (or the raw string if unresolvable).
+    pub accelerator: String,
+    /// Index into the config axis.
+    pub config: usize,
+    /// Weight-synthesis seed.
+    pub seed: u64,
+    /// Per-layer weight cap (post-clamp).
+    pub cap: usize,
+    /// The executable request, or why this cell cannot run.
+    pub request: Result<SimRequest, String>,
+}
+
+impl SweepPlan {
+    /// Decodes a `/sweep` body. `max_cap` is the server's bound on
+    /// `max_weights_per_layer` (each cap entry is clamped, mirroring
+    /// single-request decoding).
+    pub fn from_json(v: &Json, max_cap: usize) -> Result<SweepPlan, String> {
+        let models: Vec<(String, Result<ModelSpec, String>)> = non_empty(v, "models")?
+            .iter()
+            .map(|entry| match entry {
+                Json::Str(name) => (
+                    name.clone(),
+                    zoo::by_name(name)
+                        .ok_or_else(|| format!("unknown model '{name}' (see GET /models)")),
+                ),
+                spec @ Json::Obj(_) => {
+                    let display = spec
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .unwrap_or("(model)")
+                        .to_string();
+                    (display, model_spec_from_json(spec))
+                }
+                _ => (
+                    "(invalid)".to_string(),
+                    Err("model entries must be names or model-spec objects".to_string()),
+                ),
+            })
+            .collect();
+        let accelerators: Vec<(String, Result<&'static str, String>)> =
+            non_empty(v, "accelerators")?
+                .iter()
+                .map(|entry| match entry.as_str() {
+                    Some(name) => match registry::canonical_id(name) {
+                        Some(id) => (id.to_string(), Ok(id)),
+                        None => (
+                            name.to_string(),
+                            Err(format!(
+                                "unknown accelerator '{name}' (see GET /accelerators)"
+                            )),
+                        ),
+                    },
+                    None => (
+                        "(invalid)".to_string(),
+                        Err("accelerator entries must be strings".to_string()),
+                    ),
+                })
+                .collect();
+        let configs: Vec<Result<ArrayConfig, String>> = match v.get("configs") {
+            Some(Json::Arr(items)) if !items.is_empty() => {
+                items.iter().map(array_config_from_json).collect()
+            }
+            Some(_) => return Err("'configs' must be a non-empty array".to_string()),
+            None => vec![Ok(ArrayConfig::paper_16x32())],
+        };
+        let seeds: Vec<u64> = match v.get("seeds") {
+            Some(Json::Arr(items)) if !items.is_empty() => items
+                .iter()
+                .map(|s| {
+                    s.as_u64()
+                        .ok_or_else(|| "'seeds' entries must be non-negative integers".to_string())
+                })
+                .collect::<Result<_, _>>()?,
+            Some(_) => return Err("'seeds' must be a non-empty array".to_string()),
+            None => vec![7],
+        };
+        let caps: Vec<usize> = match v.get("max_weights_per_layer") {
+            Some(Json::Arr(items)) if !items.is_empty() => items
+                .iter()
+                .map(|c| {
+                    c.as_usize()
+                        .filter(|&c| c > 0)
+                        .map(|c| c.min(max_cap))
+                        .ok_or_else(|| {
+                            "'max_weights_per_layer' entries must be positive integers".to_string()
+                        })
+                })
+                .collect::<Result<_, _>>()?,
+            Some(_) => return Err("'max_weights_per_layer' must be a non-empty array".to_string()),
+            None => vec![DEFAULT_CAP.min(max_cap)],
+        };
+
+        let plan = SweepPlan {
+            models,
+            accelerators,
+            configs,
+            seeds,
+            caps,
+        };
+        let cells = plan
+            .dims()
+            .iter()
+            .try_fold(1usize, |acc, &n| acc.checked_mul(n))
+            .ok_or_else(|| "sweep grid overflows".to_string())?;
+        if cells > MAX_SWEEP_CELLS {
+            return Err(format!(
+                "sweep expands to {cells} cells, limit is {MAX_SWEEP_CELLS}"
+            ));
+        }
+        Ok(plan)
+    }
+
+    fn dims(&self) -> [usize; 5] {
+        [
+            self.models.len(),
+            self.accelerators.len(),
+            self.configs.len(),
+            self.seeds.len(),
+            self.caps.len(),
+        ]
+    }
+
+    /// Total cells in the grid.
+    pub fn cell_count(&self) -> usize {
+        self.dims().iter().product()
+    }
+
+    /// Expands flat index `i` into its cell — the same row-major order as
+    /// [`bbs_sim::sweep::SweepSpec::cells`] (model outermost, cap
+    /// innermost), pinned against it by unit test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= cell_count()`.
+    pub fn cell(&self, i: usize) -> PlannedCell {
+        assert!(i < self.cell_count(), "cell index out of range");
+        let [_, na, nc, ns, nw] = self.dims();
+        let (rest, w) = (i / nw, i % nw);
+        let (rest, s) = (rest / ns, rest % ns);
+        let (rest, c) = (rest / nc, rest % nc);
+        let (m, a) = (rest / na, rest % na);
+
+        let (model_name, model) = &self.models[m];
+        let (accel_name, accel) = &self.accelerators[a];
+        let seed = self.seeds[s];
+        let cap = self.caps[w];
+        let request = model.as_ref().map_err(String::clone).and_then(|model| {
+            let accelerator = *accel.as_ref().map_err(String::clone)?;
+            let config = self.configs[c].as_ref().map_err(String::clone)?.clone();
+            Ok(SimRequest {
+                model: model.clone(),
+                accelerator,
+                config,
+                seed,
+                max_weights_per_layer: cap,
+            })
+        });
+        PlannedCell {
+            index: i,
+            model: model_name.clone(),
+            accelerator: accel_name.clone(),
+            config: c,
+            seed,
+            cap,
+            request,
+        }
+    }
+}
+
+/// How a finished sweep breaks down (also the trailing summary record).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepTally {
+    /// Cells expanded.
+    pub cells: usize,
+    /// Cells that produced a result record.
+    pub ok: usize,
+    /// Cells that produced an error record.
+    pub errors: usize,
+    /// Result cells served straight from the cache.
+    pub cache_hits: usize,
+    /// Result cells that joined an in-flight computation.
+    pub coalesced: usize,
+    /// Result cells freshly simulated.
+    pub simulated: usize,
+}
+
+enum CellClass {
+    Ok(Served),
+    Error,
+}
+
+/// Runs the whole plan against the service, streaming one NDJSON record
+/// per cell *in completion order* plus a trailing summary record. Cells
+/// are pulled by `min(workers, cells)` scheduler threads so a sweep can
+/// saturate the worker pool without flooding the bounded queue.
+///
+/// A failing cell (unresolvable axis entry, engine panic, backpressure)
+/// yields an error record, not a dead connection. If the *client* goes
+/// away mid-stream (a write fails), the sweep stops pulling new cells
+/// and returns the write error; cells already executing complete and
+/// stay cached.
+pub fn run_streaming(
+    service: &ServiceHandle,
+    plan: &SweepPlan,
+    out: &mut dyn Write,
+) -> std::io::Result<SweepTally> {
+    let cells = plan.cell_count();
+    let concurrency = service.service().workers().min(cells).max(1);
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    // Bounded: a scheduler thread blocks once a few records are waiting
+    // on the writer, so a slow (or stalled) client holds at most
+    // ~2×concurrency formatted records in memory, not the whole grid.
+    let (tx, rx) = mpsc::sync_channel::<(String, CellClass)>(2 * concurrency);
+
+    let start = Instant::now();
+    let mut tally = SweepTally {
+        cells,
+        ..SweepTally::default()
+    };
+    let mut write_error: Option<std::io::Error> = None;
+    std::thread::scope(|scope| {
+        for _ in 0..concurrency {
+            let tx = tx.clone();
+            let (next, abort) = (&next, &abort);
+            scope.spawn(move || loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells {
+                    break;
+                }
+                if tx.send(run_cell(service, plan.cell(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        // This (connection) thread is the single writer: records go out
+        // the moment they complete, which is what makes the stream useful
+        // for long grids.
+        while let Ok((line, class)) = rx.recv() {
+            match class {
+                CellClass::Ok(served) => {
+                    tally.ok += 1;
+                    match served {
+                        Served::Hit => tally.cache_hits += 1,
+                        Served::Coalesced => tally.coalesced += 1,
+                        Served::Fresh => tally.simulated += 1,
+                    }
+                }
+                CellClass::Error => tally.errors += 1,
+            }
+            if write_error.is_none() {
+                if let Err(e) = out.write_all(line.as_bytes()).and_then(|()| out.flush()) {
+                    abort.store(true, Ordering::Relaxed);
+                    write_error = Some(e);
+                }
+            }
+        }
+    });
+    if let Some(e) = write_error {
+        return Err(e);
+    }
+
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let summary = Json::obj(vec![(
+        "summary",
+        Json::obj(vec![
+            ("cells", Json::from_usize(tally.cells)),
+            ("ok", Json::from_usize(tally.ok)),
+            ("errors", Json::from_usize(tally.errors)),
+            ("cache_hits", Json::from_usize(tally.cache_hits)),
+            ("coalesced", Json::from_usize(tally.coalesced)),
+            ("simulated", Json::from_usize(tally.simulated)),
+            ("wall_ms", Json::Num((wall_ms * 100.0).round() / 100.0)),
+        ]),
+    )]);
+    out.write_all(format!("{summary}\n").as_bytes())?;
+    out.flush()?;
+    Ok(tally)
+}
+
+/// Executes one cell and renders its NDJSON line (newline included).
+fn run_cell(service: &ServiceHandle, cell: PlannedCell) -> (String, CellClass) {
+    let prefix = format!(
+        "{{\"cell\":{},\"model\":{},\"accelerator\":{},\"config\":{},\
+         \"seed\":{},\"max_weights_per_layer\":{}",
+        cell.index,
+        Json::str(&cell.model),
+        Json::str(&cell.accelerator),
+        cell.config,
+        cell.seed,
+        cell.cap,
+    );
+    let error_line = |message: &str| {
+        (
+            format!("{prefix},\"error\":{}}}\n", Json::str(message)),
+            CellClass::Error,
+        )
+    };
+    let request = match cell.request {
+        Ok(r) => r,
+        Err(message) => return error_line(&message),
+    };
+    let key = request.key();
+    match service.execute(request) {
+        Ok((result_text, served)) => {
+            let label = match served {
+                Served::Hit => "cache",
+                Served::Coalesced => "coalesced",
+                Served::Fresh => "simulated",
+            };
+            // The cached payload is spliced in verbatim (never re-encoded),
+            // so byte identity across hits and sweeps is structural.
+            (
+                format!(
+                    "{prefix},\"key\":\"{key:016x}\",\"served\":\"{label}\",\
+                     \"result\":{result_text}}}\n"
+                ),
+                CellClass::Ok(served),
+            )
+        }
+        Err(ExecuteError::Busy) => error_line("queue full, retry later"),
+        Err(ExecuteError::ShuttingDown) => error_line("shutting down"),
+        Err(ExecuteError::Failed(e)) => error_line(&e),
+    }
+}
+
+/// A non-empty array field (shape validation — these errors 400 the whole
+/// request, unlike per-entry resolution failures).
+fn non_empty<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    let items = field_arr(v, key)?;
+    if items.is_empty() {
+        return Err(format!("'{key}' must be a non-empty array"));
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{start, ServiceConfig};
+    use bbs_sim::sweep::SweepSpec;
+
+    fn parse_plan(body: &str) -> Result<SweepPlan, String> {
+        SweepPlan::from_json(&Json::parse(body).unwrap(), 65536)
+    }
+
+    #[test]
+    fn expansion_order_matches_sim_sweep_spec() {
+        let plan = parse_plan(
+            "{\"models\":[\"ViT-Small\",\"ResNet-34\"],\
+             \"accelerators\":[\"stripes\",\"bitwave\",\"ant\"],\
+             \"seeds\":[7,8],\"max_weights_per_layer\":[128,256]}",
+        )
+        .unwrap();
+        let spec = SweepSpec {
+            models: vec![zoo::vit_small(), zoo::resnet34()],
+            accelerators: vec!["stripes".into(), "bitwave".into(), "ant".into()],
+            configs: vec![ArrayConfig::paper_16x32()],
+            seeds: vec![7, 8],
+            caps: vec![128, 256],
+        };
+        assert_eq!(plan.cell_count(), spec.cell_count().unwrap());
+        for cell in spec.cells() {
+            let planned = plan.cell(cell.index);
+            let request = planned.request.unwrap();
+            assert_eq!(request.model, spec.models[cell.model]);
+            assert_eq!(request.accelerator, spec.accelerators[cell.accelerator]);
+            assert_eq!(request.seed, spec.seeds[cell.seed]);
+            assert_eq!(request.max_weights_per_layer, spec.caps[cell.cap]);
+            // And the job key is the shared content address.
+            assert_eq!(request.key(), spec.cell_key(&cell));
+        }
+    }
+
+    #[test]
+    fn unknown_entries_poison_cells_not_the_request() {
+        let plan = parse_plan(
+            "{\"models\":[\"ViT-Small\",\"NoSuchNet\"],\
+             \"accelerators\":[\"stripes\",\"tpu\"]}",
+        )
+        .unwrap();
+        assert_eq!(plan.cell_count(), 4);
+        let ok: Vec<bool> = (0..4).map(|i| plan.cell(i).request.is_ok()).collect();
+        // Only (ViT-Small, stripes) is runnable.
+        assert_eq!(ok, [true, false, false, false]);
+        let err = plan.cell(1).request.unwrap_err();
+        assert!(err.contains("unknown accelerator"), "{err}");
+        let err = plan.cell(2).request.unwrap_err();
+        assert!(err.contains("unknown model"), "{err}");
+    }
+
+    #[test]
+    fn shape_errors_reject_the_request() {
+        for (body, needle) in [
+            ("{\"accelerators\":[\"ant\"]}", "models"),
+            ("{\"models\":[],\"accelerators\":[\"ant\"]}", "non-empty"),
+            ("{\"models\":[\"VGG-16\"]}", "accelerators"),
+            (
+                "{\"models\":[\"VGG-16\"],\"accelerators\":[\"ant\"],\"seeds\":[1.5]}",
+                "seeds",
+            ),
+            (
+                "{\"models\":[\"VGG-16\"],\"accelerators\":[\"ant\"],\
+                 \"max_weights_per_layer\":[0]}",
+                "max_weights_per_layer",
+            ),
+            (
+                "{\"models\":[\"VGG-16\"],\"accelerators\":[\"ant\"],\"configs\":{}}",
+                "configs",
+            ),
+        ] {
+            let err = parse_plan(body).unwrap_err();
+            assert!(err.contains(needle), "{body} -> {err}");
+        }
+    }
+
+    #[test]
+    fn oversized_grids_rejected() {
+        let seeds: Vec<String> = (0..MAX_SWEEP_CELLS + 1).map(|s| s.to_string()).collect();
+        let body = format!(
+            "{{\"models\":[\"ViT-Small\"],\"accelerators\":[\"stripes\"],\
+             \"seeds\":[{}]}}",
+            seeds.join(",")
+        );
+        let err = parse_plan(&body).unwrap_err();
+        assert!(err.contains("limit"), "{err}");
+    }
+
+    #[test]
+    fn caps_are_clamped_like_single_requests() {
+        let plan = SweepPlan::from_json(
+            &Json::parse(
+                "{\"models\":[\"ViT-Small\"],\"accelerators\":[\"stripes\"],\
+                 \"max_weights_per_layer\":[999999]}",
+            )
+            .unwrap(),
+            8192,
+        )
+        .unwrap();
+        assert_eq!(plan.cell(0).cap, 8192);
+    }
+
+    #[test]
+    fn streaming_run_emits_records_and_summary() {
+        let service = start(ServiceConfig {
+            workers: 2,
+            queue_depth: 8,
+            cache_shards: 2,
+            cache_entries: 256,
+            max_cap: 65536,
+            ..ServiceConfig::default()
+        });
+        let plan = parse_plan(
+            "{\"models\":[\"ViT-Small\",\"NoSuchNet\"],\
+             \"accelerators\":[\"stripes\",\"bitlet\"],\
+             \"max_weights_per_layer\":[128]}",
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        let tally = run_streaming(&service, &plan, &mut out).unwrap();
+        assert_eq!((tally.cells, tally.ok, tally.errors), (4, 2, 2));
+        assert_eq!(tally.simulated, 2);
+
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5, "4 cells + summary: {text}");
+        let mut seen = [false; 4];
+        for line in &lines[..4] {
+            let v = Json::parse(line).unwrap();
+            let idx = v.get("cell").unwrap().as_usize().unwrap();
+            seen[idx] = true;
+            let is_error = v.get("error").is_some();
+            let model = v.get("model").unwrap().as_str().unwrap();
+            assert_eq!(is_error, model == "NoSuchNet", "{line}");
+            if !is_error {
+                assert!(v.get("result").is_some(), "{line}");
+                assert!(v.get("key").is_some(), "{line}");
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every cell exactly once");
+        let summary = Json::parse(lines[4]).unwrap();
+        let summary = summary.get("summary").expect("summary record");
+        assert_eq!(summary.get("cells").unwrap().as_usize(), Some(4));
+        assert_eq!(summary.get("errors").unwrap().as_usize(), Some(2));
+
+        // Re-running the same plan is all cache hits.
+        let mut out = Vec::new();
+        let tally = run_streaming(&service, &plan, &mut out).unwrap();
+        assert_eq!(tally.cache_hits, 2, "warm sweep served from cache");
+        assert_eq!(service.service().sim_runs(), 2);
+        service.stop();
+    }
+}

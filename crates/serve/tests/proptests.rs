@@ -4,15 +4,20 @@
 //!   independently reconstructed requests and wire round trips;
 //! * a cache hit returns bytes that decode to a `SimResult` bit-identical
 //!   to a fresh run of the engine, for random zoo models / accelerators /
-//!   configs / seeds / caps.
+//!   configs / seeds / caps;
+//! * sweep grids expand to cells whose job keys are stable across wire
+//!   field order / whitespace and collision-free across distinct cells,
+//!   with an unknown model mid-grid poisoning exactly its own cells.
 
 use bbs_json::Json;
 use bbs_serve::registry::{accelerator_by_name, ACCELERATOR_IDS};
 use bbs_serve::request::SimRequest;
 use bbs_serve::service::{start, Served, ServiceConfig};
+use bbs_serve::sweep::SweepPlan;
 use bbs_sim::json::{array_config_to_json, sim_result_from_json, sim_result_to_json};
 use bbs_sim::ArrayConfig;
 use proptest::prelude::*;
+use std::collections::HashSet;
 
 /// Light zoo models (the heavyweights would make 64 cases crawl).
 const MODELS: [&str; 4] = ["ViT-Small", "ResNet-34", "Bert-SST2", "ResNet-50"];
@@ -60,6 +65,134 @@ proptest! {
 
         let (_, perturbed) = build_request(model_idx, accel_idx, cols_idx, seed + 1, cap);
         prop_assert_ne!(request.key(), perturbed.key());
+    }
+}
+
+/// Renders a sweep grid body with its top-level fields rotated by
+/// `rotate` and `pad` injected around the JSON punctuation — the
+/// content-equivalent spellings a client might produce.
+fn sweep_grid_body(
+    models: &[&str],
+    accels: &[&str],
+    cols: &[usize],
+    seeds: &[u64],
+    caps: &[usize],
+    rotate: usize,
+    pad: &str,
+) -> String {
+    let strings = |names: &[&str]| {
+        names
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(&format!(",{pad}"))
+    };
+    let nums = |vals: &[String]| vals.join(&format!(",{pad}"));
+    let configs: Vec<String> = cols
+        .iter()
+        .map(|&c| array_config_to_json(&ArrayConfig::paper_16x32().with_pe_cols(c)).to_string())
+        .collect();
+    let mut fields = [
+        ("models", format!("[{}]", strings(models))),
+        ("accelerators", format!("[{}]", strings(accels))),
+        ("configs", format!("[{}]", configs.join(","))),
+        (
+            "seeds",
+            format!(
+                "[{}]",
+                nums(&seeds.iter().map(u64::to_string).collect::<Vec<_>>())
+            ),
+        ),
+        (
+            "max_weights_per_layer",
+            format!(
+                "[{}]",
+                nums(&caps.iter().map(usize::to_string).collect::<Vec<_>>())
+            ),
+        ),
+    ];
+    let n_fields = fields.len();
+    fields.rotate_left(rotate % n_fields);
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("{pad}\"{k}\"{pad}:{pad}{v}"))
+        .collect();
+    format!("{{{}{pad}}}", body.join(","))
+}
+
+/// Every valid cell's job key, in expansion order.
+fn plan_keys(plan: &SweepPlan) -> Vec<u64> {
+    (0..plan.cell_count())
+        .map(|i| plan.cell(i).request.expect("valid grid").key())
+        .collect()
+}
+
+proptest! {
+    /// Sweep-cell job keys are a pure function of grid *content*: spelling
+    /// the same grid with rotated field order and extra whitespace decodes
+    /// to identical keys, and every distinct cell gets a distinct key.
+    #[test]
+    fn sweep_cell_keys_stable_and_collision_free(
+        n_models in 1usize..=3,
+        n_accels in 1usize..=4,
+        n_cols in 1usize..=3,
+        seed_base in 0u64..1000,
+        cap_base in 64usize..=512,
+        // One knob for both respellings: rotation of the top-level field
+        // order and the amount of whitespace injected.
+        spelling in 0usize..20,
+    ) {
+        let models = &MODELS[..n_models];
+        let accels = &ACCELERATOR_IDS[..n_accels];
+        let cols = &PE_COLS[..n_cols];
+        let seeds: Vec<u64> = [seed_base, seed_base + 1].to_vec();
+        let caps = [cap_base, 2 * cap_base];
+        let (rotate, pad_len) = (spelling % 5, spelling / 5);
+        let pad = " ".repeat(pad_len);
+
+        let canonical = sweep_grid_body(models, accels, cols, &seeds, &caps, 0, "");
+        let respelled = sweep_grid_body(models, accels, cols, &seeds, &caps, rotate, &pad);
+        let plan_a = SweepPlan::from_json(&Json::parse(&canonical).unwrap(), 65536).unwrap();
+        let plan_b = SweepPlan::from_json(&Json::parse(&respelled).unwrap(), 65536).unwrap();
+
+        let keys_a = plan_keys(&plan_a);
+        let keys_b = plan_keys(&plan_b);
+        prop_assert_eq!(&keys_a, &keys_b, "field order / whitespace changed keys");
+
+        // Distinct axis values make every cell's content distinct, so all
+        // job keys must differ (a collision would alias cache entries).
+        let unique: HashSet<u64> = keys_a.iter().copied().collect();
+        prop_assert_eq!(unique.len(), keys_a.len(), "job-key collision");
+    }
+}
+
+proptest! {
+    /// An unknown model mid-grid poisons exactly its own cells: they carry
+    /// an error (and would stream as error records), every other cell
+    /// still resolves to a runnable request.
+    #[test]
+    fn unknown_model_mid_grid_poisons_only_its_cells(
+        bad_pos in 0usize..3,
+        n_accels in 1usize..=3,
+        cap in 64usize..=512,
+    ) {
+        let mut models: Vec<&str> = MODELS[..3].to_vec();
+        models[bad_pos] = "NoSuchNet";
+        let accels = &ACCELERATOR_IDS[..n_accels];
+        let body = sweep_grid_body(&models, accels, &PE_COLS[..1], &[7], &[cap], 0, "");
+        let plan = SweepPlan::from_json(&Json::parse(&body).unwrap(), 65536).unwrap();
+
+        prop_assert_eq!(plan.cell_count(), 3 * n_accels);
+        for i in 0..plan.cell_count() {
+            let cell = plan.cell(i);
+            let model_axis = i / n_accels;
+            if model_axis == bad_pos {
+                let err = cell.request.unwrap_err();
+                prop_assert!(err.contains("unknown model"), "{}", err);
+            } else {
+                prop_assert!(cell.request.is_ok(), "cell {} should run", i);
+            }
+        }
     }
 }
 

@@ -12,13 +12,14 @@
 use crate::accel::LayerPerf;
 use crate::config::ArrayConfig;
 use crate::engine::{LayerSim, SimResult};
+use crate::sweep::SweepSpec;
 use bbs_hw::json::{
     dram_from_json, dram_to_json, energy_breakdown_from_json, energy_breakdown_to_json,
     sram_from_json, sram_to_json, technology_from_json, technology_to_json,
 };
 use bbs_json::{field, field_arr, field_f64, field_str, field_u64, field_usize, fnv1a_64, Json};
-use bbs_models::json::model_spec_to_json;
-use bbs_models::ModelSpec;
+use bbs_models::json::{model_spec_from_json, model_spec_to_json};
+use bbs_models::{zoo, ModelSpec};
 
 /// Encodes an [`ArrayConfig`].
 pub fn array_config_to_json(c: &ArrayConfig) -> Json {
@@ -163,12 +164,107 @@ pub fn sim_request_key(
     fnv1a_64(canon.as_bytes())
 }
 
+/// Encodes a [`SweepSpec`] as the `/sweep` wire grid: models carry their
+/// full layer tables (so the encoding is self-contained and two grids
+/// naming the same model with different layers serialize differently),
+/// the other axes are plain arrays.
+pub fn sweep_spec_to_json(s: &SweepSpec) -> Json {
+    Json::obj(vec![
+        (
+            "models",
+            Json::Arr(s.models.iter().map(model_spec_to_json).collect()),
+        ),
+        (
+            "accelerators",
+            Json::Arr(s.accelerators.iter().map(|a| Json::str(a)).collect()),
+        ),
+        (
+            "configs",
+            Json::Arr(s.configs.iter().map(array_config_to_json).collect()),
+        ),
+        (
+            "seeds",
+            Json::Arr(s.seeds.iter().map(|&v| Json::from_u64(v)).collect()),
+        ),
+        (
+            "max_weights_per_layer",
+            Json::Arr(s.caps.iter().map(|&v| Json::from_usize(v)).collect()),
+        ),
+    ])
+}
+
+/// Decodes a [`SweepSpec`]. Model entries may be zoo names or full
+/// model-spec objects; `configs`, `seeds` and `max_weights_per_layer`
+/// are optional (defaulting to the paper 16×32 array, seed 7 and cap
+/// 4096). This is the *strict* decoder — any invalid axis entry fails
+/// the whole spec. `bbs-serve` decodes the same schema leniently so an
+/// unknown model mid-grid degrades to per-cell error records instead.
+pub fn sweep_spec_from_json(v: &Json) -> Result<SweepSpec, String> {
+    let models = field_arr(v, "models")?
+        .iter()
+        .map(|entry| match entry {
+            Json::Str(name) => zoo::by_name(name).ok_or_else(|| format!("unknown model '{name}'")),
+            spec @ Json::Obj(_) => model_spec_from_json(spec),
+            _ => Err("model entries must be names or model-spec objects".to_string()),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let accelerators = field_arr(v, "accelerators")?
+        .iter()
+        .map(|a| {
+            a.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "accelerator entries must be strings".to_string())
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let configs = match v.get("configs") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(array_config_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+        Some(_) => return Err("'configs' must be an array".to_string()),
+        None => vec![ArrayConfig::paper_16x32()],
+    };
+    let seeds = match v.get("seeds") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|s| {
+                s.as_u64()
+                    .ok_or_else(|| "seeds must be non-negative integers".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        Some(_) => return Err("'seeds' must be an array".to_string()),
+        None => vec![7],
+    };
+    let caps = match v.get("max_weights_per_layer") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|c| {
+                c.as_usize()
+                    .filter(|&c| c > 0)
+                    .ok_or_else(|| "max_weights_per_layer must be positive integers".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        Some(_) => return Err("'max_weights_per_layer' must be an array".to_string()),
+        None => vec![4096],
+    };
+    let spec = SweepSpec {
+        models,
+        accelerators,
+        configs,
+        seeds,
+        caps,
+    };
+    if spec.cell_count().is_none() {
+        return Err("sweep grid is empty (every axis needs at least one entry)".to_string());
+    }
+    Ok(spec)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::accel::bitvert::BitVert;
     use crate::engine::simulate;
-    use bbs_models::zoo;
 
     #[test]
     fn sim_result_roundtrips_bit_identical() {
@@ -208,6 +304,62 @@ mod tests {
             pairs[0].1 = Json::from_u64(0);
         }
         assert!(array_config_from_json(&v).is_err());
+    }
+
+    #[test]
+    fn sweep_spec_roundtrips_and_accepts_names() {
+        let spec = SweepSpec::grid(
+            vec![zoo::vit_small(), zoo::resnet34()],
+            vec!["stripes".to_string(), "bitwave".to_string()],
+            ArrayConfig::paper_16x32().with_pe_cols(8),
+            11,
+            512,
+        );
+        let text = sweep_spec_to_json(&spec).to_string();
+        let back = sweep_spec_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, spec);
+
+        // Name entries resolve to the same grid as full spec objects, so
+        // both forms produce identical cell keys.
+        let by_name = sweep_spec_from_json(
+            &Json::parse(
+                "{\"models\":[\"ViT-Small\",\"ResNet-34\"],\
+                 \"accelerators\":[\"stripes\",\"bitwave\"]}",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(by_name.models, spec.models);
+        assert_eq!(by_name.configs, vec![ArrayConfig::paper_16x32()]);
+        assert_eq!(
+            (by_name.seeds.as_slice(), by_name.caps.as_slice()),
+            (&[7u64][..], &[4096usize][..],)
+        );
+    }
+
+    #[test]
+    fn bad_sweep_specs_rejected() {
+        for (body, needle) in [
+            ("{}", "models"),
+            ("{\"models\":[\"ViT-Small\"]}", "accelerators"),
+            (
+                "{\"models\":[\"NoSuch\"],\"accelerators\":[\"ant\"]}",
+                "unknown model",
+            ),
+            ("{\"models\":[],\"accelerators\":[\"ant\"]}", "empty"),
+            (
+                "{\"models\":[\"VGG-16\"],\"accelerators\":[\"ant\"],\"seeds\":[-1]}",
+                "seeds",
+            ),
+            (
+                "{\"models\":[\"VGG-16\"],\"accelerators\":[\"ant\"],\
+                 \"max_weights_per_layer\":[0]}",
+                "max_weights_per_layer",
+            ),
+        ] {
+            let err = sweep_spec_from_json(&Json::parse(body).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{body} -> {err}");
+        }
     }
 
     #[test]

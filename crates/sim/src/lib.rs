@@ -29,6 +29,14 @@
 //! fresh lowering (property-tested). The `bbs-bench` figure sweeps and the
 //! `bbs-serve` worker pool both read through one store.
 //!
+//! Whole grids (models × accelerators × configs × seeds × caps) are
+//! described by [`sweep::SweepSpec`], which expands deterministically into
+//! [`sweep::SweepCell`]s with stable content-addressed job keys. Run the
+//! cells with [`engine::simulate_with`] over one shared store — or POST
+//! the spec's JSON ([`json::sweep_spec_to_json`]) to a `bbs-serve`
+//! instance's `/sweep` route, which does exactly that behind its result
+//! cache and streams the cells back as NDJSON.
+//!
 //! # Example
 //!
 //! ```
@@ -55,8 +63,10 @@ pub mod config;
 pub mod engine;
 pub mod json;
 pub mod store;
+pub mod sweep;
 pub mod workload;
 
 pub use config::ArrayConfig;
 pub use engine::{simulate, simulate_with, LayerSim, SimResult};
 pub use store::WorkloadStore;
+pub use sweep::{SweepCell, SweepSpec};

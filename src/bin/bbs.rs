@@ -3,16 +3,26 @@
 //! ```sh
 //! bbs serve [--addr 127.0.0.1:8080] [--workers N] [--queue-depth N]
 //!           [--max-cap N]                 # run the simulation service
+//! bbs sweep (--addr HOST:PORT | --self-host)
+//!           --models A,B --accelerators X,Y
+//!           [--seeds 7,8] [--caps 4096] [--pe-cols 16,32]
+//!                                         # stream a grid sweep as NDJSON
 //! bbs models                              # list zoo models
 //! bbs accelerators                        # list accelerator ids
 //! ```
 
+use bbs::serve::client::Client;
 use bbs::serve::server::{start, ServeConfig};
 use bbs::serve::service::ServiceConfig;
+use bbs::sim::json::array_config_to_json;
+use bbs::sim::ArrayConfig;
+use bbs_json::Json;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   bbs serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--max-cap N]
+  bbs sweep (--addr HOST:PORT | --self-host) --models A,B --accelerators X,Y
+            [--seeds S,..] [--caps C,..] [--pe-cols P,..]
   bbs models
   bbs accelerators
 
@@ -20,12 +30,22 @@ serve options:
   --addr HOST:PORT   bind address (default 127.0.0.1:8080; port 0 = ephemeral)
   --workers N        simulation worker threads (default: CPU count, max 8)
   --queue-depth N    bounded job queue depth (default 64)
-  --max-cap N        upper bound for max_weights_per_layer (default 65536)";
+  --max-cap N        upper bound for max_weights_per_layer (default 65536)
+
+sweep options (cells stream to stdout as NDJSON, summary record last):
+  --addr HOST:PORT   sweep against a running bbs-serve instance
+  --self-host        spin up an in-process server for this sweep
+  --models A,B       model names (see `bbs models`)
+  --accelerators X,Y accelerator ids (see `bbs accelerators`)
+  --seeds S,..       weight-synthesis seeds (default 7)
+  --caps C,..        per-layer weight caps (default 4096)
+  --pe-cols P,..     PE-column variants of the paper 16x32 array (default: as-is)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("serve") => serve(&args[1..]),
+        Some("sweep") => sweep(&args[1..]),
         Some("models") => {
             for name in bbs::models::zoo::names() {
                 println!("{name}");
@@ -86,11 +106,168 @@ fn serve(args: &[String]) -> ExitCode {
         config.service.workers,
         config.service.queue_depth
     );
-    println!("routes: POST /simulate · GET /stats /healthz /models /accelerators");
+    println!("routes: POST /simulate /sweep · GET /stats /healthz /models /accelerators");
 
     // Serve until killed: the accept loop runs on its own thread, so just
     // park this one.
     loop {
         std::thread::park();
     }
+}
+
+/// Builds the `/sweep` grid body from comma-separated axis lists and
+/// streams the response lines to stdout as they arrive. Exits non-zero
+/// if the server rejects the spec or any cell errors.
+fn sweep(args: &[String]) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut self_host = false;
+    let mut models: Vec<String> = Vec::new();
+    let mut accelerators: Vec<String> = Vec::new();
+    let mut seeds: Vec<String> = Vec::new();
+    let mut caps: Vec<String> = Vec::new();
+    let mut pe_cols: Vec<String> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--self-host" {
+            self_host = true;
+            continue;
+        }
+        let Some(value) = it.next() else {
+            eprintln!("bbs sweep: {flag} requires a value\n{USAGE}");
+            return ExitCode::FAILURE;
+        };
+        let list = || value.split(',').map(str::to_string).collect::<Vec<_>>();
+        match flag.as_str() {
+            "--addr" => addr = Some(value.clone()),
+            "--models" => models = list(),
+            "--accelerators" => accelerators = list(),
+            "--seeds" => seeds = list(),
+            "--caps" => caps = list(),
+            "--pe-cols" => pe_cols = list(),
+            _ => {
+                eprintln!("bbs sweep: bad argument '{flag} {value}'\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if self_host == addr.is_some() {
+        eprintln!("bbs sweep: pass exactly one of --self-host / --addr\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    if models.is_empty() || accelerators.is_empty() {
+        eprintln!("bbs sweep: --models and --accelerators are required\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut fields = vec![
+        (
+            "models",
+            Json::Arr(models.iter().map(|m| Json::str(m)).collect()),
+        ),
+        (
+            "accelerators",
+            Json::Arr(accelerators.iter().map(|a| Json::str(a)).collect()),
+        ),
+    ];
+    let num_axis = |name: &str, raw: &[String]| -> Result<Option<Json>, String> {
+        if raw.is_empty() {
+            return Ok(None);
+        }
+        let nums = raw
+            .iter()
+            .map(|v| {
+                v.parse::<u64>()
+                    .map(Json::from_u64)
+                    .map_err(|_| format!("{name}: '{v}' is not a non-negative integer"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Some(Json::Arr(nums)))
+    };
+    let axes = [("seeds", &seeds), ("max_weights_per_layer", &caps)];
+    for (name, raw) in axes {
+        match num_axis(name, raw) {
+            Ok(Some(v)) => fields.push((name, v)),
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("bbs sweep: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if !pe_cols.is_empty() {
+        let mut configs = Vec::new();
+        for v in &pe_cols {
+            match v.parse::<usize>() {
+                Ok(cols) if cols > 0 => configs.push(array_config_to_json(
+                    &ArrayConfig::paper_16x32().with_pe_cols(cols),
+                )),
+                _ => {
+                    eprintln!("bbs sweep: --pe-cols: '{v}' is not a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        fields.push(("configs", Json::Arr(configs)));
+    }
+    let body = Json::obj(fields).to_string();
+
+    let server = if self_host {
+        match start(ServeConfig::default()) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("bbs sweep: failed to start server: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    let resolved = match &server {
+        Some(s) => s.addr().to_string(),
+        None => addr.unwrap(),
+    };
+
+    let outcome = run_sweep(&resolved, &body);
+    if let Some(s) = server {
+        s.stop();
+    }
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bbs sweep: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_sweep(addr: &str, body: &str) -> Result<(), String> {
+    let addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|e| format!("bad address '{addr}': {e}"))?;
+    let client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let (status, lines) = client.sweep(body).map_err(|e| e.to_string())?;
+    let mut cell_errors = 0u64;
+    let mut saw_summary = false;
+    for line in lines {
+        let line = line.map_err(|e| e.to_string())?;
+        println!("{line}");
+        if let Ok(v) = Json::parse(&line) {
+            if v.get("error").is_some() {
+                cell_errors += 1;
+            }
+            saw_summary |= v.get("summary").is_some();
+        }
+    }
+    if status != 200 {
+        return Err(format!("server rejected sweep (HTTP {status})"));
+    }
+    if !saw_summary {
+        // A clean EOF mid-grid would otherwise pass as success.
+        return Err("stream ended without a summary record (truncated sweep)".to_string());
+    }
+    if cell_errors > 0 {
+        return Err(format!("{cell_errors} cell(s) failed"));
+    }
+    Ok(())
 }
