@@ -7,18 +7,31 @@
 //! jobs: each "request" becomes one 4×4 (models × accelerators) grid with
 //! a per-request seed, and latencies are per-sweep (16 cells each).
 //!
+//! `--connections` switches to the concurrency sweep that feeds
+//! `BENCH_async.json`: for each connection count in the list, that many
+//! keep-alive connections are opened *simultaneously* and each issues
+//! `--rounds` cache-hot `/simulate` requests back-to-back, measuring
+//! rps and tail latency as the server multiplexes them all on its one
+//! event-loop thread. `--verify` additionally checks every response
+//! payload bit-identical against a direct in-process simulation.
+//!
 //! ```sh
 //! serve_client --self-host --requests 8 --clients 4 --cap 2048
 //! serve_client --self-host --sweep --requests 4 --clients 2 --cap 512
 //! serve_client --addr 127.0.0.1:8080 --requests 16
+//! serve_client --self-host --connections 64,256,1024 --rounds 32 --cap 512
+//! serve_client --self-host --connections 256 --verify
 //! ```
 
 use bbs_json::Json;
 use bbs_serve::client::Client;
+use bbs_serve::request::SimRequest;
 use bbs_serve::server::{start, ServeConfig};
+use bbs_serve::service::{self, ServiceConfig};
+use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::process::ExitCode;
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 /// The request mix both modes cycle through.
@@ -33,6 +46,12 @@ struct Args {
     cap: usize,
     warm_mult: usize,
     sweep: bool,
+    /// Concurrency-sweep mode: connection counts to drive.
+    connections: Option<Vec<usize>>,
+    /// Requests per connection in `--connections` mode.
+    rounds: usize,
+    /// Check responses bit-identical to direct in-process simulation.
+    verify: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -44,6 +63,9 @@ fn parse_args() -> Result<Args, String> {
         cap: 2048,
         warm_mult: 4,
         sweep: false,
+        connections: None,
+        rounds: 32,
+        verify: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -51,15 +73,27 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--self-host" => args.self_host = true,
             "--sweep" => args.sweep = true,
+            "--verify" => args.verify = true,
             "--addr" => args.addr = Some(value("--addr")?),
             "--requests" => args.requests = parse_num(&value("--requests")?)?,
             "--clients" => args.clients = parse_num(&value("--clients")?)?,
             "--cap" => args.cap = parse_num(&value("--cap")?)?,
             "--warm-mult" => args.warm_mult = parse_num(&value("--warm-mult")?)?,
+            "--rounds" => args.rounds = parse_num(&value("--rounds")?)?,
+            "--connections" => {
+                args.connections = Some(
+                    value("--connections")?
+                        .split(',')
+                        .map(parse_num)
+                        .collect::<Result<Vec<_>, _>>()?,
+                )
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: serve_client (--self-host | --addr HOST:PORT) [--sweep] \
-                     [--requests N] [--clients C] [--cap CAP] [--warm-mult M]"
+                     [--requests N] [--clients C] [--cap CAP] [--warm-mult M]\n       \
+                     serve_client (--self-host | --addr HOST:PORT) --connections N,.. \
+                     [--rounds R] [--cap CAP] [--verify]"
                 );
                 std::process::exit(0);
             }
@@ -69,8 +103,11 @@ fn parse_args() -> Result<Args, String> {
     if args.self_host == args.addr.is_some() {
         return Err("pass exactly one of --self-host / --addr".to_string());
     }
-    if args.requests == 0 || args.clients == 0 || args.warm_mult == 0 {
+    if args.requests == 0 || args.clients == 0 || args.warm_mult == 0 || args.rounds == 0 {
         return Err("counts must be positive".to_string());
+    }
+    if args.sweep && args.connections.is_some() {
+        return Err("--sweep and --connections are mutually exclusive".to_string());
     }
     Ok(args)
 }
@@ -199,6 +236,186 @@ fn run_one_sweep(addr: SocketAddr, body: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Slices the spliced-verbatim `result` payload out of a `/simulate`
+/// response body (`{"meta":{...},"result":<payload>}`).
+fn extract_result(body: &str) -> Result<&str, String> {
+    let idx = body
+        .find("\"result\":")
+        .ok_or_else(|| format!("response has no result field: {body}"))?;
+    body[idx + "\"result\":".len()..]
+        .strip_suffix('}')
+        .ok_or_else(|| format!("unterminated response body: {body}"))
+}
+
+/// Runs every body through a private in-process service (its own cache,
+/// no HTTP) — the reference payloads `--verify` compares against.
+fn reference_results(bodies: &[String]) -> Result<HashMap<String, String>, String> {
+    let service = service::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let mut expected = HashMap::new();
+    for body in bodies {
+        let parsed = Json::parse(body).map_err(|e| e.to_string())?;
+        let request = SimRequest::from_json(&parsed, ServiceConfig::default().max_cap)?;
+        let (text, _) = service
+            .execute(request)
+            .map_err(|e| format!("reference simulation failed: {e:?}"))?;
+        expected.insert(body.clone(), text.to_string());
+    }
+    service.stop();
+    Ok(expected)
+}
+
+/// Counts live threads named `bbs-serve-*` in this process — in
+/// `--self-host` mode that is exactly the server's footprint (the event
+/// loop plus the workers), regardless of how many client threads the
+/// bench itself spawns. Linux only (`/proc`); `None` elsewhere.
+fn serve_thread_count() -> Option<usize> {
+    let tasks = std::fs::read_dir("/proc/self/task").ok()?;
+    let mut count = 0;
+    for task in tasks.flatten() {
+        let comm = std::fs::read_to_string(task.path().join("comm")).ok()?;
+        if comm.trim_end().starts_with("bbs-serve") {
+            count += 1;
+        }
+    }
+    Some(count)
+}
+
+/// One concurrency point: `conns` keep-alive connections opened up front
+/// (barrier), each issuing `rounds` requests back-to-back. Any non-200 or
+/// payload mismatch fails the whole point.
+fn run_connections_point(
+    addr: SocketAddr,
+    bodies: &Arc<Vec<String>>,
+    conns: usize,
+    rounds: usize,
+    expected: &Option<Arc<HashMap<String, String>>>,
+) -> Result<Json, String> {
+    // All connections connect, then start together; the main thread joins
+    // the barrier too, so the wall clock starts when the flood does.
+    let barrier = Arc::new(Barrier::new(conns + 1));
+    let handles: Vec<_> = (0..conns)
+        .map(|c| {
+            let bodies = Arc::clone(bodies);
+            let barrier = Arc::clone(&barrier);
+            let expected = expected.clone();
+            std::thread::Builder::new()
+                .stack_size(128 * 1024)
+                .spawn(move || -> Result<Vec<f64>, String> {
+                    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+                    barrier.wait();
+                    let mut latencies = Vec::with_capacity(rounds);
+                    for r in 0..rounds {
+                        let body = &bodies[(c + r) % bodies.len()];
+                        let t = Instant::now();
+                        let (status, response) =
+                            client.simulate(body).map_err(|e| e.to_string())?;
+                        latencies.push(t.elapsed().as_secs_f64() * 1e3);
+                        if status != 200 {
+                            return Err(format!("request failed: {status} {response}"));
+                        }
+                        if let Some(expected) = &expected {
+                            let got = extract_result(&response)?;
+                            let want = expected
+                                .get(body)
+                                .ok_or_else(|| "missing reference result".to_string())?;
+                            if got != want {
+                                return Err(format!(
+                                    "response differs from direct simulation for {body}"
+                                ));
+                            }
+                        }
+                    }
+                    Ok(latencies)
+                })
+                .map_err(|e| format!("spawn connection thread: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    barrier.wait();
+    let start = Instant::now();
+    let mut latencies = Vec::with_capacity(conns * rounds);
+    for h in handles {
+        latencies.extend(h.join().map_err(|_| "connection thread panicked")??);
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = latencies.len();
+    Ok(Json::obj(vec![
+        ("connections", Json::from_usize(conns)),
+        ("requests", Json::from_usize(n)),
+        ("wall_ms", Json::Num(round2(wall_ms))),
+        (
+            "rps",
+            Json::Num(round2(n as f64 / (wall_ms / 1e3).max(1e-9))),
+        ),
+        ("p50_ms", Json::Num(round2(percentile(&latencies, 0.5)))),
+        ("p95_ms", Json::Num(round2(percentile(&latencies, 0.95)))),
+        ("p99_ms", Json::Num(round2(percentile(&latencies, 0.99)))),
+    ]))
+}
+
+/// The `--connections` concurrency sweep: warm the cache once, then
+/// measure each connection count against the hot cache (the mode exists
+/// to measure the event loop, not the simulator).
+fn connections_bench(addr: SocketAddr, args: &Args) -> Result<Json, String> {
+    let points_spec = args.connections.as_deref().unwrap_or(&[]);
+    let bodies = Arc::new(request_bodies(args.requests.max(16), args.cap));
+
+    let expected = if args.verify {
+        Some(Arc::new(reference_results(&bodies)?))
+    } else {
+        None
+    };
+
+    // Warm pass: every body lands in the server cache so the sweep
+    // measures connection handling, not simulation throughput.
+    let mut warmer = Client::connect(addr).map_err(|e| e.to_string())?;
+    for body in bodies.iter() {
+        let (status, response) = warmer.simulate(body).map_err(|e| e.to_string())?;
+        if status != 200 {
+            return Err(format!("warmup failed: {status} {response}"));
+        }
+    }
+
+    let mut points = Vec::new();
+    for &conns in points_spec {
+        points.push(run_connections_point(
+            addr,
+            &bodies,
+            conns,
+            args.rounds,
+            &expected,
+        )?);
+    }
+
+    let stats_text = warmer.get("/stats").map_err(|e| e.to_string())?.1;
+    let stats = Json::parse(&stats_text).map_err(|e| e.to_string())?;
+    let mut fields = vec![
+        ("schema", Json::str("bbs-serve-async/v1")),
+        (
+            "config",
+            Json::obj(vec![
+                ("bodies", Json::from_usize(bodies.len())),
+                ("rounds", Json::from_usize(args.rounds)),
+                ("cap", Json::from_usize(args.cap)),
+                ("verify", Json::Bool(args.verify)),
+                ("self_host", Json::Bool(args.self_host)),
+            ]),
+        ),
+    ];
+    if args.self_host {
+        if let Some(threads) = serve_thread_count() {
+            // The whole server: one event-loop thread + the workers.
+            fields.push(("server_threads", Json::from_usize(threads)));
+        }
+    }
+    fields.push(("points", Json::Arr(points)));
+    fields.push(("stats", stats));
+    Ok(Json::obj(fields))
+}
+
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
     sorted[idx]
@@ -233,8 +450,15 @@ fn main() -> ExitCode {
         }
     };
 
+    let mut config = ServeConfig::default();
+    if let Some(points) = &args.connections {
+        // The sweep itself needs headroom above the largest point (the
+        // warmup/stats connection rides alongside the flood).
+        let largest = points.iter().copied().max().unwrap_or(0);
+        config.max_connections = config.max_connections.max(largest + 16);
+    }
     let server = if args.self_host {
-        match start(ServeConfig::default()) {
+        match start(config) {
             Ok(s) => Some(s),
             Err(e) => {
                 eprintln!("serve_client: failed to start server: {e}");
@@ -256,6 +480,9 @@ fn main() -> ExitCode {
     };
 
     let outcome = (|| -> Result<Json, String> {
+        if args.connections.is_some() {
+            return connections_bench(addr, &args);
+        }
         let bodies = if args.sweep {
             sweep_bodies(args.requests, args.cap)
         } else {

@@ -5,30 +5,71 @@
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 
-/// Socket timeout for reads and writes — aliased to the server's own
-/// [`crate::server::SOCKET_TIMEOUT`] (provably equal), so a peer that
-/// neither frames its response nor closes the connection produces a timely
-/// error instead of a hung client.
-pub const CLIENT_TIMEOUT: std::time::Duration = crate::server::SOCKET_TIMEOUT;
+/// Default socket timeout for reads and writes — matches the server's
+/// default [`crate::server::IDLE_TIMEOUT`], so a peer that neither frames
+/// its response nor closes the connection produces a timely error instead
+/// of a hung client. Override per-client with
+/// [`Client::connect_with_timeout`].
+pub const CLIENT_TIMEOUT: std::time::Duration = crate::server::IDLE_TIMEOUT;
 
 /// One keep-alive client connection.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    timeout: std::time::Duration,
+    /// Headers of the most recent response (lowercased names).
+    last_headers: Vec<(String, String)>,
 }
 
 impl Client {
-    /// Connects to the server.
+    /// Connects to the server with the default [`CLIENT_TIMEOUT`].
     pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        Client::connect_with_timeout(addr, CLIENT_TIMEOUT)
+    }
+
+    /// Connects with an explicit read/write timeout. A server that stalls
+    /// past it yields an [`io::ErrorKind::TimedOut`] error naming the
+    /// deadline, instead of a hung client or a bare `WouldBlock`.
+    pub fn connect_with_timeout(
+        addr: SocketAddr,
+        timeout: std::time::Duration,
+    ) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
-        stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
             reader,
             writer: stream,
+            timeout,
+            last_headers: Vec::new(),
         })
+    }
+
+    /// Rewraps a socket-timeout error with the deadline that produced it
+    /// (platforms disagree on `TimedOut` vs `WouldBlock` for SO_RCVTIMEO).
+    fn clarify_timeout(&self, e: io::Error, doing: &str) -> io::Error {
+        if matches!(
+            e.kind(),
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+        ) {
+            io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("timed out {doing} after {:?}", self.timeout),
+            )
+        } else {
+            e
+        }
+    }
+
+    /// A header from the most recent response (name matched
+    /// case-insensitively), e.g. `Retry-After` on a 503.
+    pub fn response_header(&self, name: &str) -> Option<&str> {
+        self.last_headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 
     /// Sends one request and reads the response; returns
@@ -38,8 +79,9 @@ impl Client {
             self.writer,
             "{method} {path} HTTP/1.1\r\nhost: bbs-serve\r\ncontent-length: {}\r\n\r\n{body}",
             body.len()
-        )?;
-        self.writer.flush()?;
+        )
+        .and_then(|()| self.writer.flush())
+        .map_err(|e| self.clarify_timeout(e, "writing request"))?;
         self.read_response()
     }
 
@@ -81,7 +123,11 @@ impl Client {
 
     fn read_line(&mut self) -> io::Result<String> {
         let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| self.clarify_timeout(e, "waiting for response"))?;
+        if n == 0 {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "server closed connection",
@@ -91,7 +137,8 @@ impl Client {
     }
 
     /// Reads a response's status line and headers, returning the status
-    /// and the declared `Content-Length` (if any).
+    /// and the declared `Content-Length` (if any). All headers land in
+    /// [`Client::response_header`].
     fn read_head(&mut self) -> io::Result<(u16, Option<usize>)> {
         let status_line = self.read_line()?;
         let status: u16 = status_line
@@ -100,12 +147,15 @@ impl Client {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
         let mut content_length: Option<usize> = None;
+        self.last_headers.clear();
         loop {
             let line = self.read_line()?;
             if line.is_empty() {
                 break;
             }
             if let Some((name, value)) = line.split_once(':') {
+                self.last_headers
+                    .push((name.to_ascii_lowercase(), value.trim().to_string()));
                 // Mirror the server parser: duplicate Content-Length or any
                 // Transfer-Encoding desyncs keep-alive framing (this client
                 // only understands Content-Length and EOF framing).
@@ -144,7 +194,7 @@ impl Client {
                             format!("truncated response body: expected {len} bytes, connection closed early"),
                         )
                     } else {
-                        e
+                        self.clarify_timeout(e, "reading response body")
                     }
                 })?;
                 body

@@ -2,6 +2,15 @@
 //! protocol the service needs (the registry is unreachable, so no hyper;
 //! see `vendor/README.md` for the offline-dependency policy).
 //!
+//! The core is [`RequestParser`], a *resumable* feed-bytes parser: the
+//! event loop pushes whatever bytes the socket happens to have
+//! ([`RequestParser::feed`]) and pulls zero or more complete requests
+//! ([`RequestParser::next_request`]) — a request split across any number
+//! of reads (slowloris, slow links) parses identically to one arriving
+//! whole, and bytes beyond a request boundary stay buffered for HTTP/1.1
+//! pipelining. [`read_request`] wraps the same parser for blocking
+//! callers.
+//!
 //! Supported: request line + headers, `Content-Length` bodies, keep-alive
 //! (`Connection: close` honored both ways), hard limits on header and body
 //! sizes so untrusted input cannot balloon memory.
@@ -45,48 +54,224 @@ impl Request {
     }
 }
 
-/// Reads one request from the stream. `Ok(None)` means the peer closed
-/// the connection cleanly before sending another request (keep-alive end).
-pub fn read_request<R: BufRead>(stream: &mut R) -> io::Result<Option<Request>> {
-    let line = match read_line(stream)? {
-        None => return Ok(None),
-        Some(l) => l,
-    };
-    let mut parts = line.split_whitespace();
-    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v),
-        _ => return Err(bad_input("malformed request line")),
-    };
-    if !version.starts_with("HTTP/1.") {
-        return Err(bad_input("unsupported HTTP version"));
+/// Where the parser is inside the current request.
+#[derive(Debug)]
+enum ParseState {
+    /// Between requests / partway through a request line.
+    RequestLine,
+    /// Request line done, accumulating headers.
+    Headers {
+        method: String,
+        path: String,
+        headers: Vec<(String, String)>,
+    },
+    /// Headers done, waiting for `length` body bytes.
+    Body {
+        method: String,
+        path: String,
+        headers: Vec<(String, String)>,
+        length: usize,
+    },
+}
+
+/// The resumable request parser: an input buffer plus a state machine.
+///
+/// Feed bytes as they arrive, then drain complete requests; the parser
+/// never blocks and never over-consumes — bytes past a request boundary
+/// remain buffered for the next request (pipelining). After an error the
+/// parser is poisoned (the stream is unframed garbage); callers close the
+/// connection.
+#[derive(Debug)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted lazily).
+    start: usize,
+    state: ParseState,
+}
+
+impl Default for RequestParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RequestParser {
+    /// A parser with an empty buffer, ready for the first request.
+    pub fn new() -> RequestParser {
+        RequestParser {
+            buf: Vec::new(),
+            start: 0,
+            state: ParseState::RequestLine,
+        }
     }
 
-    let mut headers = Vec::new();
-    loop {
-        let line = read_line(stream)?.ok_or_else(|| bad_input("eof in headers"))?;
-        if line.is_empty() {
-            break;
-        }
-        if headers.len() >= MAX_HEADERS {
-            return Err(bad_input("too many headers"));
-        }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or_else(|| bad_input("malformed header"))?;
-        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    /// Appends raw socket bytes to the input buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
     }
 
-    // Request-smuggling hardening (RFC 9112 §6.3). This parser only frames
-    // bodies by Content-Length, so any Transfer-Encoding header is rejected
-    // — honoring CL while a TE-aware intermediary honors chunked framing is
-    // the classic CL.TE desync, and silently ignoring TE would leave the
-    // chunked body bytes in the stream as a forged next request.
+    /// Bytes buffered but not yet consumed by a completed request.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// `true` when the parser sits exactly on a request boundary — no
+    /// buffered bytes, no partial request. EOF here is a clean keep-alive
+    /// end; EOF anywhere else is a truncated request.
+    pub fn is_idle(&self) -> bool {
+        matches!(self.state, ParseState::RequestLine) && self.buffered() == 0
+    }
+
+    /// Tries to complete one request from the buffered bytes.
+    ///
+    /// `Ok(Some(..))` yields a request (leftover bytes stay buffered);
+    /// `Ok(None)` means more bytes are needed; `Err` means the stream is
+    /// not valid HTTP (close the connection — the parser cannot resync).
+    pub fn next_request(&mut self) -> io::Result<Option<Request>> {
+        loop {
+            match &mut self.state {
+                ParseState::RequestLine => {
+                    let Some(line) = self.take_line()? else {
+                        self.compact();
+                        return Ok(None);
+                    };
+                    let mut parts = line.split_whitespace();
+                    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+                        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v),
+                        _ => return Err(bad_input("malformed request line")),
+                    };
+                    if !version.starts_with("HTTP/1.") {
+                        return Err(bad_input("unsupported HTTP version"));
+                    }
+                    self.state = ParseState::Headers {
+                        method,
+                        path,
+                        headers: Vec::new(),
+                    };
+                }
+                ParseState::Headers { headers, .. } => {
+                    let at_cap = headers.len() >= MAX_HEADERS;
+                    let Some(line) = self.take_line()? else {
+                        self.compact();
+                        return Ok(None);
+                    };
+                    if line.is_empty() {
+                        let ParseState::Headers {
+                            method,
+                            path,
+                            headers,
+                        } = std::mem::replace(&mut self.state, ParseState::RequestLine)
+                        else {
+                            unreachable!()
+                        };
+                        let length = content_length(&headers)?;
+                        self.state = ParseState::Body {
+                            method,
+                            path,
+                            headers,
+                            length,
+                        };
+                    } else {
+                        if at_cap {
+                            return Err(bad_input("too many headers"));
+                        }
+                        let (name, value) = line
+                            .split_once(':')
+                            .ok_or_else(|| bad_input("malformed header"))?;
+                        let header = (name.to_ascii_lowercase(), value.trim().to_string());
+                        let ParseState::Headers { headers, .. } = &mut self.state else {
+                            unreachable!()
+                        };
+                        headers.push(header);
+                    }
+                }
+                ParseState::Body { length, .. } => {
+                    let length = *length;
+                    if self.buffered() < length {
+                        self.compact();
+                        return Ok(None);
+                    }
+                    let ParseState::Body {
+                        method,
+                        path,
+                        headers,
+                        length,
+                    } = std::mem::replace(&mut self.state, ParseState::RequestLine)
+                    else {
+                        unreachable!()
+                    };
+                    let body = self.buf[self.start..self.start + length].to_vec();
+                    self.start += length;
+                    self.compact();
+                    return Ok(Some(Request {
+                        method,
+                        path,
+                        headers,
+                        body,
+                    }));
+                }
+            }
+        }
+    }
+
+    /// Body bytes still missing for the in-progress request (a bulk-read
+    /// hint for blocking callers), zero outside the body state.
+    fn body_needed(&self) -> usize {
+        match &self.state {
+            ParseState::Body { length, .. } => length.saturating_sub(self.buffered()),
+            _ => 0,
+        }
+    }
+
+    /// Extracts one CRLF- (or LF-) terminated line from the buffer, or
+    /// `None` if no full line is buffered yet. Enforces `MAX_LINE` on both
+    /// complete and still-accumulating lines (slowloris cannot grow an
+    /// unbounded header line byte by byte).
+    fn take_line(&mut self) -> io::Result<Option<String>> {
+        let pending = &self.buf[self.start..];
+        let Some(nl) = pending.iter().position(|&b| b == b'\n') else {
+            if pending.len() > MAX_LINE {
+                return Err(bad_input("line too long"));
+            }
+            return Ok(None);
+        };
+        let mut line = &pending[..nl];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        if line.len() > MAX_LINE {
+            return Err(bad_input("line too long"));
+        }
+        let text = std::str::from_utf8(line)
+            .map_err(|_| bad_input("non-utf8 line"))?
+            .to_string();
+        self.start += nl + 1;
+        Ok(Some(text))
+    }
+
+    /// Drops the consumed prefix once it dominates the buffer.
+    fn compact(&mut self) {
+        if self.start > 4096 && self.start * 2 >= self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+/// Validates framing headers and returns the body length (RFC 9112 §6.3
+/// request-smuggling hardening — see the rejection comments inline).
+fn content_length(headers: &[(String, String)]) -> io::Result<usize> {
+    // This parser only frames bodies by Content-Length, so any
+    // Transfer-Encoding header is rejected — honoring CL while a TE-aware
+    // intermediary honors chunked framing is the classic CL.TE desync, and
+    // silently ignoring TE would leave the chunked body bytes in the
+    // stream as a forged next request.
     if headers.iter().any(|(k, _)| k == "transfer-encoding") {
         return Err(bad_input("transfer-encoding not supported"));
     }
     // Likewise a request carrying more than one `Content-Length` header is
-    // rejected outright — even when the values agree — rather than trusting
-    // whichever copy a downstream peer might pick.
+    // rejected outright — even when the values agree — rather than
+    // trusting whichever copy a downstream peer might pick.
     let mut content_length = None;
     for (_, v) in headers.iter().filter(|(k, _)| k == "content-length") {
         if content_length.is_some() {
@@ -97,46 +282,40 @@ pub fn read_request<R: BufRead>(stream: &mut R) -> io::Result<Option<Request>> {
             .map_err(|_| bad_input("bad content-length"))?;
         content_length = Some(parsed);
     }
-    let content_length = content_length.unwrap_or(0);
-    if content_length > MAX_BODY {
+    let length = content_length.unwrap_or(0);
+    if length > MAX_BODY {
         return Err(bad_input("body too large"));
     }
-    let mut body = vec![0u8; content_length];
-    stream.read_exact(&mut body)?;
-
-    Ok(Some(Request {
-        method,
-        path,
-        headers,
-        body,
-    }))
+    Ok(length)
 }
 
-/// Reads one CRLF- (or LF-) terminated line; `None` on immediate EOF.
-fn read_line<R: BufRead>(stream: &mut R) -> io::Result<Option<String>> {
-    let mut buf = Vec::new();
+/// Reads one request from a blocking stream (a [`RequestParser`] driven by
+/// reads). `Ok(None)` means the peer closed the connection cleanly before
+/// sending another request (keep-alive end).
+pub fn read_request<R: BufRead>(stream: &mut R) -> io::Result<Option<Request>> {
+    let mut parser = RequestParser::new();
+    let mut chunk = [0u8; 512];
     loop {
-        let mut byte = [0u8; 1];
-        match stream.read(&mut byte) {
+        if let Some(request) = parser.next_request()? {
+            return Ok(Some(request));
+        }
+        // Headers are read in small chunks; once the parser is waiting on
+        // a known-length body the remainder is read in one gulp. Never
+        // read *past* what the current request needs — callers own the
+        // stream and may read the next pipelined request themselves.
+        let want = match parser.body_needed() {
+            0 => 1,
+            n => n.min(chunk.len()),
+        };
+        match stream.read(&mut chunk[..want]) {
             Ok(0) => {
-                if buf.is_empty() {
-                    return Ok(None);
-                }
-                return Err(bad_input("eof mid-line"));
+                return if parser.is_idle() {
+                    Ok(None)
+                } else {
+                    Err(bad_input("eof mid-request"))
+                };
             }
-            Ok(_) => {
-                if byte[0] == b'\n' {
-                    if buf.last() == Some(&b'\r') {
-                        buf.pop();
-                    }
-                    let s = String::from_utf8(buf).map_err(|_| bad_input("non-utf8 line"))?;
-                    return Ok(Some(s));
-                }
-                buf.push(byte[0]);
-                if buf.len() > MAX_LINE {
-                    return Err(bad_input("line too long"));
-                }
-            }
+            Ok(n) => parser.feed(&chunk[..n]),
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(e),
         }
@@ -161,6 +340,35 @@ pub fn reason(status: u16) -> &'static str {
 }
 
 /// Writes one `application/json` response. `close` adds
+/// `Connection: close`; each `extra` pair becomes one additional header
+/// line (e.g. `retry-after` on backpressure 503s).
+pub fn write_response_ext<W: Write>(
+    stream: &mut W,
+    status: u16,
+    body: &str,
+    close: bool,
+    extra: &[(&str, &str)],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
+        status,
+        reason(status),
+        body.len(),
+    );
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    if close {
+        head.push_str("connection: close\r\n");
+    }
+    write!(stream, "{head}\r\n{body}")?;
+    stream.flush()
+}
+
+/// Writes one `application/json` response. `close` adds
 /// `Connection: close`.
 pub fn write_response<W: Write>(
     stream: &mut W,
@@ -168,16 +376,7 @@ pub fn write_response<W: Write>(
     body: &str,
     close: bool,
 ) -> io::Result<()> {
-    write!(
-        stream,
-        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n{}\r\n{}",
-        status,
-        reason(status),
-        body.len(),
-        if close { "connection: close\r\n" } else { "" },
-        body
-    )?;
-    stream.flush()
+    write_response_ext(stream, status, body, close, &[])
 }
 
 /// Writes the head of a streamed response: no `Content-Length`, always
@@ -307,6 +506,68 @@ mod tests {
     }
 
     #[test]
+    fn byte_at_a_time_feed_equals_whole_buffer() {
+        // The slowloris shape: every byte arrives in its own read. The
+        // resumable parser must land on the identical request.
+        let wire = "POST /simulate HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let mut parser = RequestParser::new();
+        let mut dripped = None;
+        for b in wire.as_bytes() {
+            assert!(dripped.is_none(), "request completed early");
+            parser.feed(&[*b]);
+            dripped = parser.next_request().unwrap();
+        }
+        let dripped = dripped.expect("request completes on the last byte");
+        let whole = parse(wire).unwrap().unwrap();
+        assert_eq!(dripped.method, whole.method);
+        assert_eq!(dripped.path, whole.path);
+        assert_eq!(dripped.headers, whole.headers);
+        assert_eq!(dripped.body, whole.body);
+    }
+
+    #[test]
+    fn pipelined_requests_drain_in_order() {
+        let wire = "GET /healthz HTTP/1.1\r\n\r\n\
+                    POST /simulate HTTP/1.1\r\ncontent-length: 2\r\n\r\nhi\
+                    GET /stats HTTP/1.1\r\nconnection: close\r\n\r\n";
+        let mut parser = RequestParser::new();
+        parser.feed(wire.as_bytes());
+        let a = parser.next_request().unwrap().unwrap();
+        let b = parser.next_request().unwrap().unwrap();
+        let c = parser.next_request().unwrap().unwrap();
+        assert_eq!(
+            (a.path.as_str(), b.path.as_str(), c.path.as_str()),
+            ("/healthz", "/simulate", "/stats")
+        );
+        assert_eq!(b.body, b"hi");
+        assert!(c.wants_close());
+        assert!(parser.next_request().unwrap().is_none());
+        assert!(parser.is_idle());
+    }
+
+    #[test]
+    fn oversized_line_detected_before_newline_arrives() {
+        // Slowloris defense: a header line that never terminates errors as
+        // soon as it exceeds MAX_LINE, not only at the (never-sent) CRLF.
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET / HTTP/1.1\r\nx: ");
+        parser.next_request().unwrap();
+        parser.feed(&vec![b'a'; MAX_LINE + 2]);
+        assert!(parser.next_request().is_err());
+    }
+
+    #[test]
+    fn idle_tracks_request_boundaries() {
+        let mut parser = RequestParser::new();
+        assert!(parser.is_idle());
+        parser.feed(b"GET /x HT");
+        assert!(!parser.is_idle());
+        parser.feed(b"TP/1.1\r\n\r\n");
+        let _ = parser.next_request().unwrap().unwrap();
+        assert!(parser.is_idle());
+    }
+
+    #[test]
     fn response_wire_format() {
         let mut out = Vec::new();
         write_response(&mut out, 200, "{\"ok\":true}", false).unwrap();
@@ -320,6 +581,16 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("503 Service Unavailable"));
         assert!(text.contains("connection: close\r\n"));
+    }
+
+    #[test]
+    fn extra_headers_ride_before_the_blank_line() {
+        let mut out = Vec::new();
+        write_response_ext(&mut out, 503, "{}", false, &[("retry-after", "1")]).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let head = text.split("\r\n\r\n").next().unwrap();
+        assert!(head.contains("retry-after: 1"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"));
     }
 
     #[test]

@@ -7,19 +7,23 @@
 //! `(model, accelerator, config)` points:
 //!
 //! ```text
-//!            TCP listener (hand-rolled HTTP/1.1 + JSON)
-//!                 │ one thread per connection
+//!   nonblocking TCP listener (hand-rolled HTTP/1.1 + JSON)
+//!                 │ readiness event loop — one thread, all connections
+//!                 │ (epoll on Linux, poll(2) fallback; see [`event_loop`])
 //!                 ▼
 //!   content-addressed lookup ──hit──▶ cached result (Arc<str> clone)
 //!                 │ miss
 //!                 ▼
-//!   in-flight table ──duplicate──▶ coalesce: wait on existing flight
+//!   in-flight table ──duplicate──▶ coalesce: subscribe to the flight
 //!                 │ first
 //!                 ▼
-//!   bounded MPMC job queue (full ⇒ 503 backpressure)
+//!   bounded MPMC job queue (full ⇒ park the connection, then 503)
 //!                 │
 //!                 ▼
 //!   worker pool ──▶ bbs_sim::engine::simulate ──▶ sharded result cache
+//!                 │ completion channel + waker
+//!                 ▼
+//!   event loop resumes the waiting connection and writes the response
 //! ```
 //!
 //! Everything rides the workspace serialization layer (`bbs-json` +
@@ -53,6 +57,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod event_loop;
 pub mod http;
 pub mod queue;
 pub mod registry;

@@ -49,14 +49,15 @@ impl<T> Bounded<T> {
         }
     }
 
-    /// Enqueues without blocking; fails when full or closed.
-    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+    /// Enqueues without blocking; fails when full or closed, handing the
+    /// item back so the caller can park or retry it without a clone.
+    pub fn try_push(&self, item: T) -> Result<(), (PushError, T)> {
         let mut s = self.state.lock().unwrap();
         if s.closed {
-            return Err(PushError::Closed);
+            return Err((PushError::Closed, item));
         }
         if s.items.len() >= s.capacity {
-            return Err(PushError::Full);
+            return Err((PushError::Full, item));
         }
         s.items.push_back(item);
         drop(s);
@@ -116,7 +117,7 @@ mod tests {
         let q = Bounded::new(2);
         q.try_push(1).unwrap();
         q.try_push(2).unwrap();
-        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.try_push(3), Err((PushError::Full, 3)));
         assert_eq!(q.pop(), Some(1));
         q.try_push(3).unwrap();
     }
@@ -126,7 +127,7 @@ mod tests {
         let q = Bounded::new(4);
         q.try_push(7).unwrap();
         q.close();
-        assert_eq!(q.try_push(8), Err(PushError::Closed));
+        assert_eq!(q.try_push(8), Err((PushError::Closed, 8)));
         assert_eq!(q.pop(), Some(7));
         assert_eq!(q.pop(), None);
     }
@@ -171,8 +172,8 @@ mod tests {
                         loop {
                             match q.try_push(v) {
                                 Ok(()) => break,
-                                Err(PushError::Full) => std::thread::yield_now(),
-                                Err(PushError::Closed) => panic!("closed early"),
+                                Err((PushError::Full, _)) => std::thread::yield_now(),
+                                Err((PushError::Closed, _)) => panic!("closed early"),
                             }
                         }
                     }

@@ -1,4 +1,5 @@
-//! The TCP front end: accept loop, per-connection threads, routing.
+//! The TCP front end: routing and lifecycle around the readiness event
+//! loop in [`crate::event_loop`].
 //!
 //! Routes:
 //!
@@ -11,34 +12,46 @@
 //! | `/models`          | GET    | zoo model names                           |
 //! | `/accelerators`    | GET    | canonical accelerator ids                 |
 //!
-//! Connection threads only parse, route and wait; all simulation happens
-//! on the service's worker pool, so slow clients cannot starve compute
-//! and the bounded queue is the single backpressure point. `/sweep` is
-//! the one streaming route: it answers with `Connection: close` and
-//! EOF-framed newline-delimited JSON, one record per grid cell in
-//! completion order (see [`crate::sweep`]).
+//! One `bbs-serve-loop` thread multiplexes every connection (epoll on
+//! Linux, `poll(2)` elsewhere); all simulation happens on the service's
+//! worker pool, so the whole server runs on `workers + 1` threads no
+//! matter how many clients connect. The bounded job queue is the single
+//! backpressure point — and since the front end went nonblocking, a full
+//! queue *parks* the connection (held open, retried as slots free) for up
+//! to [`ServeConfig::park_timeout`] before degrading to `503` +
+//! `Retry-After`. `/sweep` is the one streaming route: it answers with
+//! `Connection: close` and EOF-framed newline-delimited JSON, one record
+//! per grid cell in completion order (see [`crate::sweep`]).
 
-use crate::http::{read_request, write_response, write_stream_head, Request};
+use crate::event_loop::{waker_pair, EventLoop, LoopOptions, PollerKind, Waker};
+use crate::http::Request;
 use crate::registry::ACCELERATOR_IDS;
 use crate::request::SimRequest;
-use crate::service::{self, ExecuteError, Served, ServiceConfig, SimService};
+use crate::service::{self, Served, ServiceConfig, SimService};
 use crate::sweep::SweepPlan;
 use bbs_json::Json;
 use bbs_models::zoo;
-use std::io::{self, BufReader, BufWriter};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Most simultaneously open connections; beyond this, new sockets are
-/// answered 503 and closed (each connection costs a thread).
+/// Default cap on simultaneously open connections; beyond it, new sockets
+/// are answered 503 + `Retry-After` and closed. Each connection past the
+/// cap costs only state, not a thread, but the cap keeps a connection
+/// flood from exhausting fds.
 pub const MAX_CONNECTIONS: usize = 1024;
-/// Idle/slow-client socket timeout. Generous against the slowest
-/// simulation a connection might be waiting out, fatal to sockets that
-/// hold a thread while sending nothing.
-pub const SOCKET_TIMEOUT: Duration = Duration::from_secs(120);
+/// Default idle deadline: keep-alive connections that send nothing,
+/// request heads that never finish (slowloris) and responses nobody
+/// drains are reaped after this long. Generous against the slowest
+/// simulation a connection might legitimately be waiting out.
+pub const IDLE_TIMEOUT: Duration = Duration::from_secs(120);
+/// Default parking deadline: how long a queue-full request waits for a
+/// slot before its connection gets the `503` it would previously have
+/// gotten immediately.
+pub const PARK_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -47,6 +60,15 @@ pub struct ServeConfig {
     pub addr: String,
     /// Worker-pool / queue / cache sizing.
     pub service: ServiceConfig,
+    /// Most simultaneously open connections.
+    pub max_connections: usize,
+    /// Idle keep-alive / slowloris / stalled-write reap deadline.
+    pub idle_timeout: Duration,
+    /// How long queue-full requests stay parked before a 503;
+    /// `Duration::ZERO` restores the old fail-fast behavior.
+    pub park_timeout: Duration,
+    /// Readiness backend (`Auto` = epoll on Linux, `poll(2)` elsewhere).
+    pub poller: PollerKind,
 }
 
 impl Default for ServeConfig {
@@ -54,17 +76,23 @@ impl Default for ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             service: ServiceConfig::default(),
+            max_connections: MAX_CONNECTIONS,
+            idle_timeout: IDLE_TIMEOUT,
+            park_timeout: PARK_TIMEOUT,
+            poller: PollerKind::Auto,
         }
     }
 }
 
-struct Shared {
-    service: Arc<service::ServiceHandle>,
-    requests: AtomicU64,
-    sweeps: AtomicU64,
-    sweep_cells: AtomicU64,
-    connections: AtomicUsize,
-    stopping: AtomicBool,
+pub(crate) struct Shared {
+    pub(crate) service: Arc<service::ServiceHandle>,
+    pub(crate) requests: AtomicU64,
+    pub(crate) sweeps: AtomicU64,
+    pub(crate) sweep_cells: AtomicU64,
+    pub(crate) connections_open: AtomicUsize,
+    pub(crate) connections_peak: AtomicUsize,
+    pub(crate) connections_parked: AtomicUsize,
+    pub(crate) stopping: AtomicBool,
 }
 
 /// A running server; dropping it does *not* stop it — call
@@ -72,10 +100,12 @@ struct Shared {
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: JoinHandle<()>,
+    waker: Waker,
+    event_loop: JoinHandle<()>,
+    backend: &'static str,
 }
 
-/// Binds, spawns the worker pool and the accept loop, and returns.
+/// Binds, spawns the worker pool and the event-loop thread, and returns.
 pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
@@ -84,45 +114,32 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         requests: AtomicU64::new(0),
         sweeps: AtomicU64::new(0),
         sweep_cells: AtomicU64::new(0),
-        connections: AtomicUsize::new(0),
+        connections_open: AtomicUsize::new(0),
+        connections_peak: AtomicUsize::new(0),
+        connections_parked: AtomicUsize::new(0),
         stopping: AtomicBool::new(false),
     });
 
-    let accept_shared = Arc::clone(&shared);
-    let acceptor = std::thread::Builder::new()
-        .name("bbs-serve-accept".to_string())
-        .spawn(move || {
-            for stream in listener.incoming() {
-                if accept_shared.stopping.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(mut stream) = stream else { continue };
-                if accept_shared.connections.fetch_add(1, Ordering::SeqCst) >= MAX_CONNECTIONS {
-                    accept_shared.connections.fetch_sub(1, Ordering::SeqCst);
-                    let _ = write_response(
-                        &mut stream,
-                        503,
-                        &error_body("connection limit reached"),
-                        true,
-                    );
-                    continue;
-                }
-                let conn_shared = Arc::clone(&accept_shared);
-                let spawned = std::thread::Builder::new()
-                    .name("bbs-serve-conn".to_string())
-                    .spawn(move || handle_connection(stream, &conn_shared));
-                if spawned.is_err() {
-                    // handle_connection never ran, so its guard never will.
-                    accept_shared.connections.fetch_sub(1, Ordering::SeqCst);
-                }
-            }
-        })
-        .expect("spawn acceptor");
+    let (waker, waker_rx) = waker_pair()?;
+    let opts = LoopOptions {
+        max_connections: config.max_connections,
+        idle_timeout: config.idle_timeout,
+        park_timeout: config.park_timeout,
+        poller: config.poller,
+    };
+    let event_loop = EventLoop::new(listener, Arc::clone(&shared), opts, waker.clone(), waker_rx)?;
+    let backend = event_loop.backend_name();
+    let event_loop = std::thread::Builder::new()
+        .name("bbs-serve-loop".to_string())
+        .spawn(move || event_loop.run())
+        .expect("spawn event loop");
 
     Ok(ServerHandle {
         addr,
         shared,
-        acceptor,
+        waker,
+        event_loop,
+        backend,
     })
 }
 
@@ -132,68 +149,118 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops accepting, drains queued simulations and joins the workers.
-    /// In-flight connection threads finish their current exchange.
+    /// The readiness backend the loop runs on (`"epoll"` / `"poll"`).
+    pub fn backend(&self) -> &'static str {
+        self.backend
+    }
+
+    /// Stops accepting, lets in-flight exchanges finish (bounded by the
+    /// loop's grace period), then drains queued simulations and joins the
+    /// workers.
     pub fn stop(self) {
         self.shared.stopping.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        let _ = self.acceptor.join();
+        self.waker.wake();
+        let _ = self.event_loop.join();
         self.shared.service.stop();
     }
 }
 
-/// Decrements the live-connection count when a connection thread exits,
-/// whichever path it takes out.
-struct ConnectionGuard<'a>(&'a AtomicUsize);
-
-impl Drop for ConnectionGuard<'_> {
-    fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
-    }
+/// What routing decided, before any I/O happens. The event loop turns
+/// `Respond` into buffered bytes immediately; `Simulate` and `Sweep` go
+/// through the worker pool asynchronously.
+pub(crate) enum RouteOutcome {
+    Respond {
+        status: u16,
+        body: String,
+        /// Attach `Retry-After` (503 backpressure answers).
+        retry_after: bool,
+        /// Force `Connection: close` regardless of what the request asked.
+        close_conn: bool,
+    },
+    Simulate {
+        request: SimRequest,
+        key: u64,
+    },
+    Sweep {
+        plan: SweepPlan,
+    },
 }
 
-fn handle_connection(stream: TcpStream, shared: &Shared) {
-    let _guard = ConnectionGuard(&shared.connections);
-    let _ = stream.set_nodelay(true);
-    // Slow-client protection: a socket that neither sends a request nor
-    // drains its response within the timeout forfeits its thread.
-    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
-    loop {
-        let request = match read_request(&mut reader) {
-            Ok(Some(r)) => r,
-            Ok(None) => return, // clean keep-alive end
-            Err(_) => {
-                let _ = write_response(&mut writer, 400, &error_body("malformed request"), true);
-                return;
-            }
-        };
-        // /sweep streams its own EOF-framed response and always ends the
-        // connection — there is no Content-Length to keep keep-alive
-        // framing honest afterwards.
-        if request.method == "POST" && request.path == "/sweep" {
+pub(crate) fn error_body(message: &str) -> String {
+    Json::obj(vec![("error", Json::str(message))]).to_string()
+}
+
+/// Routes a parsed request. Counter semantics match the blocking server:
+/// `requests` counts every `/simulate` and `/sweep` POST (even ones that
+/// fail decoding), `sweeps`/`sweep_cells` only successfully decoded plans.
+pub(crate) fn route_request(request: &Request, shared: &Shared) -> RouteOutcome {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/simulate") => {
             shared.requests.fetch_add(1, Ordering::Relaxed);
-            sweep_route(&request.body, shared, &mut writer);
-            return;
+            simulate_route(&request.body, shared)
         }
-        let close = request.wants_close() || shared.stopping.load(Ordering::SeqCst);
-        let (status, body) = route(&request, shared);
-        if write_response(&mut writer, status, &body, close).is_err() || close {
-            return;
+        ("POST", "/sweep") => {
+            shared.requests.fetch_add(1, Ordering::Relaxed);
+            sweep_route(&request.body, shared)
         }
+        ("GET", "/stats") => respond(200, stats_body(shared)),
+        ("GET", "/healthz") => respond(
+            200,
+            Json::obj(vec![("status", Json::str("ok"))]).to_string(),
+        ),
+        ("GET", "/models") => respond(
+            200,
+            Json::obj(vec![(
+                "models",
+                Json::Arr(zoo::names().into_iter().map(Json::str).collect()),
+            )])
+            .to_string(),
+        ),
+        ("GET", "/accelerators") => respond(
+            200,
+            Json::obj(vec![(
+                "accelerators",
+                Json::Arr(ACCELERATOR_IDS.into_iter().map(Json::str).collect()),
+            )])
+            .to_string(),
+        ),
+        ("POST", _) | ("GET", _) => respond(404, error_body("no such route")),
+        _ => respond(405, error_body("method not allowed")),
     }
 }
 
-/// Decodes a sweep grid and streams its cells. Shape errors answer a
-/// regular 400; once the 200 stream head is out, per-cell failures ride
-/// inside the stream as error records.
-fn sweep_route(body: &[u8], shared: &Shared, writer: &mut impl io::Write) {
+fn respond(status: u16, body: String) -> RouteOutcome {
+    RouteOutcome::Respond {
+        status,
+        body,
+        retry_after: false,
+        close_conn: false,
+    }
+}
+
+fn simulate_route(body: &[u8], shared: &Shared) -> RouteOutcome {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return respond(400, error_body("body must be utf-8 JSON")),
+    };
+    let parsed = match Json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return respond(400, error_body(&e.to_string())),
+    };
+    let service = shared.service.service();
+    let request = match SimRequest::from_json(&parsed, service.max_cap()) {
+        Ok(r) => r,
+        Err(e) => return respond(400, error_body(&e)),
+    };
+    let key = request.key();
+    RouteOutcome::Simulate { request, key }
+}
+
+/// Decodes a sweep grid. Shape errors answer a regular 400 (with
+/// `Connection: close`, matching the blocking server, which ended the
+/// connection either way); a decoded plan becomes the event loop's
+/// streaming state.
+fn sweep_route(body: &[u8], shared: &Shared) -> RouteOutcome {
     let service = shared.service.service();
     let plan = match std::str::from_utf8(body)
         .map_err(|_| "body must be utf-8 JSON".to_string())
@@ -202,95 +269,39 @@ fn sweep_route(body: &[u8], shared: &Shared, writer: &mut impl io::Write) {
     {
         Ok(p) => p,
         Err(e) => {
-            let _ = write_response(writer, 400, &error_body(&e), true);
-            return;
+            return RouteOutcome::Respond {
+                status: 400,
+                body: error_body(&e),
+                retry_after: false,
+                close_conn: true,
+            }
         }
     };
     shared.sweeps.fetch_add(1, Ordering::Relaxed);
     shared
         .sweep_cells
         .fetch_add(plan.cell_count() as u64, Ordering::Relaxed);
-    if write_stream_head(writer, 200, "application/x-ndjson").is_err() {
-        return;
-    }
-    let _ = crate::sweep::run_streaming(&shared.service, &plan, writer);
+    RouteOutcome::Sweep { plan }
 }
 
-fn error_body(message: &str) -> String {
-    Json::obj(vec![("error", Json::str(message))]).to_string()
-}
-
-fn route(request: &Request, shared: &Shared) -> (u16, String) {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/simulate") => {
-            shared.requests.fetch_add(1, Ordering::Relaxed);
-            simulate_route(&request.body, shared)
-        }
-        ("GET", "/stats") => (200, stats_body(shared)),
-        ("GET", "/healthz") => (
-            200,
-            Json::obj(vec![("status", Json::str("ok"))]).to_string(),
+/// The `/simulate` 200 body. The cached payload is spliced in verbatim —
+/// the result is *not* re-parsed/re-encoded, so byte identity across hits
+/// is structural, not probabilistic.
+pub(crate) fn simulate_ok_body(key: u64, served: Served, result_text: &str) -> String {
+    let meta = Json::obj(vec![
+        ("cached", Json::Bool(served == Served::Hit)),
+        (
+            "served",
+            Json::str(match served {
+                Served::Hit => "cache",
+                Served::Coalesced => "coalesced",
+                Served::Fresh => "simulated",
+            }),
         ),
-        ("GET", "/models") => (
-            200,
-            Json::obj(vec![(
-                "models",
-                Json::Arr(zoo::names().into_iter().map(Json::str).collect()),
-            )])
-            .to_string(),
-        ),
-        ("GET", "/accelerators") => (
-            200,
-            Json::obj(vec![(
-                "accelerators",
-                Json::Arr(ACCELERATOR_IDS.into_iter().map(Json::str).collect()),
-            )])
-            .to_string(),
-        ),
-        ("POST", _) | ("GET", _) => (404, error_body("no such route")),
-        _ => (405, error_body("method not allowed")),
-    }
-}
-
-fn simulate_route(body: &[u8], shared: &Shared) -> (u16, String) {
-    let text = match std::str::from_utf8(body) {
-        Ok(t) => t,
-        Err(_) => return (400, error_body("body must be utf-8 JSON")),
-    };
-    let parsed = match Json::parse(text) {
-        Ok(v) => v,
-        Err(e) => return (400, error_body(&e.to_string())),
-    };
-    let service = shared.service.service();
-    let request = match SimRequest::from_json(&parsed, service.max_cap()) {
-        Ok(r) => r,
-        Err(e) => return (400, error_body(&e)),
-    };
-    let key = request.key();
-    match shared.service.execute(request) {
-        Ok((result_text, served)) => {
-            // The cached payload is spliced in verbatim — the result is
-            // *not* re-parsed/re-encoded, so byte identity across hits is
-            // structural, not probabilistic.
-            let meta = Json::obj(vec![
-                ("cached", Json::Bool(served == Served::Hit)),
-                (
-                    "served",
-                    Json::str(match served {
-                        Served::Hit => "cache",
-                        Served::Coalesced => "coalesced",
-                        Served::Fresh => "simulated",
-                    }),
-                ),
-                ("key", Json::str(&format!("{key:016x}"))),
-            ])
-            .to_string();
-            (200, format!("{{\"meta\":{meta},\"result\":{result_text}}}"))
-        }
-        Err(ExecuteError::Busy) => (503, error_body("queue full, retry later")),
-        Err(ExecuteError::ShuttingDown) => (503, error_body("shutting down")),
-        Err(ExecuteError::Failed(e)) => (500, error_body(&e)),
-    }
+        ("key", Json::str(&format!("{key:016x}"))),
+    ])
+    .to_string();
+    format!("{{\"meta\":{meta},\"result\":{result_text}}}")
 }
 
 fn stats_body(shared: &Shared) -> String {
@@ -334,7 +345,19 @@ fn stats_body(shared: &Shared) -> String {
         ("workers", Json::from_usize(service.workers())),
         (
             "connections",
-            Json::from_usize(shared.connections.load(Ordering::SeqCst)),
+            Json::from_usize(shared.connections_open.load(Ordering::SeqCst)),
+        ),
+        (
+            "connections_open",
+            Json::from_usize(shared.connections_open.load(Ordering::SeqCst)),
+        ),
+        (
+            "connections_peak",
+            Json::from_usize(shared.connections_peak.load(Ordering::SeqCst)),
+        ),
+        (
+            "connections_parked",
+            Json::from_usize(shared.connections_parked.load(Ordering::SeqCst)),
         ),
     ])
     .to_string()

@@ -94,32 +94,91 @@ pub enum ExecuteError {
     Failed(String),
 }
 
+/// A caller's completion callback for [`SimService::submit`]. Invoked
+/// exactly once, from whichever thread completes the flight (a worker, or
+/// the submitter itself on an immediate hit/failure path).
+pub type Completion = Box<dyn FnOnce(Result<(Arc<str>, Served), ExecuteError>) + Send + 'static>;
+
+/// Immediate outcome of a non-blocking [`SimService::submit`].
+pub enum Submitted {
+    /// Result cache hit — the bytes are right here, the callback was
+    /// dropped unused.
+    Hit(Arc<str>),
+    /// Enqueued (or coalesced onto an existing flight); the callback fires
+    /// when the flight completes.
+    Pending,
+    /// Queue full. The request is handed back so the caller can *park* it
+    /// and resubmit when a queue slot frees, instead of failing it.
+    Busy(SimRequest),
+    /// Service shutting down — nothing will be enqueued again.
+    ShuttingDown,
+}
+
 /// One in-flight computation; completed exactly once — by a worker, or by
 /// the owner when its enqueue fails. Carrying [`ExecuteError`] (not a bare
 /// string) means coalesced waiters see the same error class as the owner:
 /// backpressure stays a 503 for everyone, not a 500.
+///
+/// Waiters come in two shapes: blocking ([`Flight::wait`], the synchronous
+/// `execute` path) and callback ([`Flight::subscribe`], the event loop's
+/// `submit` path). A subscriber arriving after completion is invoked
+/// immediately — the worker may finish between a caller's in-flight probe
+/// and its subscribe.
+struct FlightState {
+    result: Option<Result<Arc<str>, ExecuteError>>,
+    subscribers: Vec<(Served, Completion)>,
+}
+
 struct Flight {
-    result: Mutex<Option<Result<Arc<str>, ExecuteError>>>,
+    state: Mutex<FlightState>,
     done: Condvar,
 }
 
 impl Flight {
     fn new() -> Arc<Flight> {
         Arc::new(Flight {
-            result: Mutex::new(None),
+            state: Mutex::new(FlightState {
+                result: None,
+                subscribers: Vec::new(),
+            }),
             done: Condvar::new(),
         })
     }
 
     fn complete(&self, r: Result<Arc<str>, ExecuteError>) {
-        *self.result.lock().unwrap() = Some(r);
-        self.done.notify_all();
+        let subscribers = {
+            let mut state = self.state.lock().unwrap();
+            state.result = Some(r.clone());
+            self.done.notify_all();
+            std::mem::take(&mut state.subscribers)
+        };
+        // Callbacks run outside the lock: they re-enter the service
+        // (resubmits, stats) and must not deadlock against subscribe().
+        for (served, cb) in subscribers {
+            cb(r.clone().map(|bytes| (bytes, served)));
+        }
+    }
+
+    fn subscribe(&self, served: Served, cb: Completion) {
+        let done = {
+            let mut state = self.state.lock().unwrap();
+            match &state.result {
+                Some(r) => Some(r.clone()),
+                None => {
+                    state.subscribers.push((served, cb));
+                    return;
+                }
+            }
+        };
+        if let Some(r) = done {
+            cb(r.map(|bytes| (bytes, served)));
+        }
     }
 
     fn wait(&self) -> Result<Arc<str>, ExecuteError> {
-        let mut guard = self.result.lock().unwrap();
+        let mut guard = self.state.lock().unwrap();
         loop {
-            if let Some(r) = guard.as_ref() {
+            if let Some(r) = guard.result.as_ref() {
                 return r.clone();
             }
             guard = self.done.wait(guard).unwrap();
@@ -272,7 +331,7 @@ impl SimService {
             request,
             flight: Arc::clone(&flight),
         };
-        if let Err(e) = self.queue.try_push(job) {
+        if let Err((e, job)) = self.queue.try_push(job) {
             // Nobody will ever complete this flight — unregister it so
             // coalesced waiters can't pile onto a dead key.
             self.inflight.lock().unwrap().remove(&key);
@@ -280,10 +339,70 @@ impl SimService {
                 PushError::Full => ExecuteError::Busy,
                 PushError::Closed => ExecuteError::ShuttingDown,
             };
-            flight.complete(Err(err.clone()));
+            job.flight.complete(Err(err.clone()));
             return Err(err);
         }
         flight.wait().map(|r| (r, Served::Fresh))
+    }
+
+    /// Non-blocking twin of [`execute`](Self::execute): same decision tree
+    /// (cache hit → coalesce → enqueue), but instead of blocking on the
+    /// flight the caller hands over a [`Completion`] callback. The event
+    /// loop lives on this — one thread submits thousands of requests and
+    /// workers call back through the completion channel.
+    ///
+    /// On a full queue the request is *returned* ([`Submitted::Busy`])
+    /// rather than consumed: the loop parks it and resubmits when a slot
+    /// frees. Racing coalescers that subscribed to the failed flight still
+    /// get `Busy` through their callbacks, exactly like the blocking path.
+    pub fn submit(&self, request: SimRequest, done: Completion) -> Submitted {
+        let key = request.key();
+        if let Some(cached) = self.cache.get(key) {
+            return Submitted::Hit(cached);
+        }
+
+        let (flight, owner) = {
+            let mut inflight = self.inflight.lock().unwrap();
+            match inflight.get(&key) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Flight::new();
+                    inflight.insert(key, Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+
+        if !owner {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            flight.subscribe(Served::Coalesced, done);
+            return Submitted::Pending;
+        }
+
+        let job = Job {
+            key,
+            request,
+            flight: Arc::clone(&flight),
+        };
+        match self.queue.try_push(job) {
+            Ok(()) => {
+                flight.subscribe(Served::Fresh, done);
+                Submitted::Pending
+            }
+            Err((e, job)) => {
+                self.inflight.lock().unwrap().remove(&key);
+                let (err, outcome) = match e {
+                    PushError::Full => (ExecuteError::Busy, Submitted::Busy(job.request)),
+                    PushError::Closed => (ExecuteError::ShuttingDown, Submitted::ShuttingDown),
+                };
+                // Complete the dead flight so racing coalescers error out
+                // instead of waiting forever; the owner's own callback is
+                // NOT subscribed — the request came back instead.
+                job.flight.complete(Err(err));
+                drop(done);
+                outcome
+            }
+        }
     }
 
     fn worker_loop(&self) {

@@ -79,6 +79,39 @@ pub struct PlannedCell {
     pub request: Result<SimRequest, String>,
 }
 
+/// The echo coordinates of a cell, detached from its request — what a
+/// record line carries. The event loop holds these across the async gap
+/// between submitting a cell and its completion callback firing.
+#[derive(Debug, Clone)]
+pub struct CellMeta {
+    /// Flat index in expansion order.
+    pub index: usize,
+    /// Display name of the model axis entry.
+    pub model: String,
+    /// Canonical accelerator id (or the raw string if unresolvable).
+    pub accelerator: String,
+    /// Index into the config axis.
+    pub config: usize,
+    /// Weight-synthesis seed.
+    pub seed: u64,
+    /// Per-layer weight cap (post-clamp).
+    pub cap: usize,
+}
+
+impl PlannedCell {
+    /// This cell's echo coordinates.
+    pub fn meta(&self) -> CellMeta {
+        CellMeta {
+            index: self.index,
+            model: self.model.clone(),
+            accelerator: self.accelerator.clone(),
+            config: self.config,
+            seed: self.seed,
+            cap: self.cap,
+        }
+    }
+}
+
 impl SweepPlan {
     /// Decodes a `/sweep` body. `max_cap` is the server's bound on
     /// `max_weights_per_layer` (each cap entry is clamped, mirroring
@@ -335,6 +368,58 @@ pub fn run_streaming(
     }
 
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    out.write_all(summary_record(&tally, wall_ms).as_bytes())?;
+    out.flush()?;
+    Ok(tally)
+}
+
+/// The shared echo prefix of every record for a cell (unterminated — a
+/// result or error tail closes the object).
+fn cell_prefix(meta: &CellMeta) -> String {
+    format!(
+        "{{\"cell\":{},\"model\":{},\"accelerator\":{},\"config\":{},\
+         \"seed\":{},\"max_weights_per_layer\":{}",
+        meta.index,
+        Json::str(&meta.model),
+        Json::str(&meta.accelerator),
+        meta.config,
+        meta.seed,
+        meta.cap,
+    )
+}
+
+/// The NDJSON error record for a cell (newline included).
+pub fn error_record(meta: &CellMeta, message: &str) -> String {
+    format!("{},\"error\":{}}}\n", cell_prefix(meta), Json::str(message))
+}
+
+/// The NDJSON error record for a service-level failure, with the same
+/// wording the single-request path uses for each error class.
+pub fn execute_error_record(meta: &CellMeta, e: &ExecuteError) -> String {
+    match e {
+        ExecuteError::Busy => error_record(meta, "queue full, retry later"),
+        ExecuteError::ShuttingDown => error_record(meta, "shutting down"),
+        ExecuteError::Failed(msg) => error_record(meta, msg),
+    }
+}
+
+/// The NDJSON result record for a completed cell (newline included). The
+/// cached payload is spliced in verbatim (never re-encoded), so byte
+/// identity across hits and sweeps is structural.
+pub fn result_record(meta: &CellMeta, key: u64, served: Served, result_text: &str) -> String {
+    let label = match served {
+        Served::Hit => "cache",
+        Served::Coalesced => "coalesced",
+        Served::Fresh => "simulated",
+    };
+    format!(
+        "{},\"key\":\"{key:016x}\",\"served\":\"{label}\",\"result\":{result_text}}}\n",
+        cell_prefix(meta),
+    )
+}
+
+/// The trailing NDJSON summary record (newline included).
+pub fn summary_record(tally: &SweepTally, wall_ms: f64) -> String {
     let summary = Json::obj(vec![(
         "summary",
         Json::obj(vec![
@@ -347,54 +432,121 @@ pub fn run_streaming(
             ("wall_ms", Json::Num((wall_ms * 100.0).round() / 100.0)),
         ]),
     )]);
-    out.write_all(format!("{summary}\n").as_bytes())?;
-    out.flush()?;
-    Ok(tally)
+    format!("{summary}\n")
+}
+
+/// The per-connection sweep driver for the event loop: which cell goes
+/// next, how many are in flight, and the running tally. The loop pulls
+/// cells with [`take_next`](Self::take_next) while it has queue budget,
+/// submits them through the service's non-blocking path, and feeds
+/// completions back; record *formatting* goes through the same
+/// [`result_record`]/[`error_record`] helpers as the blocking
+/// [`run_streaming`], so both paths emit byte-identical lines.
+#[derive(Debug)]
+pub struct SweepStream {
+    plan: SweepPlan,
+    next: usize,
+    inflight: usize,
+    tally: SweepTally,
+    start: Instant,
+}
+
+impl SweepStream {
+    /// A stream at cell zero with an empty tally; the wall clock for the
+    /// summary record starts now.
+    pub fn new(plan: SweepPlan) -> SweepStream {
+        let cells = plan.cell_count();
+        SweepStream {
+            plan,
+            next: 0,
+            inflight: 0,
+            tally: SweepTally {
+                cells,
+                ..SweepTally::default()
+            },
+            start: Instant::now(),
+        }
+    }
+
+    /// The next unexpanded cell, advancing the cursor; `None` once every
+    /// cell has been handed out.
+    pub fn take_next(&mut self) -> Option<PlannedCell> {
+        if self.next >= self.tally.cells {
+            return None;
+        }
+        let cell = self.plan.cell(self.next);
+        self.next += 1;
+        Some(cell)
+    }
+
+    /// Whether every cell has been handed out (not necessarily finished).
+    pub fn all_submitted(&self) -> bool {
+        self.next >= self.tally.cells
+    }
+
+    /// Cells submitted but not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.inflight
+    }
+
+    /// Marks one cell as submitted to the service.
+    pub fn begin_flight(&mut self) {
+        self.inflight += 1;
+    }
+
+    /// Marks one submitted cell as completed.
+    pub fn end_flight(&mut self) {
+        debug_assert!(self.inflight > 0);
+        self.inflight -= 1;
+    }
+
+    /// Tallies a result record.
+    pub fn record_ok(&mut self, served: Served) {
+        self.tally.ok += 1;
+        match served {
+            Served::Hit => self.tally.cache_hits += 1,
+            Served::Coalesced => self.tally.coalesced += 1,
+            Served::Fresh => self.tally.simulated += 1,
+        }
+    }
+
+    /// Tallies an error record.
+    pub fn record_error(&mut self) {
+        self.tally.errors += 1;
+    }
+
+    /// Whether every cell has been handed out *and* completed — time for
+    /// the summary record.
+    pub fn is_done(&self) -> bool {
+        self.all_submitted() && self.inflight == 0
+    }
+
+    /// Renders the trailing summary from the running tally and the
+    /// stream's own wall clock.
+    pub fn summary_line(&self) -> String {
+        summary_record(&self.tally, self.start.elapsed().as_secs_f64() * 1e3)
+    }
+
+    /// The running tally.
+    pub fn tally(&self) -> SweepTally {
+        self.tally
+    }
 }
 
 /// Executes one cell and renders its NDJSON line (newline included).
 fn run_cell(service: &ServiceHandle, cell: PlannedCell) -> (String, CellClass) {
-    let prefix = format!(
-        "{{\"cell\":{},\"model\":{},\"accelerator\":{},\"config\":{},\
-         \"seed\":{},\"max_weights_per_layer\":{}",
-        cell.index,
-        Json::str(&cell.model),
-        Json::str(&cell.accelerator),
-        cell.config,
-        cell.seed,
-        cell.cap,
-    );
-    let error_line = |message: &str| {
-        (
-            format!("{prefix},\"error\":{}}}\n", Json::str(message)),
-            CellClass::Error,
-        )
-    };
+    let meta = cell.meta();
     let request = match cell.request {
         Ok(r) => r,
-        Err(message) => return error_line(&message),
+        Err(message) => return (error_record(&meta, &message), CellClass::Error),
     };
     let key = request.key();
     match service.execute(request) {
-        Ok((result_text, served)) => {
-            let label = match served {
-                Served::Hit => "cache",
-                Served::Coalesced => "coalesced",
-                Served::Fresh => "simulated",
-            };
-            // The cached payload is spliced in verbatim (never re-encoded),
-            // so byte identity across hits and sweeps is structural.
-            (
-                format!(
-                    "{prefix},\"key\":\"{key:016x}\",\"served\":\"{label}\",\
-                     \"result\":{result_text}}}\n"
-                ),
-                CellClass::Ok(served),
-            )
-        }
-        Err(ExecuteError::Busy) => error_line("queue full, retry later"),
-        Err(ExecuteError::ShuttingDown) => error_line("shutting down"),
-        Err(ExecuteError::Failed(e)) => error_line(&e),
+        Ok((result_text, served)) => (
+            result_record(&meta, key, served, &result_text),
+            CellClass::Ok(served),
+        ),
+        Err(e) => (execute_error_record(&meta, &e), CellClass::Error),
     }
 }
 

@@ -30,6 +30,7 @@ fn test_server() -> bbs_serve::server::ServerHandle {
             max_cap: 65536,
             ..ServiceConfig::default()
         },
+        ..ServeConfig::default()
     })
     .expect("bind ephemeral port")
 }

@@ -7,9 +7,12 @@
 //!   configs / seeds / caps;
 //! * sweep grids expand to cells whose job keys are stable across wire
 //!   field order / whitespace and collision-free across distinct cells,
-//!   with an unknown model mid-grid poisoning exactly its own cells.
+//!   with an unknown model mid-grid poisoning exactly its own cells;
+//! * the resumable HTTP parser is invariant under arbitrary chunk splits
+//!   of a pipelined request stream.
 
 use bbs_json::Json;
+use bbs_serve::http::RequestParser;
 use bbs_serve::registry::{accelerator_by_name, ACCELERATOR_IDS};
 use bbs_serve::request::SimRequest;
 use bbs_serve::service::{start, Served, ServiceConfig};
@@ -193,6 +196,77 @@ proptest! {
                 prop_assert!(cell.request.is_ok(), "cell {} should run", i);
             }
         }
+    }
+}
+
+/// Drains every complete request currently buffered in `parser`.
+fn drain_requests(parser: &mut RequestParser) -> Vec<(String, String, Vec<u8>)> {
+    let mut out = Vec::new();
+    while let Some(req) = parser.next_request().expect("well-formed stream") {
+        out.push((req.method, req.path, req.body));
+    }
+    out
+}
+
+proptest! {
+    /// The resumable parser is chunking-invariant: a pipelined byte stream
+    /// split at arbitrary points — the fragments a nonblocking socket hands
+    /// the event loop — parses to exactly the requests that feeding the
+    /// whole buffer at once produces.
+    #[test]
+    fn request_parsing_is_invariant_under_chunk_splits(
+        n_requests in 1usize..=5,
+        body_len in 0usize..=300,
+        // Split points as raw offsets; dedup/sort/clamp below.
+        raw_cuts in proptest::collection::vec(0usize..4096, 0..12),
+    ) {
+        let mut stream = Vec::new();
+        for i in 0..n_requests {
+            let body: String = (0..(body_len + 17 * i) % 301)
+                .map(|j| char::from(b'a' + ((i + j) % 26) as u8))
+                .collect();
+            if body.is_empty() && i % 2 == 0 {
+                stream.extend_from_slice(
+                    format!("GET /stats{i} HTTP/1.1\r\nhost: t\r\ncontent-length: 0\r\n\r\n")
+                        .as_bytes(),
+                );
+            } else {
+                stream.extend_from_slice(
+                    format!(
+                        "POST /simulate HTTP/1.1\r\nhost: t\r\nx-req: {i}\r\n\
+                         content-length: {}\r\n\r\n{body}",
+                        body.len()
+                    )
+                    .as_bytes(),
+                );
+            }
+        }
+
+        // Whole buffer in one feed.
+        let mut whole = RequestParser::new();
+        whole.feed(&stream);
+        let expected = drain_requests(&mut whole);
+        prop_assert_eq!(expected.len(), n_requests);
+        prop_assert!(whole.is_idle(), "no partial request may remain");
+
+        // Same bytes, split at arbitrary offsets, draining after every
+        // fragment (the event loop drains after every read).
+        let mut cuts: Vec<usize> = raw_cuts
+            .into_iter()
+            .map(|c| c % (stream.len() + 1))
+            .collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut chunked = RequestParser::new();
+        let mut got = Vec::new();
+        let mut prev = 0;
+        for cut in cuts.into_iter().chain(std::iter::once(stream.len())) {
+            chunked.feed(&stream[prev..cut]);
+            got.extend(drain_requests(&mut chunked));
+            prev = cut;
+        }
+        prop_assert_eq!(got, expected, "chunking changed the parse");
+        prop_assert!(chunked.is_idle());
     }
 }
 

@@ -5,13 +5,18 @@
 #
 # Also drives a short bbs-serve load run (self-hosted server, ephemeral
 # port: SERVE_REQUESTS unique requests cold, then the same again warm) and
-# writes the cold/warm latency + dedup counters to BENCH_serve.json.
+# writes the cold/warm latency + dedup counters to BENCH_serve.json, then an
+# open-loop keep-alive concurrency sweep (ASYNC_CONNECTIONS simultaneous
+# connections against the event loop) to BENCH_async.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SERVE_REQUESTS="${SERVE_REQUESTS:-8}"
 SERVE_CLIENTS="${SERVE_CLIENTS:-4}"
 SERVE_CAP="${SERVE_CAP:-2048}"
+ASYNC_CONNECTIONS="${ASYNC_CONNECTIONS:-64,256,1024}"
+ASYNC_ROUNDS="${ASYNC_ROUNDS:-16}"
+ASYNC_CAP="${ASYNC_CAP:-256}"
 
 cargo build --release --workspace --all-targets >&2
 
@@ -19,6 +24,11 @@ cargo build --release --workspace --all-targets >&2
     --requests "${SERVE_REQUESTS}" --clients "${SERVE_CLIENTS}" \
     --cap "${SERVE_CAP}" > BENCH_serve.json
 echo "wrote BENCH_serve.json (serve load: ${SERVE_REQUESTS} requests, ${SERVE_CLIENTS} clients)" >&2
+
+./target/release/serve_client --self-host \
+    --connections "${ASYNC_CONNECTIONS}" --rounds "${ASYNC_ROUNDS}" \
+    --cap "${ASYNC_CAP}" > BENCH_async.json
+echo "wrote BENCH_async.json (keep-alive sweep: ${ASYNC_CONNECTIONS} connections, ${ASYNC_ROUNDS} rounds)" >&2
 
 start=$(date +%s.%N)
 BBS_CAP=4096 ./target/release/repro > /dev/null

@@ -2,7 +2,9 @@
 //!
 //! ```sh
 //! bbs serve [--addr 127.0.0.1:8080] [--workers N] [--queue-depth N]
-//!           [--max-cap N]                 # run the simulation service
+//!           [--max-cap N] [--max-connections N] [--idle-timeout-ms N]
+//!           [--park-timeout-ms N] [--poller auto|epoll|poll]
+//!                                         # run the simulation service
 //! bbs sweep (--addr HOST:PORT | --self-host)
 //!           --models A,B --accelerators X,Y
 //!           [--seeds 7,8] [--caps 4096] [--pe-cols 16,32]
@@ -12,6 +14,7 @@
 //! ```
 
 use bbs::serve::client::Client;
+use bbs::serve::event_loop::PollerKind;
 use bbs::serve::server::{start, ServeConfig};
 use bbs::serve::service::ServiceConfig;
 use bbs::sim::json::array_config_to_json;
@@ -21,6 +24,8 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   bbs serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--max-cap N]
+            [--max-connections N] [--idle-timeout-ms N] [--park-timeout-ms N]
+            [--poller auto|epoll|poll]
   bbs sweep (--addr HOST:PORT | --self-host) --models A,B --accelerators X,Y
             [--seeds S,..] [--caps C,..] [--pe-cols P,..]
   bbs models
@@ -31,6 +36,10 @@ serve options:
   --workers N        simulation worker threads (default: CPU count, max 8)
   --queue-depth N    bounded job queue depth (default 64)
   --max-cap N        upper bound for max_weights_per_layer (default 65536)
+  --max-connections N  open-connection cap (default 1024)
+  --idle-timeout-ms N  idle keep-alive / slow-client reap deadline (default 120000)
+  --park-timeout-ms N  queue-full parking deadline; 0 = immediate 503 (default 10000)
+  --poller KIND        readiness backend: auto (default), epoll, poll
 
 sweep options (cells stream to stdout as NDJSON, summary record last):
   --addr HOST:PORT   sweep against a running bbs-serve instance
@@ -73,6 +82,7 @@ fn serve(args: &[String]) -> ExitCode {
     let mut config = ServeConfig {
         addr: "127.0.0.1:8080".to_string(),
         service: ServiceConfig::default(),
+        ..ServeConfig::default()
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -86,6 +96,21 @@ fn serve(args: &[String]) -> ExitCode {
             ("--workers", Ok(n)) if n > 0 => config.service.workers = n,
             ("--queue-depth", Ok(n)) if n > 0 => config.service.queue_depth = n,
             ("--max-cap", Ok(n)) if n > 0 => config.service.max_cap = n,
+            ("--max-connections", Ok(n)) if n > 0 => config.max_connections = n,
+            ("--idle-timeout-ms", Ok(n)) if n > 0 => {
+                config.idle_timeout = std::time::Duration::from_millis(n as u64)
+            }
+            // 0 is meaningful here: park nothing, 503 immediately.
+            ("--park-timeout-ms", Ok(n)) => {
+                config.park_timeout = std::time::Duration::from_millis(n as u64)
+            }
+            ("--poller", _) => match PollerKind::from_flag(value) {
+                Some(kind) => config.poller = kind,
+                None => {
+                    eprintln!("bbs serve: --poller must be auto, epoll or poll\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
             _ => {
                 eprintln!("bbs serve: bad argument '{flag} {value}'\n{USAGE}");
                 return ExitCode::FAILURE;
@@ -101,10 +126,11 @@ fn serve(args: &[String]) -> ExitCode {
         }
     };
     println!(
-        "bbs-serve listening on http://{} ({} workers, queue depth {})",
+        "bbs-serve listening on http://{} ({} workers, queue depth {}, {} event loop)",
         server.addr(),
         config.service.workers,
-        config.service.queue_depth
+        config.service.queue_depth,
+        server.backend()
     );
     println!("routes: POST /simulate /sweep · GET /stats /healthz /models /accelerators");
 
