@@ -118,15 +118,21 @@ impl Interest {
     };
 }
 
-/// What a fd was ready for. Errors and hangups fold into `readable` (and
-/// `writable` when write interest was registered): the next read observes
-/// the EOF/error and the connection winds down through the normal path.
+/// What a fd was ready for. Errors and hangups fold into `readable` and
+/// `writable` (the next read/write observes the EOF/error and the
+/// connection winds down through the normal path) and are also reported
+/// as `hangup`, because ERR/HUP is level-triggered *regardless of the
+/// interest set* — a consumer with no read or write interest needs the
+/// flag to avoid spinning on a condition it never drains.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Readiness {
     /// Readable (or errored/hung up).
     pub readable: bool,
     /// Writable (or errored/hung up).
     pub writable: bool,
+    /// The fd reported `POLLERR`/`POLLHUP` (delivered even when the
+    /// interest set is empty).
+    pub hangup: bool,
 }
 
 /// Readiness-backend selection.
@@ -226,6 +232,7 @@ impl EpollBackend {
                 Readiness {
                     readable: bits & EPOLLIN != 0 || edge,
                     writable: bits & EPOLLOUT != 0 || edge,
+                    hangup: edge,
                 },
             ));
         }
@@ -290,6 +297,7 @@ impl PollBackend {
                 Readiness {
                     readable: bits & sys::POLLIN != 0 || edge,
                     writable: bits & sys::POLLOUT != 0 || edge,
+                    hangup: edge,
                 },
             ));
         }
@@ -440,7 +448,17 @@ impl Waker {
 pub fn waker_pair() -> io::Result<(Waker, TcpStream)> {
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let tx = TcpStream::connect(listener.local_addr()?)?;
-    let (rx, _) = listener.accept()?;
+    let local = tx.local_addr()?;
+    // The ephemeral listener is reachable by any local process, so accept
+    // until the peer is our own tx half — pairing rx with a stranger
+    // would silently eat every wakeup. tx's connect has completed, so the
+    // matching socket is already in the backlog and the loop terminates.
+    let rx = loop {
+        let (rx, peer) = listener.accept()?;
+        if peer == local {
+            break rx;
+        }
+    };
     tx.set_nonblocking(true)?;
     tx.set_nodelay(true)?;
     rx.set_nonblocking(true)?;
@@ -459,6 +477,10 @@ pub struct LoopOptions {
     /// How long a queue-full connection stays parked before degrading to
     /// 503 + `Retry-After`. Zero parks nothing (immediate 503).
     pub park_timeout: Duration,
+    /// Out-buffer high-water mark: stop parsing new requests (and pause
+    /// sweep cell submission) once this many response bytes are buffered,
+    /// resuming as writes drain.
+    pub high_water: usize,
     /// Readiness backend selection.
     pub poller: PollerKind,
 }
@@ -471,9 +493,6 @@ const FIRST_CONN_TOKEN: u64 = 2;
 /// enforced to this granularity (a coarse scan, not a timer wheel — at
 /// these connection counts a full sweep is microseconds).
 const TICK: Duration = Duration::from_millis(100);
-/// Stop parsing new requests once this many response bytes are buffered;
-/// sweeps also pause cell submission above it (resumes as writes drain).
-const HIGH_WATER: usize = 256 * 1024;
 /// Per-read scratch size.
 const READ_CHUNK: usize = 16 * 1024;
 /// Stop reading a connection whose parser has buffered this much without
@@ -672,9 +691,10 @@ impl EventLoop {
             };
             events.clear();
             if let Err(e) = self.poller.wait(&mut events, timeout) {
-                // A broken poller cannot be served around; park briefly to
-                // avoid a hot spin, then retry (next stop still works).
-                debug_assert!(false, "poller wait failed: {e}");
+                // A runtime I/O failure, not an invariant violation: log,
+                // park briefly to avoid a hot spin, and retry (stop still
+                // works — the next iteration re-reads the flag).
+                eprintln!("bbs-serve: poller wait failed: {e}");
                 std::thread::sleep(TICK);
             }
 
@@ -809,6 +829,21 @@ impl EventLoop {
                 }
             }
         }
+        if ready.hangup {
+            // ERR/HUP is level-triggered even with an empty interest set
+            // (a client that RSTs while its request is Waiting or Parked).
+            // With no read or write interest nothing below can consume the
+            // condition and the loop would spin hot on it; the peer is
+            // gone either way, so drop the connection — its in-flight
+            // completion finds the token missing and is discarded.
+            let Some(conn) = self.conns.get(&token) else {
+                return;
+            };
+            if !conn.interest.read && !conn.interest.write {
+                self.remove_conn(token);
+                return;
+            }
+        }
         self.advance(token);
     }
 
@@ -819,8 +854,9 @@ impl EventLoop {
     /// stimulus. Iterative, not recursive: each outer round requires a
     /// dispatched request, which consumes parser bytes, so it terminates.
     fn advance(&mut self, token: u64) {
+        let high_water = self.opts.high_water;
         loop {
-            let mut dispatched = false;
+            let mut progressed = false;
             loop {
                 let request = {
                     let Some(conn) = self.conns.get_mut(&token) else {
@@ -829,7 +865,7 @@ impl EventLoop {
                     if !matches!(conn.state, ConnState::Ready) {
                         break;
                     }
-                    if conn.out_pending() >= HIGH_WATER {
+                    if conn.out_pending() >= high_water {
                         break;
                     }
                     match conn.parser.next_request() {
@@ -867,12 +903,31 @@ impl EventLoop {
                     }
                 };
                 self.dispatch(token, request);
-                dispatched = true;
+                progressed = true;
             }
             if !self.flush_conn(token) {
                 return; // connection closed
             }
-            if !dispatched {
+            // A sweep that paused at the high-water mark only resumes
+            // here: the flush above is the one place buffered bytes drain,
+            // and completions alone cannot restart a stream whose last
+            // in-flight cell finished while the buffer was full. Re-pump
+            // whenever the drain opened budget; new records need another
+            // flush round, so this folds into the progress loop.
+            let sweeping = self.conns.get(&token).is_some_and(|conn| {
+                matches!(conn.state, ConnState::Sweeping { .. }) && conn.out_pending() < high_water
+            });
+            if sweeping {
+                let before = self.conns[&token].out.len();
+                self.pump_sweep(token);
+                let Some(conn) = self.conns.get(&token) else {
+                    return;
+                };
+                if conn.out.len() != before || !matches!(conn.state, ConnState::Sweeping { .. }) {
+                    progressed = true;
+                }
+            }
+            if !progressed {
                 break;
             }
         }
@@ -968,6 +1023,7 @@ impl EventLoop {
     /// exactly the records the blocking path produced.
     fn pump_sweep(&mut self, token: u64) {
         let workers = self.shared.service.service().workers().max(1);
+        let high_water = self.opts.high_water;
         loop {
             let Some(conn) = self.conns.get_mut(&token) else {
                 return;
@@ -975,7 +1031,7 @@ impl EventLoop {
             let ConnState::Sweeping { stream } = &mut conn.state else {
                 return;
             };
-            if conn.out.len() - conn.out_pos >= HIGH_WATER
+            if conn.out.len() - conn.out_pos >= high_water
                 || stream.in_flight() >= workers
                 || stream.all_submitted()
             {
@@ -1086,10 +1142,10 @@ impl EventLoop {
                         stream.record_error();
                     }
                 }
-                self.pump_sweep(token);
-                if self.flush_conn(token) {
-                    self.update_interest(token);
-                }
+                // `advance` flushes, re-pumps as the drain opens budget
+                // (the record above may already sit past the high-water
+                // mark), and refreshes interest.
+                self.advance(token);
             }
         }
     }
@@ -1310,7 +1366,7 @@ impl EventLoop {
         let want = Interest {
             read: !conn.read_closed
                 && matches!(conn.state, ConnState::Ready)
-                && conn.out_pending() < HIGH_WATER,
+                && conn.out_pending() < self.opts.high_water,
             write: conn.out_pending() > 0,
         };
         if want != conn.interest {

@@ -52,6 +52,10 @@ pub const IDLE_TIMEOUT: Duration = Duration::from_secs(120);
 /// slot before its connection gets the `503` it would previously have
 /// gotten immediately.
 pub const PARK_TIMEOUT: Duration = Duration::from_secs(10);
+/// Default out-buffer high-water mark: a connection stops parsing new
+/// requests (and a sweep pauses cell submission) once this many response
+/// bytes are buffered, resuming as writes drain.
+pub const HIGH_WATER: usize = 256 * 1024;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -67,6 +71,9 @@ pub struct ServeConfig {
     /// How long queue-full requests stay parked before a 503;
     /// `Duration::ZERO` restores the old fail-fast behavior.
     pub park_timeout: Duration,
+    /// Out-buffer high-water mark per connection (see [`HIGH_WATER`]).
+    /// Mostly a sizing/test knob; the default suits production.
+    pub high_water: usize,
     /// Readiness backend (`Auto` = epoll on Linux, `poll(2)` elsewhere).
     pub poller: PollerKind,
 }
@@ -79,6 +86,7 @@ impl Default for ServeConfig {
             max_connections: MAX_CONNECTIONS,
             idle_timeout: IDLE_TIMEOUT,
             park_timeout: PARK_TIMEOUT,
+            high_water: HIGH_WATER,
             poller: PollerKind::Auto,
         }
     }
@@ -125,6 +133,7 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         max_connections: config.max_connections,
         idle_timeout: config.idle_timeout,
         park_timeout: config.park_timeout,
+        high_water: config.high_water,
         poller: config.poller,
     };
     let event_loop = EventLoop::new(listener, Arc::clone(&shared), opts, waker.clone(), waker_rx)?;

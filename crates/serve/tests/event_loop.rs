@@ -360,6 +360,32 @@ fn zero_park_timeout_fails_fast_with_retry_after() {
 }
 
 #[test]
+fn sweep_paused_at_the_high_water_mark_always_resumes() {
+    // A high-water mark smaller than any NDJSON record forces the sweep
+    // pump to pause after every append, so the stream only finishes if
+    // the writable-drain path re-pumps it. Regression test for a stall
+    // where the final in-flight cell completed while the out-buffer was
+    // above the mark and nothing ever re-pumped: the remaining cells were
+    // never submitted and the client hung until its read timeout.
+    let server = server_with(|c| {
+        c.high_water = 1;
+        c.service.workers = 1;
+    });
+    let body = "{\"models\":[\"ViT-Small\"],\"accelerators\":[\"stripes\",\"bitwave\"],\
+                \"seeds\":[11,12],\"max_weights_per_layer\":[64]}";
+    let client = Client::connect_with_timeout(server.addr(), Duration::from_secs(30)).unwrap();
+    let (status, lines) = client.sweep(body).unwrap();
+    assert_eq!(status, 200);
+    let lines = lines.collect_lines().expect("stream stalled before EOF");
+    assert_eq!(lines.len(), 5, "4 cell records + summary: {lines:?}");
+    let summary = Json::parse(lines.last().unwrap()).unwrap();
+    let summary = summary.get("summary").expect("trailing summary record");
+    assert_eq!(summary.get("cells").and_then(Json::as_u64), Some(4));
+    assert_eq!(summary.get("ok").and_then(Json::as_u64), Some(4));
+    server.stop();
+}
+
+#[test]
 fn poll_backend_serves_identically() {
     let server = server_with(|c| c.poller = PollerKind::Poll);
     assert_eq!(server.backend(), "poll");
