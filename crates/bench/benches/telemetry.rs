@@ -1,0 +1,86 @@
+//! Criterion benchmarks of the telemetry hot path — the per-request
+//! costs `bbs-serve` pays now that every exchange records stage
+//! histograms, mints a trace id and (at debug level) emits a span
+//! record. These bound the serving-path overhead: the histogram record
+//! is a handful of atomic adds, the trace id one fetch-add plus a
+//! SplitMix64 scramble, and a filtered-out log line a single atomic
+//! load.
+
+use bbs_telemetry::{next_trace_id, trace_hex, Format, Histogram, Level, Logger, Value};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_hot_path(c: &mut Criterion) {
+    // The full per-request recording burden: one histogram record per
+    // serving stage (parse, queue, lower, sim, ser, total) plus the
+    // trace id mint — what a cache-hot `/simulate` pays end to end.
+    let stages: Vec<Histogram> = (0..6).map(|_| Histogram::new()).collect();
+    c.bench_function("telemetry/hot_path", |b| {
+        b.iter(|| {
+            let id = next_trace_id();
+            for (i, h) in stages.iter().enumerate() {
+                h.record(black_box(37 + i as u64 * 91));
+            }
+            black_box(id)
+        })
+    });
+
+    c.bench_function("telemetry/hist_record", |b| {
+        let h = Histogram::new();
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(black_box(v >> 34))
+        })
+    });
+
+    c.bench_function("telemetry/hist_snapshot_p99", |b| {
+        let h = Histogram::new();
+        for i in 0..10_000u64 {
+            h.record(i * 7 % 50_000);
+        }
+        b.iter(|| black_box(h.snapshot().percentile(0.99)))
+    });
+
+    c.bench_function("telemetry/trace_id_mint", |b| {
+        b.iter(|| black_box(next_trace_id()))
+    });
+
+    c.bench_function("telemetry/trace_hex", |b| {
+        let id = next_trace_id();
+        b.iter(|| black_box(trace_hex(black_box(id))))
+    });
+}
+
+fn bench_logger(c: &mut Criterion) {
+    // `quiet: true` keeps benchmark output clean; the ring buffer and
+    // level filter still do their full work.
+    let logger = Logger::new(Level::Info, Format::Json, true);
+    c.bench_function("telemetry/log_filtered_out", |b| {
+        // The common case in production: a debug-level span record
+        // dropped by the level check — one atomic load.
+        b.iter(|| {
+            logger.debug(
+                "span",
+                &[
+                    ("trace", Value::Str("00000000deadbeef")),
+                    ("total_us", Value::U64(black_box(412))),
+                ],
+            )
+        })
+    });
+    c.bench_function("telemetry/log_emitted_json", |b| {
+        b.iter(|| {
+            logger.info(
+                "request",
+                &[
+                    ("trace", Value::Str("00000000deadbeef")),
+                    ("route", Value::Str("/simulate")),
+                    ("total_us", Value::U64(black_box(412))),
+                ],
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_hot_path, bench_logger);
+criterion_main!(benches);

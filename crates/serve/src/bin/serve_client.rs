@@ -28,6 +28,7 @@ use bbs_serve::client::Client;
 use bbs_serve::request::SimRequest;
 use bbs_serve::server::{start, ServeConfig};
 use bbs_serve::service::{self, ServiceConfig};
+use bbs_telemetry::{Format, Histogram, Level, Logger, Value};
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::process::ExitCode;
@@ -89,7 +90,7 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--help" | "-h" => {
-                eprintln!(
+                println!(
                     "usage: serve_client (--self-host | --addr HOST:PORT) [--sweep] \
                      [--requests N] [--clients C] [--cap CAP] [--warm-mult M]\n       \
                      serve_client (--self-host | --addr HOST:PORT) --connections N,.. \
@@ -283,6 +284,87 @@ fn serve_thread_count() -> Option<usize> {
     Some(count)
 }
 
+/// The per-stage timing keys a `x-bbs-trace` response header carries,
+/// in header order (`id=` and `served=` precede them).
+const TRACE_STAGES: [&str; 7] = [
+    "parse_us", "queue_us", "lower_us", "sim_us", "ser_us", "park_us", "total_us",
+];
+
+/// Client-side aggregation for one concurrency point: a log-linear
+/// histogram of observed latencies plus one histogram per server-side
+/// stage parsed out of the `x-bbs-trace` response headers. Shared across
+/// the connection threads (the histograms are lock-free).
+struct TraceAgg {
+    /// Client-observed round-trip latency, µs.
+    latency: Histogram,
+    /// Server-reported per-stage timings, µs, indexed like [`TRACE_STAGES`].
+    stages: [Histogram; TRACE_STAGES.len()],
+    /// Requests whose response carried a parseable trace header.
+    traced: Histogram,
+}
+
+impl TraceAgg {
+    fn new() -> TraceAgg {
+        TraceAgg {
+            latency: Histogram::new(),
+            stages: std::array::from_fn(|_| Histogram::new()),
+            traced: Histogram::new(),
+        }
+    }
+    /// Folds one `x-bbs-trace` header (`id=..;served=..;parse_us=..;...`)
+    /// into the per-stage histograms. Unknown keys are ignored so the
+    /// client keeps working against newer servers.
+    fn record_trace(&self, header: &str) {
+        let mut any = false;
+        for part in header.split(';') {
+            let Some((key, value)) = part.split_once('=') else {
+                continue;
+            };
+            let Some(idx) = TRACE_STAGES.iter().position(|s| *s == key) else {
+                continue;
+            };
+            if let Ok(v) = value.parse::<u64>() {
+                self.stages[idx].record(v);
+                any = true;
+            }
+        }
+        if any {
+            self.traced.record(1);
+        }
+    }
+
+    /// `{count, p50_us, p90_us, p99_us, max_us, mean_us}` for one histogram.
+    fn hist_json(h: &Histogram) -> Json {
+        let s = h.snapshot();
+        Json::obj(vec![
+            ("count", Json::from_u64(s.count)),
+            ("p50_us", Json::from_u64(s.percentile(0.50))),
+            ("p90_us", Json::from_u64(s.percentile(0.90))),
+            ("p99_us", Json::from_u64(s.percentile(0.99))),
+            ("max_us", Json::from_u64(s.max)),
+            ("mean_us", Json::Num(round2(s.mean()))),
+        ])
+    }
+
+    /// The full-resolution client latency distribution.
+    fn latency_json(&self) -> Json {
+        TraceAgg::hist_json(&self.latency)
+    }
+
+    /// Per-stage server timings; stages the server never reported (e.g.
+    /// `lower_us` on an all-hot cache) are omitted.
+    fn stages_json(&self) -> Json {
+        let mut fields = Vec::new();
+        for (name, hist) in TRACE_STAGES.iter().zip(&self.stages) {
+            if hist.count() > 0 {
+                fields.push((*name, TraceAgg::hist_json(hist)));
+            }
+        }
+        fields.push(("traced_requests", Json::from_u64(self.traced.count())));
+        Json::obj(fields)
+    }
+}
+
 /// One concurrency point: `conns` keep-alive connections opened up front
 /// (barrier), each issuing `rounds` requests back-to-back. Any non-200 or
 /// payload mismatch fails the whole point.
@@ -296,11 +378,13 @@ fn run_connections_point(
     // All connections connect, then start together; the main thread joins
     // the barrier too, so the wall clock starts when the flood does.
     let barrier = Arc::new(Barrier::new(conns + 1));
+    let agg = Arc::new(TraceAgg::new());
     let handles: Vec<_> = (0..conns)
         .map(|c| {
             let bodies = Arc::clone(bodies);
             let barrier = Arc::clone(&barrier);
             let expected = expected.clone();
+            let agg = Arc::clone(&agg);
             std::thread::Builder::new()
                 .stack_size(128 * 1024)
                 .spawn(move || -> Result<Vec<f64>, String> {
@@ -312,7 +396,12 @@ fn run_connections_point(
                         let t = Instant::now();
                         let (status, response) =
                             client.simulate(body).map_err(|e| e.to_string())?;
-                        latencies.push(t.elapsed().as_secs_f64() * 1e3);
+                        let elapsed = t.elapsed();
+                        latencies.push(elapsed.as_secs_f64() * 1e3);
+                        agg.latency.record(elapsed.as_micros() as u64);
+                        if let Some(header) = client.response_header("x-bbs-trace") {
+                            agg.record_trace(header);
+                        }
                         if status != 200 {
                             return Err(format!("request failed: {status} {response}"));
                         }
@@ -353,6 +442,8 @@ fn run_connections_point(
         ("p50_ms", Json::Num(round2(percentile(&latencies, 0.5)))),
         ("p95_ms", Json::Num(round2(percentile(&latencies, 0.95)))),
         ("p99_ms", Json::Num(round2(percentile(&latencies, 0.99)))),
+        ("latency_hist", agg.latency_json()),
+        ("server_stages_us", agg.stages_json()),
     ]))
 }
 
@@ -442,10 +533,12 @@ fn round2(v: f64) -> f64 {
 }
 
 fn main() -> ExitCode {
+    // Human-first tool: text logs on stderr, JSON summary on stdout.
+    let log = Logger::new(Level::Info, Format::Text, false);
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("serve_client: {e}");
+            log.error("bad arguments", &[("error", Value::Str(&e))]);
             return ExitCode::FAILURE;
         }
     };
@@ -461,7 +554,10 @@ fn main() -> ExitCode {
         match start(config) {
             Ok(s) => Some(s),
             Err(e) => {
-                eprintln!("serve_client: failed to start server: {e}");
+                log.error(
+                    "failed to start server",
+                    &[("error", Value::Str(&e.to_string()))],
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -473,7 +569,7 @@ fn main() -> ExitCode {
         None => match args.addr.as_deref().unwrap().parse() {
             Ok(a) => a,
             Err(e) => {
-                eprintln!("serve_client: bad --addr: {e}");
+                log.error("bad --addr", &[("error", Value::Str(&e.to_string()))]);
                 return ExitCode::FAILURE;
             }
         },
@@ -541,7 +637,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("serve_client: {e}");
+            log.error("bench failed", &[("error", Value::Str(&e))]);
             ExitCode::FAILURE
         }
     };

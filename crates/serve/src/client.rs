@@ -112,11 +112,13 @@ impl Client {
         )?;
         self.writer.flush()?;
         let (status, content_length) = self.read_head()?;
+        let trace = self.response_header("x-bbs-trace").map(str::to_string);
         Ok((
             status,
             SweepLines {
                 reader: self.reader,
                 sized: content_length,
+                trace,
             },
         ))
     }
@@ -222,12 +224,20 @@ pub struct SweepLines {
     /// `Some(len)` for a sized (non-streamed) error body, `None` for the
     /// EOF-framed NDJSON stream.
     sized: Option<usize>,
+    /// The stream's `x-bbs-trace` header (`id=<16 hex>`), if present.
+    trace: Option<String>,
 }
 
 impl SweepLines {
     /// Collects the remaining lines (empty lines dropped).
     pub fn collect_lines(self) -> io::Result<Vec<String>> {
         self.collect()
+    }
+
+    /// The sweep stream's `x-bbs-trace` header value, if the server sent
+    /// one — the trace id covers every cell of this sweep.
+    pub fn trace_header(&self) -> Option<&str> {
+        self.trace.as_deref()
     }
 }
 

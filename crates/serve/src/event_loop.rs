@@ -29,11 +29,17 @@
 //! header-drippers (the deadline anchors at the *first* byte of a request,
 //! so dripping cannot refresh it), and stalled writers.
 
-use crate::http::{write_response_ext, write_stream_head, Request, RequestParser, MAX_BODY};
+use crate::http::{
+    write_response_ext, write_response_typed, write_stream_head_ext, Request, RequestParser,
+    MAX_BODY,
+};
 use crate::request::SimRequest;
 use crate::server::{error_body, route_request, simulate_ok_body, RouteOutcome, Shared};
-use crate::service::{ExecuteError, Served, Submitted};
+use crate::service::{ExecuteError, Served, Submitted, Timing};
 use crate::sweep::{error_record, execute_error_record, result_record, CellMeta, SweepStream};
+use crate::telemetry::Telemetry;
+use bbs_telemetry::trace::{next_trace_id, trace_hex};
+use bbs_telemetry::Value;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -506,14 +512,45 @@ enum Done {
     Simulate {
         token: u64,
         key: u64,
-        outcome: Result<(Arc<str>, Served), ExecuteError>,
+        outcome: Result<(Arc<str>, Served, Timing), ExecuteError>,
     },
     SweepCell {
         token: u64,
         meta: CellMeta,
         key: u64,
-        outcome: Result<(Arc<str>, Served), ExecuteError>,
+        outcome: Result<(Arc<str>, Served, Timing), ExecuteError>,
     },
+}
+
+/// Per-request trace state, minted when the request is dispatched and
+/// consumed when its response is buffered. One per connection suffices:
+/// parsing pauses while a `/simulate` is in flight, and a `/sweep` owns
+/// the connection until EOF.
+#[derive(Debug, Clone, Copy)]
+struct TraceCtx {
+    id: u64,
+    /// Time `next_request` spent producing this request (µs).
+    parse_us: u64,
+    /// Total time spent parked on a full queue (µs).
+    park_us: u64,
+    /// When dispatch began (end-to-end anchor).
+    dispatched: Instant,
+}
+
+impl TraceCtx {
+    fn new(parse_us: u64) -> TraceCtx {
+        TraceCtx {
+            id: next_trace_id(),
+            parse_us,
+            park_us: 0,
+            dispatched: Instant::now(),
+        }
+    }
+
+    /// End-to-end µs: parse time plus everything since dispatch.
+    fn total_us(&self) -> u64 {
+        self.parse_us + self.dispatched.elapsed().as_micros() as u64
+    }
 }
 
 /// What a connection is waiting for.
@@ -552,6 +589,11 @@ struct Conn {
     idle_since: Instant,
     /// A write returned `WouldBlock` here and no progress since.
     write_stalled_since: Option<Instant>,
+    /// Trace of the request currently in flight (`Waiting`, `Parked`, or
+    /// `Sweeping`).
+    trace: Option<TraceCtx>,
+    /// When the out-buffer last went nonempty (write-flush attribution).
+    flush_started: Option<Instant>,
 }
 
 impl Conn {
@@ -568,6 +610,8 @@ impl Conn {
             request_started: None,
             idle_since: Instant::now(),
             write_stalled_since: None,
+            trace: None,
+            flush_started: None,
         }
     }
 
@@ -579,13 +623,77 @@ impl Conn {
 /// Renders a response into the connection's write buffer (`Vec<u8>` never
 /// fails as a writer).
 fn append_response(conn: &mut Conn, status: u16, body: &str, close: bool, retry_after: bool) {
-    let extra: &[(&str, &str)] = if retry_after {
-        &[("retry-after", "1")]
-    } else {
-        &[]
-    };
-    let _ = write_response_ext(&mut conn.out, status, body, close, extra);
+    append_response_full(
+        conn,
+        status,
+        "application/json",
+        body,
+        close,
+        retry_after,
+        None,
+    );
+}
+
+/// [`append_response`] with a content type and an optional `x-bbs-trace`
+/// header value.
+fn append_response_full(
+    conn: &mut Conn,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    close: bool,
+    retry_after: bool,
+    trace_header: Option<&str>,
+) {
+    let mut extra: Vec<(&str, &str)> = Vec::with_capacity(2);
+    if retry_after {
+        extra.push(("retry-after", "1"));
+    }
+    if let Some(t) = trace_header {
+        extra.push(("x-bbs-trace", t));
+    }
+    let _ = write_response_typed(&mut conn.out, status, content_type, body, close, &extra);
     conn.idle_since = Instant::now();
+}
+
+/// A static label for the span log's `route` field (bounded cardinality:
+/// unknown paths collapse to `other`).
+fn route_label(path: &str) -> &'static str {
+    match path {
+        "/simulate" => "/simulate",
+        "/sweep" => "/sweep",
+        "/stats" => "/stats",
+        "/metrics" => "/metrics",
+        "/logs/tail" => "/logs/tail",
+        "/healthz" => "/healthz",
+        "/models" => "/models",
+        "/accelerators" => "/accelerators",
+        _ => "other",
+    }
+}
+
+/// Records a finished request into the stage histograms + span log and
+/// returns `(trace hex, x-bbs-trace header value)`.
+fn finish_trace(
+    telemetry: &Telemetry,
+    ctx: &TraceCtx,
+    route: &'static str,
+    served: &'static str,
+    timing: Timing,
+) -> (String, String) {
+    let hex = trace_hex(ctx.id);
+    let total_us = ctx.total_us();
+    telemetry.record_request(
+        &hex,
+        route,
+        served,
+        ctx.parse_us,
+        ctx.park_us,
+        timing,
+        total_us,
+    );
+    let header = Telemetry::trace_header(&hex, served, ctx.parse_us, ctx.park_us, timing, total_us);
+    (hex, header)
 }
 
 fn sim_completion(
@@ -690,12 +798,27 @@ impl EventLoop {
                 None
             };
             events.clear();
+            let wait_started = Instant::now();
             if let Err(e) = self.poller.wait(&mut events, timeout) {
                 // A runtime I/O failure, not an invariant violation: log,
                 // park briefly to avoid a hot spin, and retry (stop still
                 // works — the next iteration re-reads the flag).
-                eprintln!("bbs-serve: poller wait failed: {e}");
+                self.shared.telemetry.logger.error(
+                    "poller wait failed",
+                    &[("error", Value::Str(&e.to_string()))],
+                );
                 std::thread::sleep(TICK);
+            }
+            let turn_started = Instant::now();
+            self.shared
+                .telemetry
+                .poll_wait_us
+                .record(turn_started.duration_since(wait_started).as_micros() as u64);
+            if !events.is_empty() {
+                self.shared
+                    .telemetry
+                    .ready_events
+                    .record(events.len() as u64);
             }
 
             let mut accept_ready = false;
@@ -728,6 +851,11 @@ impl EventLoop {
                     break;
                 }
             }
+
+            self.shared
+                .telemetry
+                .turn_us
+                .record(turn_started.elapsed().as_micros() as u64);
         }
     }
 
@@ -858,7 +986,7 @@ impl EventLoop {
         loop {
             let mut progressed = false;
             loop {
-                let request = {
+                let (request, parse_us) = {
                     let Some(conn) = self.conns.get_mut(&token) else {
                         return;
                     };
@@ -868,11 +996,14 @@ impl EventLoop {
                     if conn.out_pending() >= high_water {
                         break;
                     }
+                    let parse_started = Instant::now();
                     match conn.parser.next_request() {
                         Ok(Some(request)) => {
+                            let parse_us = parse_started.elapsed().as_micros() as u64;
+                            self.shared.telemetry.parse_us.record(parse_us);
                             conn.request_started = None;
                             conn.idle_since = Instant::now();
-                            request
+                            (request, parse_us)
                         }
                         Ok(None) => {
                             if conn.read_closed && !conn.parser.is_idle() {
@@ -902,7 +1033,7 @@ impl EventLoop {
                         }
                     }
                 };
-                self.dispatch(token, request);
+                self.dispatch(token, request, parse_us);
                 progressed = true;
             }
             if !self.flush_conn(token) {
@@ -934,9 +1065,11 @@ impl EventLoop {
         self.update_interest(token);
     }
 
-    fn dispatch(&mut self, token: u64, request: Request) {
+    fn dispatch(&mut self, token: u64, request: Request, parse_us: u64) {
         let stopping = self.shared.stopping.load(Ordering::SeqCst);
         let close = request.wants_close() || stopping;
+        let ctx = TraceCtx::new(parse_us);
+        let route = route_label(&request.path);
         let outcome = route_request(&request, &self.shared);
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
@@ -945,11 +1078,28 @@ impl EventLoop {
             RouteOutcome::Respond {
                 status,
                 body,
+                content_type,
                 retry_after,
                 close_conn,
             } => {
                 let close_now = close || close_conn;
-                append_response(conn, status, &body, close_now, retry_after);
+                let (hex, header) = finish_trace(
+                    &self.shared.telemetry,
+                    &ctx,
+                    route,
+                    "inline",
+                    Timing::default(),
+                );
+                let _ = hex;
+                append_response_full(
+                    conn,
+                    status,
+                    content_type,
+                    &body,
+                    close_now,
+                    retry_after,
+                    Some(&header),
+                );
                 if close_now {
                     conn.state = ConnState::Closing;
                     conn.close_after_flush = true;
@@ -959,12 +1109,21 @@ impl EventLoop {
                 let completion = sim_completion(&self.done_tx, &self.waker, token, key);
                 match self.shared.service.service().submit(request, completion) {
                     Submitted::Hit(bytes) => {
-                        append_response(
+                        let (_, header) = finish_trace(
+                            &self.shared.telemetry,
+                            &ctx,
+                            route,
+                            "cache",
+                            Timing::default(),
+                        );
+                        append_response_full(
                             conn,
                             200,
+                            "application/json",
                             &simulate_ok_body(key, Served::Hit, &bytes),
                             close,
                             false,
+                            Some(&header),
                         );
                         if close {
                             conn.state = ConnState::Closing;
@@ -972,22 +1131,33 @@ impl EventLoop {
                         }
                     }
                     Submitted::Pending => {
+                        conn.trace = Some(ctx);
                         conn.state = ConnState::Waiting { close };
                     }
                     Submitted::Busy(request) => {
                         if self.opts.park_timeout.is_zero() {
-                            append_response(
+                            let (_, header) = finish_trace(
+                                &self.shared.telemetry,
+                                &ctx,
+                                route,
+                                "busy",
+                                Timing::default(),
+                            );
+                            append_response_full(
                                 conn,
                                 503,
+                                "application/json",
                                 &error_body("queue full, retry later"),
                                 close,
                                 true,
+                                Some(&header),
                             );
                             if close {
                                 conn.state = ConnState::Closing;
                                 conn.close_after_flush = true;
                             }
                         } else {
+                            conn.trace = Some(ctx);
                             conn.state = ConnState::Parked {
                                 request: Box::new(request),
                                 close,
@@ -1008,7 +1178,16 @@ impl EventLoop {
             }
             RouteOutcome::Sweep { plan } => {
                 // NDJSON stream: EOF-framed, always ends the connection.
-                let _ = write_stream_head(&mut conn.out, 200, "application/x-ndjson");
+                // The trace id rides the stream head; the span is recorded
+                // when the stream finishes (see `pump_sweep`).
+                let id_header = format!("id={}", trace_hex(ctx.id));
+                let _ = write_stream_head_ext(
+                    &mut conn.out,
+                    200,
+                    "application/x-ndjson",
+                    &[("x-bbs-trace", &id_header)],
+                );
+                conn.trace = Some(ctx);
                 conn.state = ConnState::Sweeping {
                     stream: Box::new(SweepStream::new(plan)),
                 };
@@ -1084,6 +1263,17 @@ impl EventLoop {
                 conn.out.extend_from_slice(summary.as_bytes());
                 conn.state = ConnState::Closing;
                 conn.close_after_flush = true;
+                if let Some(ctx) = conn.trace.take() {
+                    // End of stream: fold the whole sweep into one span
+                    // (per-cell stage timings were recorded by the workers).
+                    finish_trace(
+                        &self.shared.telemetry,
+                        &ctx,
+                        "/sweep",
+                        "stream",
+                        Timing::default(),
+                    );
+                }
             }
         }
     }
@@ -1101,13 +1291,48 @@ impl EventLoop {
                 let ConnState::Waiting { close } = conn.state else {
                     return;
                 };
-                let (status, body, retry_after) = match outcome {
-                    Ok((bytes, served)) => (200, simulate_ok_body(key, served, &bytes), false),
-                    Err(ExecuteError::Busy) => (503, error_body("queue full, retry later"), true),
-                    Err(ExecuteError::ShuttingDown) => (503, error_body("shutting down"), true),
-                    Err(ExecuteError::Failed(e)) => (500, error_body(&e), false),
+                let (status, body, retry_after, served, timing) = match outcome {
+                    Ok((bytes, served, timing)) => (
+                        200,
+                        simulate_ok_body(key, served, &bytes),
+                        false,
+                        match served {
+                            Served::Hit => "cache",
+                            Served::Coalesced => "coalesced",
+                            Served::Fresh => "simulated",
+                        },
+                        timing,
+                    ),
+                    Err(ExecuteError::Busy) => (
+                        503,
+                        error_body("queue full, retry later"),
+                        true,
+                        "busy",
+                        Timing::default(),
+                    ),
+                    Err(ExecuteError::ShuttingDown) => (
+                        503,
+                        error_body("shutting down"),
+                        true,
+                        "shutdown",
+                        Timing::default(),
+                    ),
+                    Err(ExecuteError::Failed(e)) => {
+                        (500, error_body(&e), false, "failed", Timing::default())
+                    }
                 };
-                append_response(conn, status, &body, close, retry_after);
+                let header = conn.trace.take().map(|ctx| {
+                    finish_trace(&self.shared.telemetry, &ctx, "/simulate", served, timing).1
+                });
+                append_response_full(
+                    conn,
+                    status,
+                    "application/json",
+                    &body,
+                    close,
+                    retry_after,
+                    header.as_deref(),
+                );
                 if close {
                     conn.state = ConnState::Closing;
                     conn.close_after_flush = true;
@@ -1130,7 +1355,10 @@ impl EventLoop {
                 };
                 stream.end_flight();
                 match outcome {
-                    Ok((bytes, served)) => {
+                    // The cell's stage timings already landed in the global
+                    // histograms inside the worker; the NDJSON record stays
+                    // byte-identical to the pre-telemetry format.
+                    Ok((bytes, served, _timing)) => {
                         conn.out.extend_from_slice(
                             result_record(&meta, key, served, &bytes).as_bytes(),
                         );
@@ -1172,15 +1400,29 @@ impl EventLoop {
                 unreachable!()
             };
             let key = request.key();
+            let parked_us = since.elapsed().as_micros() as u64;
             let completion = sim_completion(&self.done_tx, &self.waker, token, key);
             match self.shared.service.service().submit(*request, completion) {
                 Submitted::Hit(bytes) => {
-                    append_response(
+                    let header = conn.trace.take().map(|mut ctx| {
+                        ctx.park_us = parked_us;
+                        finish_trace(
+                            &self.shared.telemetry,
+                            &ctx,
+                            "/simulate",
+                            "cache",
+                            Timing::default(),
+                        )
+                        .1
+                    });
+                    append_response_full(
                         conn,
                         200,
+                        "application/json",
                         &simulate_ok_body(key, Served::Hit, &bytes),
                         close,
                         false,
+                        header.as_deref(),
                     );
                     if close {
                         conn.state = ConnState::Closing;
@@ -1188,6 +1430,9 @@ impl EventLoop {
                     }
                 }
                 Submitted::Pending => {
+                    if let Some(ctx) = conn.trace.as_mut() {
+                        ctx.park_us = parked_us;
+                    }
                     conn.state = ConnState::Waiting { close };
                 }
                 Submitted::Busy(request) => {
@@ -1200,7 +1445,26 @@ impl EventLoop {
                     break;
                 }
                 Submitted::ShuttingDown => {
-                    append_response(conn, 503, &error_body("shutting down"), true, true);
+                    let header = conn.trace.take().map(|mut ctx| {
+                        ctx.park_us = parked_us;
+                        finish_trace(
+                            &self.shared.telemetry,
+                            &ctx,
+                            "/simulate",
+                            "shutdown",
+                            Timing::default(),
+                        )
+                        .1
+                    });
+                    append_response_full(
+                        conn,
+                        503,
+                        "application/json",
+                        &error_body("shutting down"),
+                        true,
+                        true,
+                        header.as_deref(),
+                    );
                     conn.state = ConnState::Closing;
                     conn.close_after_flush = true;
                 }
@@ -1271,10 +1535,30 @@ impl EventLoop {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
-        if !matches!(conn.state, ConnState::Parked { .. }) {
+        let ConnState::Parked { since, .. } = &conn.state else {
             return;
-        }
-        append_response(conn, 503, &error_body(message), true, true);
+        };
+        let since = *since;
+        let header = conn.trace.take().map(|mut ctx| {
+            ctx.park_us = since.elapsed().as_micros() as u64;
+            finish_trace(
+                &self.shared.telemetry,
+                &ctx,
+                "/simulate",
+                "park-expired",
+                Timing::default(),
+            )
+            .1
+        });
+        append_response_full(
+            conn,
+            503,
+            "application/json",
+            &error_body(message),
+            true,
+            true,
+            header.as_deref(),
+        );
         conn.state = ConnState::Closing;
         conn.close_after_flush = true;
         self.shared
@@ -1310,6 +1594,15 @@ impl EventLoop {
         let Some(conn) = self.conns.get_mut(&token) else {
             return false;
         };
+        if conn.out_pending() > 0 {
+            self.shared
+                .telemetry
+                .out_depth
+                .record(conn.out_pending() as u64);
+            if conn.flush_started.is_none() {
+                conn.flush_started = Some(Instant::now());
+            }
+        }
         let mut dead = false;
         while conn.out_pos < conn.out.len() {
             match conn.stream.write(&conn.out[conn.out_pos..]) {
@@ -1338,6 +1631,12 @@ impl EventLoop {
             conn.out.clear();
             conn.out_pos = 0;
             conn.write_stalled_since = None;
+            if let Some(started) = conn.flush_started.take() {
+                self.shared
+                    .telemetry
+                    .flush_us
+                    .record(started.elapsed().as_micros() as u64);
+            }
         }
         let flushed = conn.out_pending() == 0;
         if dead || (flushed && conn.close_after_flush) {

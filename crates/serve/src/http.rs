@@ -349,10 +349,24 @@ pub fn write_response_ext<W: Write>(
     close: bool,
     extra: &[(&str, &str)],
 ) -> io::Result<()> {
+    write_response_typed(stream, status, "application/json", body, close, extra)
+}
+
+/// [`write_response_ext`] with an explicit content type (`/metrics` is
+/// `text/plain`, `/logs/tail` is NDJSON).
+pub fn write_response_typed<W: Write>(
+    stream: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    close: bool,
+    extra: &[(&str, &str)],
+) -> io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
         status,
         reason(status),
+        content_type,
         body.len(),
     );
     for (name, value) in extra {
@@ -387,13 +401,31 @@ pub fn write_stream_head<W: Write>(
     status: u16,
     content_type: &str,
 ) -> io::Result<()> {
-    write!(
-        stream,
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\nconnection: close\r\n\r\n",
+    write_stream_head_ext(stream, status, content_type, &[])
+}
+
+/// [`write_stream_head`] with additional header lines (the `/sweep`
+/// stream's `x-bbs-trace`).
+pub fn write_stream_head_ext<W: Write>(
+    stream: &mut W,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, &str)],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\n",
         status,
         reason(status),
         content_type
-    )?;
+    );
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("connection: close\r\n\r\n");
+    write!(stream, "{head}")?;
     stream.flush()
 }
 

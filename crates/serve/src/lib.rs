@@ -65,9 +65,11 @@ pub mod request;
 pub mod server;
 pub mod service;
 pub mod sweep;
+pub mod telemetry;
 
 pub use cache::ShardedCache;
 pub use request::SimRequest;
 pub use server::{start, ServeConfig, ServerHandle};
 pub use service::{ServiceConfig, SimService};
 pub use sweep::{SweepPlan, MAX_SWEEP_CELLS};
+pub use telemetry::Telemetry;

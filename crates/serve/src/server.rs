@@ -7,7 +7,9 @@
 //! |--------------------|--------|-------------------------------------------|
 //! | `/simulate`        | POST   | simulation request → result + meta        |
 //! | `/sweep`           | POST   | grid spec → NDJSON cell stream + summary  |
-//! | `/stats`           | GET    | hit/miss/coalesce/run/sweep counters      |
+//! | `/stats`           | GET    | counters + latency summaries + uptime     |
+//! | `/metrics`         | GET    | Prometheus text exposition                |
+//! | `/logs/tail`       | GET    | recent log events (bounded NDJSON ring)   |
 //! | `/healthz`         | GET    | liveness                                  |
 //! | `/models`          | GET    | zoo model names                           |
 //! | `/accelerators`    | GET    | canonical accelerator ids                 |
@@ -29,14 +31,20 @@ use crate::registry::ACCELERATOR_IDS;
 use crate::request::SimRequest;
 use crate::service::{self, Served, ServiceConfig, SimService};
 use crate::sweep::SweepPlan;
+use crate::telemetry::Telemetry;
 use bbs_json::Json;
 use bbs_models::zoo;
+use bbs_telemetry::prom::PromText;
+use bbs_telemetry::{Format, Level, Logger, Value};
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Default slow-request threshold (`--slow-ms`).
+pub const SLOW_MS: u64 = 500;
 
 /// Default cap on simultaneously open connections; beyond it, new sockets
 /// are answered 503 + `Retry-After` and closed. Each connection past the
@@ -76,6 +84,16 @@ pub struct ServeConfig {
     pub high_water: usize,
     /// Readiness backend (`Auto` = epoll on Linux, `poll(2)` elsewhere).
     pub poller: PollerKind,
+    /// Log level filter (`--log-level`).
+    pub log_level: Level,
+    /// Stderr log rendering (`--log-format`).
+    pub log_format: Format,
+    /// Suppress stderr logging (tests/benches; the `/logs/tail` ring still
+    /// records).
+    pub log_quiet: bool,
+    /// Requests slower than this many milliseconds log at `warn`
+    /// (`--slow-ms`).
+    pub slow_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -88,12 +106,17 @@ impl Default for ServeConfig {
             park_timeout: PARK_TIMEOUT,
             high_water: HIGH_WATER,
             poller: PollerKind::Auto,
+            log_level: Level::Info,
+            log_format: Format::Json,
+            log_quiet: false,
+            slow_ms: SLOW_MS,
         }
     }
 }
 
 pub(crate) struct Shared {
     pub(crate) service: Arc<service::ServiceHandle>,
+    pub(crate) telemetry: Arc<Telemetry>,
     pub(crate) requests: AtomicU64,
     pub(crate) sweeps: AtomicU64,
     pub(crate) sweep_cells: AtomicU64,
@@ -117,8 +140,13 @@ pub struct ServerHandle {
 pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    let telemetry = Arc::new(Telemetry::new(
+        Logger::new(config.log_level, config.log_format, config.log_quiet),
+        config.slow_ms,
+    ));
     let shared = Arc::new(Shared {
-        service: Arc::new(service::start(config.service)),
+        service: Arc::new(service::start_with(config.service, Arc::clone(&telemetry))),
+        telemetry,
         requests: AtomicU64::new(0),
         sweeps: AtomicU64::new(0),
         sweep_cells: AtomicU64::new(0),
@@ -142,6 +170,13 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         .name("bbs-serve-loop".to_string())
         .spawn(move || event_loop.run())
         .expect("spawn event loop");
+    shared.telemetry.logger.info(
+        "server started",
+        &[
+            ("addr", Value::Str(&addr.to_string())),
+            ("backend", Value::Str(backend)),
+        ],
+    );
 
     Ok(ServerHandle {
         addr,
@@ -163,10 +198,17 @@ impl ServerHandle {
         self.backend
     }
 
+    /// The server's shared telemetry (histograms, logger, slow-request
+    /// counter) — the same instance `GET /metrics` renders.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.shared.telemetry
+    }
+
     /// Stops accepting, lets in-flight exchanges finish (bounded by the
     /// loop's grace period), then drains queued simulations and joins the
     /// workers.
     pub fn stop(self) {
+        self.shared.telemetry.logger.info("server stopping", &[]);
         self.shared.stopping.store(true, Ordering::SeqCst);
         self.waker.wake();
         let _ = self.event_loop.join();
@@ -181,6 +223,9 @@ pub(crate) enum RouteOutcome {
     Respond {
         status: u16,
         body: String,
+        /// Response content type (`application/json` for everything except
+        /// `/metrics` and `/logs/tail`).
+        content_type: &'static str,
         /// Attach `Retry-After` (503 backpressure answers).
         retry_after: bool,
         /// Force `Connection: close` regardless of what the request asked.
@@ -213,6 +258,20 @@ pub(crate) fn route_request(request: &Request, shared: &Shared) -> RouteOutcome 
             sweep_route(&request.body, shared)
         }
         ("GET", "/stats") => respond(200, stats_body(shared)),
+        ("GET", "/metrics") => RouteOutcome::Respond {
+            status: 200,
+            body: metrics_body(shared),
+            content_type: "text/plain; version=0.0.4",
+            retry_after: false,
+            close_conn: false,
+        },
+        ("GET", "/logs/tail") => RouteOutcome::Respond {
+            status: 200,
+            body: logs_tail_body(shared),
+            content_type: "application/x-ndjson",
+            retry_after: false,
+            close_conn: false,
+        },
         ("GET", "/healthz") => respond(
             200,
             Json::obj(vec![("status", Json::str("ok"))]).to_string(),
@@ -242,6 +301,7 @@ fn respond(status: u16, body: String) -> RouteOutcome {
     RouteOutcome::Respond {
         status,
         body,
+        content_type: "application/json",
         retry_after: false,
         close_conn: false,
     }
@@ -281,6 +341,7 @@ fn sweep_route(body: &[u8], shared: &Shared) -> RouteOutcome {
             return RouteOutcome::Respond {
                 status: 400,
                 body: error_body(&e),
+                content_type: "application/json",
                 retry_after: false,
                 close_conn: true,
             }
@@ -313,9 +374,116 @@ pub(crate) fn simulate_ok_body(key: u64, served: Served, result_text: &str) -> S
     format!("{{\"meta\":{meta},\"result\":{result_text}}}")
 }
 
+/// The `GET /metrics` Prometheus exposition: service/connection counters
+/// plus every stage histogram from the shared [`Telemetry`].
+fn metrics_body(shared: &Shared) -> String {
+    let service: &Arc<SimService> = shared.service.service();
+    let store = service.workload_store();
+    let mut p = PromText::new();
+    p.counter(
+        "bbs_requests_total",
+        "POST /simulate and /sweep requests routed.",
+        shared.requests.load(Ordering::Relaxed),
+    );
+    p.counter_vec(
+        "bbs_cache_lookups_total",
+        "Result-cache lookups by outcome.",
+        "outcome",
+        &[
+            ("hit", service.cache.hits()),
+            ("miss", service.cache.misses()),
+        ],
+    );
+    p.counter(
+        "bbs_coalesced_total",
+        "Requests that joined an in-flight computation.",
+        service.coalesced(),
+    );
+    p.counter(
+        "bbs_sim_runs_total",
+        "Simulations actually executed.",
+        service.sim_runs(),
+    );
+    p.counter(
+        "bbs_sim_errors_total",
+        "Simulations that failed.",
+        service.errors(),
+    );
+    p.counter(
+        "bbs_sweeps_total",
+        "Sweep plans accepted.",
+        shared.sweeps.load(Ordering::Relaxed),
+    );
+    p.counter(
+        "bbs_sweep_cells_total",
+        "Sweep cells accepted.",
+        shared.sweep_cells.load(Ordering::Relaxed),
+    );
+    p.counter_vec(
+        "bbs_workload_lookups_total",
+        "Workload-store (lowered model) lookups by outcome.",
+        "outcome",
+        &[("hit", store.hits()), ("miss", store.misses())],
+    );
+    p.gauge(
+        "bbs_workload_entries",
+        "Lowered models currently cached.",
+        store.entries() as f64,
+    );
+    p.gauge(
+        "bbs_workload_bytes",
+        "Approximate bytes of cached lowered models.",
+        store.bytes() as f64,
+    );
+    p.gauge(
+        "bbs_cached_results",
+        "Serialized results currently cached.",
+        service.cache.len() as f64,
+    );
+    p.gauge(
+        "bbs_queue_depth",
+        "Jobs currently in the bounded queue.",
+        service.queued() as f64,
+    );
+    p.gauge("bbs_workers", "Worker-pool size.", service.workers() as f64);
+    p.gauge(
+        "bbs_connections_open",
+        "Connections currently open.",
+        shared.connections_open.load(Ordering::SeqCst) as f64,
+    );
+    p.gauge(
+        "bbs_connections_peak",
+        "Most connections ever simultaneously open.",
+        shared.connections_peak.load(Ordering::SeqCst) as f64,
+    );
+    p.gauge(
+        "bbs_connections_parked",
+        "Connections currently parked on a full queue.",
+        shared.connections_parked.load(Ordering::SeqCst) as f64,
+    );
+    shared.telemetry.append_prometheus(&mut p);
+    p.finish()
+}
+
+/// The `GET /logs/tail` body: the logger ring as NDJSON, oldest first.
+fn logs_tail_body(shared: &Shared) -> String {
+    let lines = shared
+        .telemetry
+        .logger
+        .tail(shared.telemetry.logger.ring_capacity());
+    let mut body = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+    for line in lines {
+        body.push_str(&line);
+        body.push('\n');
+    }
+    body
+}
+
 fn stats_body(shared: &Shared) -> String {
     let service: &Arc<SimService> = shared.service.service();
     Json::obj(vec![
+        ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+        ("uptime_s", Json::Num(shared.telemetry.uptime_seconds())),
         (
             "requests",
             Json::from_u64(shared.requests.load(Ordering::Relaxed)),
@@ -368,6 +536,11 @@ fn stats_body(shared: &Shared) -> String {
             "connections_parked",
             Json::from_usize(shared.connections_parked.load(Ordering::SeqCst)),
         ),
+        (
+            "slow_requests",
+            Json::from_u64(shared.telemetry.slow_requests.load(Ordering::Relaxed)),
+        ),
+        ("latency_us", shared.telemetry.latency_json()),
     ])
     .to_string()
 }

@@ -23,14 +23,18 @@ use crate::cache::ShardedCache;
 use crate::queue::{Bounded, PushError};
 use crate::registry::accelerator_by_name;
 use crate::request::SimRequest;
-use bbs_sim::engine::simulate_with;
+use crate::telemetry::Telemetry;
+use bbs_sim::engine::simulate_with_recorder;
 use bbs_sim::json::sim_result_to_json;
 use bbs_sim::store::WorkloadStore;
+use bbs_sim::trace::{Recorder, Stage};
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Sizing knobs for the service.
 #[derive(Debug, Clone)]
@@ -94,10 +98,27 @@ pub enum ExecuteError {
     Failed(String),
 }
 
+/// Worker-side stage timings for one computed result (all microseconds).
+/// Coalesced subscribers observe the owning flight's timing — the work
+/// happened once, so the breakdown is shared. Hit paths carry a default
+/// (all-zero) timing: nothing past the cache probe ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Timing {
+    /// Enqueue → worker pop.
+    pub queue_us: u64,
+    /// `lower_model` wall time (zero on a workload-store hit).
+    pub lower_us: u64,
+    /// Cycle-accurate simulation.
+    pub sim_us: u64,
+    /// Result JSON serialization.
+    pub ser_us: u64,
+}
+
 /// A caller's completion callback for [`SimService::submit`]. Invoked
 /// exactly once, from whichever thread completes the flight (a worker, or
 /// the submitter itself on an immediate hit/failure path).
-pub type Completion = Box<dyn FnOnce(Result<(Arc<str>, Served), ExecuteError>) + Send + 'static>;
+pub type Completion =
+    Box<dyn FnOnce(Result<(Arc<str>, Served, Timing), ExecuteError>) + Send + 'static>;
 
 /// Immediate outcome of a non-blocking [`SimService::submit`].
 pub enum Submitted {
@@ -125,7 +146,7 @@ pub enum Submitted {
 /// immediately — the worker may finish between a caller's in-flight probe
 /// and its subscribe.
 struct FlightState {
-    result: Option<Result<Arc<str>, ExecuteError>>,
+    result: Option<Result<(Arc<str>, Timing), ExecuteError>>,
     subscribers: Vec<(Served, Completion)>,
 }
 
@@ -145,7 +166,7 @@ impl Flight {
         })
     }
 
-    fn complete(&self, r: Result<Arc<str>, ExecuteError>) {
+    fn complete(&self, r: Result<(Arc<str>, Timing), ExecuteError>) {
         let subscribers = {
             let mut state = self.state.lock().unwrap();
             state.result = Some(r.clone());
@@ -155,7 +176,7 @@ impl Flight {
         // Callbacks run outside the lock: they re-enter the service
         // (resubmits, stats) and must not deadlock against subscribe().
         for (served, cb) in subscribers {
-            cb(r.clone().map(|bytes| (bytes, served)));
+            cb(r.clone().map(|(bytes, timing)| (bytes, served, timing)));
         }
     }
 
@@ -171,11 +192,11 @@ impl Flight {
             }
         };
         if let Some(r) = done {
-            cb(r.map(|bytes| (bytes, served)));
+            cb(r.map(|(bytes, timing)| (bytes, served, timing)));
         }
     }
 
-    fn wait(&self) -> Result<Arc<str>, ExecuteError> {
+    fn wait(&self) -> Result<(Arc<str>, Timing), ExecuteError> {
         let mut guard = self.state.lock().unwrap();
         loop {
             if let Some(r) = guard.result.as_ref() {
@@ -190,6 +211,8 @@ struct Job {
     key: u64,
     request: SimRequest,
     flight: Arc<Flight>,
+    /// When the job entered the queue (queue-wait attribution).
+    enqueued: Instant,
 }
 
 /// Shared state of the simulation service.
@@ -206,6 +229,8 @@ pub struct SimService {
     coalesced: AtomicU64,
     errors: AtomicU64,
     config: ServiceConfig,
+    /// Stage histograms + logger, shared with the front end.
+    telemetry: Arc<Telemetry>,
 }
 
 /// The running service: shared state plus the worker threads.
@@ -216,8 +241,15 @@ pub struct ServiceHandle {
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
-/// Spawns the worker pool and returns the service handle.
+/// Spawns the worker pool with default (standalone) telemetry.
 pub fn start(config: ServiceConfig) -> ServiceHandle {
+    start_with(config, Arc::new(Telemetry::default()))
+}
+
+/// Spawns the worker pool recording stage timings into `telemetry` —
+/// the server passes its shared instance so worker-side stages land in
+/// the same histograms `GET /metrics` renders.
+pub fn start_with(config: ServiceConfig, telemetry: Arc<Telemetry>) -> ServiceHandle {
     assert!(config.workers > 0, "need at least one worker");
     let service = Arc::new(SimService {
         cache: ShardedCache::new(config.cache_shards, config.cache_entries),
@@ -228,6 +260,7 @@ pub fn start(config: ServiceConfig) -> ServiceHandle {
         coalesced: AtomicU64::new(0),
         errors: AtomicU64::new(0),
         config: config.clone(),
+        telemetry,
     });
     let workers = (0..config.workers)
         .map(|i| {
@@ -323,13 +356,14 @@ impl SimService {
 
         if !owner {
             self.coalesced.fetch_add(1, Ordering::Relaxed);
-            return flight.wait().map(|r| (r, Served::Coalesced));
+            return flight.wait().map(|(r, _)| (r, Served::Coalesced));
         }
 
         let job = Job {
             key,
             request,
             flight: Arc::clone(&flight),
+            enqueued: Instant::now(),
         };
         if let Err((e, job)) = self.queue.try_push(job) {
             // Nobody will ever complete this flight — unregister it so
@@ -342,7 +376,7 @@ impl SimService {
             job.flight.complete(Err(err.clone()));
             return Err(err);
         }
-        flight.wait().map(|r| (r, Served::Fresh))
+        flight.wait().map(|(r, _)| (r, Served::Fresh))
     }
 
     /// Non-blocking twin of [`execute`](Self::execute): same decision tree
@@ -383,6 +417,7 @@ impl SimService {
             key,
             request,
             flight: Arc::clone(&flight),
+            enqueued: Instant::now(),
         };
         match self.queue.try_push(job) {
             Ok(()) => {
@@ -407,18 +442,39 @@ impl SimService {
 
     fn worker_loop(&self) {
         while let Some(job) = self.queue.pop() {
+            let queue_us = job.enqueued.elapsed().as_micros() as u64;
+            self.telemetry.queue_us.record(queue_us);
             // Double-check: the result may have been cached between the
             // caller's miss and this pop (see module docs).
             let outcome = match self.cache.peek(job.key) {
-                Some(cached) => Ok(cached),
+                Some(cached) => Ok((
+                    cached,
+                    Timing {
+                        queue_us,
+                        ..Timing::default()
+                    },
+                )),
                 None => self
                     .run_simulation(&job.request)
-                    .map(|text| {
+                    .map(|(text, mut timing)| {
                         let text: Arc<str> = Arc::from(text.as_str());
                         self.cache.insert(job.key, Arc::clone(&text));
-                        text
+                        timing.queue_us = queue_us;
+                        (text, timing)
                     })
-                    .map_err(ExecuteError::Failed),
+                    .map_err(|e| {
+                        self.telemetry.logger.error(
+                            "simulation failed",
+                            &[
+                                (
+                                    "key",
+                                    bbs_telemetry::Value::Str(&format!("{:016x}", job.key)),
+                                ),
+                                ("error", bbs_telemetry::Value::Str(&e)),
+                            ],
+                        );
+                        ExecuteError::Failed(e)
+                    }),
             };
             if outcome.is_err() {
                 self.errors.fetch_add(1, Ordering::Relaxed);
@@ -431,22 +487,28 @@ impl SimService {
         }
     }
 
-    fn run_simulation(&self, request: &SimRequest) -> Result<String, String> {
+    fn run_simulation(&self, request: &SimRequest) -> Result<(String, Timing), String> {
         let accel = accelerator_by_name(request.accelerator)
             .ok_or_else(|| format!("accelerator '{}' vanished", request.accelerator))?;
+        // Captures lower/sim wall time from the engine's recorder hooks;
+        // `Cell` suffices because each worker records into its own capture.
+        let capture = StageCapture::default();
         // Serialization is inside the guard too: its exact-integer
         // assertions are unreachable for validated requests, but a panic
         // here must fail the request, not kill the worker.
-        let text = catch_unwind(AssertUnwindSafe(|| {
-            let sim = simulate_with(
+        let (text, ser_us) = catch_unwind(AssertUnwindSafe(|| {
+            let sim = simulate_with_recorder(
                 &self.workloads,
                 accel.as_ref(),
                 &request.model,
                 &request.config,
                 request.seed,
                 request.max_weights_per_layer,
+                &capture,
             );
-            sim_result_to_json(&sim).to_string()
+            let ser_started = Instant::now();
+            let text = sim_result_to_json(&sim).to_string();
+            (text, ser_started.elapsed().as_micros() as u64)
         }))
         .map_err(|panic| {
             let msg = panic
@@ -457,7 +519,34 @@ impl SimService {
             format!("simulation failed: {msg}")
         })?;
         self.sim_runs.fetch_add(1, Ordering::Relaxed);
-        Ok(text)
+        let timing = Timing {
+            queue_us: 0, // filled by the worker loop
+            lower_us: capture.lower_us.get(),
+            sim_us: capture.sim_us.get(),
+            ser_us,
+        };
+        if timing.lower_us > 0 {
+            self.telemetry.lower_us.record(timing.lower_us);
+        }
+        self.telemetry.sim_us.record(timing.sim_us);
+        self.telemetry.ser_us.record(ser_us);
+        Ok((text, timing))
+    }
+}
+
+/// Captures the engine's per-stage timings for one simulation run.
+#[derive(Default)]
+struct StageCapture {
+    lower_us: Cell<u64>,
+    sim_us: Cell<u64>,
+}
+
+impl Recorder for StageCapture {
+    fn record(&self, stage: Stage, micros: u64) {
+        match stage {
+            Stage::Lower => self.lower_us.set(micros),
+            Stage::Simulate => self.sim_us.set(micros),
+        }
     }
 }
 

@@ -1,0 +1,267 @@
+//! End-to-end tests of the observability surface: `/metrics` renders
+//! valid Prometheus text exposition, every response carries a unique
+//! `x-bbs-trace` id with per-stage timings, `/logs/tail` stays bounded
+//! under load, and `/stats` reports histogram summaries. Runs a real
+//! TCP server on an ephemeral port, like `integration.rs`.
+
+use bbs_json::Json;
+use bbs_serve::client::Client;
+use bbs_serve::server::{start, ServeConfig};
+use bbs_serve::service::ServiceConfig;
+use bbs_telemetry::Level;
+use std::collections::HashSet;
+
+const BODY: &str = "{\"model\":\"ViT-Small\",\"accelerator\":\"stripes\",\
+                    \"seed\":7,\"max_weights_per_layer\":256}";
+
+fn test_server() -> bbs_serve::server::ServerHandle {
+    start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        service: ServiceConfig {
+            workers: 2,
+            queue_depth: 16,
+            ..ServiceConfig::default()
+        },
+        // Quiet + debug: exercise the span-record path (ring buffer
+        // included) without spamming test stderr.
+        log_level: Level::Debug,
+        log_quiet: true,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+/// Splits a trace header `id=..;served=..;parse_us=..;...` into pairs.
+fn trace_fields(header: &str) -> Vec<(&str, &str)> {
+    header
+        .split(';')
+        .filter_map(|p| p.split_once('='))
+        .collect()
+}
+
+#[test]
+fn every_simulate_response_carries_a_unique_trace_id() {
+    let server = test_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let mut seen = HashSet::new();
+    for round in 0..8 {
+        let (status, _) = client.simulate(BODY).unwrap();
+        assert_eq!(status, 200);
+        let header = client
+            .response_header("x-bbs-trace")
+            .expect("every /simulate response carries x-bbs-trace")
+            .to_string();
+        let fields = trace_fields(&header);
+        let id = fields
+            .iter()
+            .find(|(k, _)| *k == "id")
+            .map(|(_, v)| v.to_string())
+            .expect("trace header has an id");
+        assert_eq!(id.len(), 16, "trace id is 16 hex chars: {header}");
+        assert!(id.chars().all(|c| c.is_ascii_hexdigit()), "{header}");
+        assert!(seen.insert(id), "trace ids must be unique: {header}");
+        // Round 0 is a cold miss (simulated), the rest are cache hits —
+        // both carry stage timings.
+        let served = fields.iter().find(|(k, _)| *k == "served").unwrap().1;
+        if round == 0 {
+            assert_eq!(served, "simulated", "{header}");
+            for stage in ["queue_us", "sim_us", "ser_us"] {
+                let v: u64 = fields
+                    .iter()
+                    .find(|(k, _)| *k == stage)
+                    .unwrap_or_else(|| panic!("{stage} missing: {header}"))
+                    .1
+                    .parse()
+                    .unwrap();
+                assert!(v < 600_000_000, "{stage} implausible: {header}");
+            }
+        } else {
+            assert_eq!(served, "cache", "{header}");
+        }
+        let total: u64 = fields
+            .iter()
+            .find(|(k, _)| *k == "total_us")
+            .expect("total_us present")
+            .1
+            .parse()
+            .unwrap();
+        assert!(total > 0, "total_us should be positive: {header}");
+    }
+    server.stop();
+}
+
+#[test]
+fn error_responses_carry_trace_ids_too() {
+    let server = test_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let (status, _) = client.simulate("{\"model\":\"nope\"}").unwrap();
+    assert_eq!(status, 400);
+    let header = client
+        .response_header("x-bbs-trace")
+        .expect("400s are traced too");
+    assert!(header.starts_with("id="), "{header}");
+    server.stop();
+}
+
+#[test]
+fn sweep_stream_carries_a_trace_id() {
+    let server = test_server();
+    let client = Client::connect(server.addr()).unwrap();
+    let body = "{\"models\":[\"ViT-Small\"],\"accelerators\":[\"stripes\"],\
+                \"seeds\":[7],\"max_weights_per_layer\":[256]}";
+    let (status, lines) = client.sweep(body).unwrap();
+    assert_eq!(status, 200);
+    let header = lines
+        .trace_header()
+        .expect("sweep stream carries x-bbs-trace")
+        .to_string();
+    assert!(header.starts_with("id="), "{header}");
+    assert_eq!(header.len(), "id=".len() + 16, "{header}");
+    // The stream body is unchanged by tracing: cells + summary parse.
+    let collected = lines.collect_lines().unwrap();
+    assert!(collected.last().unwrap().contains("\"summary\""));
+    server.stop();
+}
+
+#[test]
+fn metrics_endpoint_is_valid_prometheus_exposition() {
+    let server = test_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let (status, _) = client.simulate(BODY).unwrap();
+    assert_eq!(status, 200);
+    let (status, _) = client.simulate(BODY).unwrap(); // a cache hit
+    assert_eq!(status, 200);
+
+    let (status, text) = client.get("/metrics").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        client.response_header("content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+
+    let mut helped: HashSet<&str> = HashSet::new();
+    let mut typed: HashSet<&str> = HashSet::new();
+    let mut samples = 0usize;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            helped.insert(rest.split_whitespace().next().unwrap());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().unwrap();
+            let kind = it.next().unwrap();
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "bad TYPE: {line}"
+            );
+            typed.insert(name);
+            continue;
+        }
+        // Sample line: `name{labels} value` or `name value`.
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("malformed sample line: {line}");
+        });
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf",
+            "non-numeric sample value: {line}"
+        );
+        let name = series.split('{').next().unwrap();
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|b| typed.contains(b))
+            .unwrap_or(name);
+        assert!(typed.contains(base), "sample without TYPE: {line}");
+        assert!(helped.contains(base), "sample without HELP: {line}");
+        samples += 1;
+    }
+    assert!(samples > 10, "suspiciously few samples:\n{text}");
+
+    for required in [
+        "bbs_requests_total",
+        "bbs_cache_lookups_total",
+        "bbs_uptime_seconds",
+        "bbs_stage_total_seconds",
+        "bbs_stage_sim_seconds",
+        "bbs_loop_turn_seconds",
+    ] {
+        assert!(typed.contains(required), "missing metric {required}");
+    }
+
+    // Histogram buckets must be cumulative, ending at +Inf == _count.
+    let inf_buckets = text
+        .lines()
+        .filter(|l| l.starts_with("bbs_stage_total_seconds_bucket") && l.contains("le=\"+Inf\""))
+        .count();
+    assert_eq!(inf_buckets, 1, "exactly one +Inf bucket:\n{text}");
+    server.stop();
+}
+
+#[test]
+fn logs_tail_is_bounded_and_ndjson() {
+    let server = test_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    // Debug level logs a span per request: push well past the ring cap
+    // with cache hits (cheap) and check the tail stays bounded.
+    for _ in 0..40 {
+        let (status, _) = client.simulate(BODY).unwrap();
+        assert_eq!(status, 200);
+    }
+    let (status, tail) = client.get("/logs/tail").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        client.response_header("content-type"),
+        Some("application/x-ndjson")
+    );
+    let ring_cap = server.telemetry().logger.ring_capacity();
+    let lines: Vec<&str> = tail.lines().filter(|l| !l.is_empty()).collect();
+    assert!(!lines.is_empty(), "tail should have log lines");
+    assert!(
+        lines.len() <= ring_cap,
+        "tail exceeded ring capacity: {} > {ring_cap}",
+        lines.len()
+    );
+    for line in &lines {
+        let v = Json::parse(line).unwrap_or_else(|e| panic!("bad NDJSON line {line}: {e}"));
+        assert!(v.get("level").is_some(), "log line missing level: {line}");
+        assert!(v.get("msg").is_some(), "log line missing msg: {line}");
+    }
+    // Span records land in the ring at debug level.
+    assert!(
+        lines.iter().any(|l| l.contains("\"trace\"")),
+        "expected span records in the ring:\n{}",
+        &tail[..tail.len().min(2000)]
+    );
+    server.stop();
+}
+
+#[test]
+fn stats_reports_histogram_summaries_and_uptime() {
+    let server = test_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let (status, _) = client.simulate(BODY).unwrap();
+    assert_eq!(status, 200);
+
+    let (status, text) = client.get("/stats").unwrap();
+    assert_eq!(status, 200);
+    let stats = Json::parse(&text).unwrap();
+    assert_eq!(
+        stats.get("version").and_then(Json::as_str),
+        Some(env!("CARGO_PKG_VERSION"))
+    );
+    assert!(stats.get("uptime_s").is_some());
+    let latency = stats.get("latency_us").expect("latency_us block");
+    let total = latency.get("total").expect("total stage summary");
+    assert_eq!(total.get("count").and_then(Json::as_u64), Some(1));
+    for key in ["p50", "p90", "p99", "max", "mean"] {
+        assert!(total.get(key).is_some(), "total missing {key}: {text}");
+    }
+    let sim = latency.get("sim").expect("sim stage summary");
+    assert!(sim.get("count").and_then(Json::as_u64).unwrap() >= 1);
+    server.stop();
+}

@@ -64,9 +64,11 @@ pub mod engine;
 pub mod json;
 pub mod store;
 pub mod sweep;
+pub mod trace;
 pub mod workload;
 
 pub use config::ArrayConfig;
-pub use engine::{simulate, simulate_with, LayerSim, SimResult};
+pub use engine::{simulate, simulate_with, simulate_with_recorder, LayerSim, SimResult};
 pub use store::WorkloadStore;
 pub use sweep::{SweepCell, SweepSpec};
+pub use trace::{NoopRecorder, Recorder, Stage};

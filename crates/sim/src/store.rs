@@ -22,6 +22,7 @@
 //!   (property-tested); hit/miss/entry counters feed `bbs-serve`'s
 //!   `GET /stats`.
 
+use crate::trace::{NoopRecorder, Recorder, Stage};
 use crate::workload::{lower_model, LayerWorkload};
 use bbs_json::fnv1a_64;
 use bbs_models::json::model_spec_to_json;
@@ -30,6 +31,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 /// Default entry bound: comfortably holds every zoo model at several
 /// seeds/caps while keeping a misbehaving client from pinning thousands of
@@ -152,6 +154,19 @@ impl WorkloadStore {
         seed: u64,
         max_weights_per_layer: usize,
     ) -> Arc<[LayerWorkload]> {
+        self.get_or_lower_recorded(model, seed, max_weights_per_layer, &NoopRecorder)
+    }
+
+    /// [`get_or_lower`](WorkloadStore::get_or_lower), reporting the wall
+    /// time of the actual lowering (store misses only — hits and coalesced
+    /// waits do no lowering work and report nothing) to `rec`.
+    pub fn get_or_lower_recorded(
+        &self,
+        model: &ModelSpec,
+        seed: u64,
+        max_weights_per_layer: usize,
+        rec: &dyn Recorder,
+    ) -> Arc<[LayerWorkload]> {
         let key = (model_fingerprint(model), seed, max_weights_per_layer);
         {
             let mut inner = self.inner.lock().unwrap();
@@ -177,8 +192,10 @@ impl WorkloadStore {
             key,
             armed: true,
         };
+        let lower_started = Instant::now();
         let workloads: Arc<[LayerWorkload]> =
             lower_model(model, seed, max_weights_per_layer).into();
+        rec.record(Stage::Lower, lower_started.elapsed().as_micros() as u64);
         guard.armed = false;
 
         let mut inner = self.inner.lock().unwrap();

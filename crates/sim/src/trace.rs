@@ -1,0 +1,73 @@
+//! Timing hooks for the simulation core.
+//!
+//! `bbs-sim` stays dependency-free: instead of linking a telemetry crate,
+//! it exposes a tiny [`Recorder`] trait that callers (the `bbs-serve`
+//! worker pool) implement to capture per-stage wall time. The recorder is
+//! invoked once per completed stage with the elapsed microseconds; the
+//! no-op implementation compiles away, so uninstrumented paths
+//! ([`crate::engine::simulate_with`]) pay nothing.
+//!
+//! Recording never changes what the simulator computes: results from the
+//! recorded entry points are bit-identical to the unrecorded ones.
+
+/// A pipeline stage whose duration the core reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Weight synthesis + encoding (`lower_model`) on a store miss.
+    Lower,
+    /// Cycle-accurate simulation of the lowered workloads.
+    Simulate,
+}
+
+impl Stage {
+    /// Stable label used in metrics and span logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Lower => "lower",
+            Stage::Simulate => "sim",
+        }
+    }
+}
+
+/// Receives per-stage durations from the recorded entry points.
+pub trait Recorder {
+    /// Called once when `stage` completes, with its wall time in
+    /// microseconds.
+    fn record(&self, stage: Stage, micros: u64);
+}
+
+/// Discards every measurement (the default for unrecorded paths).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn record(&self, _stage: Stage, _micros: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    #[test]
+    fn stage_labels_are_stable() {
+        assert_eq!(Stage::Lower.as_str(), "lower");
+        assert_eq!(Stage::Simulate.as_str(), "sim");
+    }
+
+    #[test]
+    fn recorder_trait_is_object_safe() {
+        #[derive(Default)]
+        struct Capture(RefCell<Vec<(Stage, u64)>>);
+        impl Recorder for Capture {
+            fn record(&self, stage: Stage, micros: u64) {
+                self.0.borrow_mut().push((stage, micros));
+            }
+        }
+        let cap = Capture::default();
+        let dyn_rec: &dyn Recorder = &cap;
+        dyn_rec.record(Stage::Lower, 5);
+        NoopRecorder.record(Stage::Simulate, 7);
+        assert_eq!(*cap.0.borrow(), vec![(Stage::Lower, 5)]);
+    }
+}

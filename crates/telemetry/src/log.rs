@@ -1,0 +1,365 @@
+//! Leveled structured logging with a bounded in-memory tail.
+//!
+//! One [`Logger`] serves a whole process: events below the configured
+//! [`Level`] cost a single relaxed atomic load; accepted events are
+//! rendered once — NDJSON or plain text for stderr, always NDJSON for the
+//! bounded ring that `GET /logs/tail` reads back. The ring is the only
+//! lock on the path and holds pre-rendered lines, so contention is a short
+//! `VecDeque` rotation, never formatting under the lock.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Ring capacity: how many recent log lines `GET /logs/tail` can replay.
+pub const DEFAULT_RING_LINES: usize = 512;
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or dropped work.
+    Error = 0,
+    /// Degraded but continuing (slow requests, worker panics).
+    Warn = 1,
+    /// Lifecycle events.
+    Info = 2,
+    /// Per-request span records.
+    Debug = 3,
+}
+
+impl Level {
+    /// Parses a `--log-level` flag value.
+    pub fn from_flag(value: &str) -> Option<Level> {
+        match value {
+            "error" => Some(Level::Error),
+            "warn" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    /// The flag/record spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// Stderr rendering of accepted events (the ring is always NDJSON).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// `ts=<ms> level=<l> msg=<m> k=v ...`
+    Text,
+    /// One JSON object per line.
+    #[default]
+    Json,
+}
+
+impl Format {
+    /// Parses a `--log-format` flag value.
+    pub fn from_flag(value: &str) -> Option<Format> {
+        match value {
+            "text" => Some(Format::Text),
+            "json" => Some(Format::Json),
+            _ => None,
+        }
+    }
+}
+
+/// A structured field value. Borrowed strings keep the hot path
+/// allocation-free until an event is actually accepted.
+#[derive(Debug, Clone, Copy)]
+pub enum Value<'a> {
+    /// Unsigned integer (timings, counters).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// String (JSON-escaped on render).
+    Str(&'a str),
+    /// Boolean.
+    Bool(bool),
+}
+
+/// The process logger. Cheap to share behind an `Arc`; all methods take
+/// `&self`.
+pub struct Logger {
+    level: AtomicU8,
+    format: Format,
+    /// Suppress stderr output (ring still records) — a test/bench knob so
+    /// debug-level integration tests don't flood the terminal.
+    quiet: bool,
+    ring: Mutex<VecDeque<String>>,
+    ring_cap: usize,
+    emitted: [AtomicU64; 4],
+}
+
+impl std::fmt::Debug for Logger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Logger {{ level: {}, format: {:?} }}",
+            self.level().as_str(),
+            self.format
+        )
+    }
+}
+
+impl Default for Logger {
+    fn default() -> Self {
+        Logger::new(Level::Info, Format::Json, false)
+    }
+}
+
+impl Logger {
+    /// A logger writing accepted events to stderr (unless `quiet`) and the
+    /// default-capacity ring.
+    pub fn new(level: Level, format: Format, quiet: bool) -> Logger {
+        Logger::with_ring(level, format, quiet, DEFAULT_RING_LINES)
+    }
+
+    /// As [`Logger::new`] with an explicit ring capacity.
+    pub fn with_ring(level: Level, format: Format, quiet: bool, ring_cap: usize) -> Logger {
+        Logger {
+            level: AtomicU8::new(level as u8),
+            format,
+            quiet,
+            ring: Mutex::new(VecDeque::with_capacity(ring_cap.min(1024))),
+            ring_cap: ring_cap.max(1),
+            emitted: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ],
+        }
+    }
+
+    /// The current level filter.
+    pub fn level(&self) -> Level {
+        match self.level.load(Ordering::Relaxed) {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            _ => Level::Debug,
+        }
+    }
+
+    /// Whether events at `level` would be accepted — guard any expensive
+    /// field construction with this.
+    pub fn enabled(&self, level: Level) -> bool {
+        level as u8 <= self.level.load(Ordering::Relaxed)
+    }
+
+    /// Events accepted at `level` since startup.
+    pub fn emitted(&self, level: Level) -> u64 {
+        self.emitted[level as usize].load(Ordering::Relaxed)
+    }
+
+    /// Logs one structured event.
+    pub fn log(&self, level: Level, msg: &str, fields: &[(&str, Value<'_>)]) {
+        if !self.enabled(level) {
+            return;
+        }
+        self.emitted[level as usize].fetch_add(1, Ordering::Relaxed);
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis() as u64);
+        let json = render_json(ts_ms, level, msg, fields);
+        if !self.quiet {
+            let line = match self.format {
+                Format::Json => json.clone(),
+                Format::Text => render_text(ts_ms, level, msg, fields),
+            };
+            eprintln!("{line}");
+        }
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() >= self.ring_cap {
+            ring.pop_front();
+        }
+        ring.push_back(json);
+    }
+
+    /// [`Level::Error`] shorthand.
+    pub fn error(&self, msg: &str, fields: &[(&str, Value<'_>)]) {
+        self.log(Level::Error, msg, fields);
+    }
+
+    /// [`Level::Warn`] shorthand.
+    pub fn warn(&self, msg: &str, fields: &[(&str, Value<'_>)]) {
+        self.log(Level::Warn, msg, fields);
+    }
+
+    /// [`Level::Info`] shorthand.
+    pub fn info(&self, msg: &str, fields: &[(&str, Value<'_>)]) {
+        self.log(Level::Info, msg, fields);
+    }
+
+    /// [`Level::Debug`] shorthand.
+    pub fn debug(&self, msg: &str, fields: &[(&str, Value<'_>)]) {
+        self.log(Level::Debug, msg, fields);
+    }
+
+    /// The most recent `n` accepted events as NDJSON lines, oldest first.
+    /// Bounded by the ring capacity no matter how much was logged.
+    pub fn tail(&self, n: usize) -> Vec<String> {
+        let ring = self.ring.lock().unwrap();
+        let skip = ring.len().saturating_sub(n);
+        ring.iter().skip(skip).cloned().collect()
+    }
+
+    /// The ring capacity (the bound `tail` can never exceed).
+    pub fn ring_capacity(&self) -> usize {
+        self.ring_cap
+    }
+}
+
+fn render_json(ts_ms: u64, level: Level, msg: &str, fields: &[(&str, Value<'_>)]) -> String {
+    let mut out = String::with_capacity(64 + msg.len() + fields.len() * 16);
+    out.push_str("{\"ts_ms\":");
+    out.push_str(&ts_ms.to_string());
+    out.push_str(",\"level\":\"");
+    out.push_str(level.as_str());
+    out.push_str("\",\"msg\":\"");
+    escape_into(&mut out, msg);
+    out.push('"');
+    for (k, v) in fields {
+        out.push_str(",\"");
+        escape_into(&mut out, k);
+        out.push_str("\":");
+        match v {
+            Value::U64(n) => out.push_str(&n.to_string()),
+            Value::I64(n) => out.push_str(&n.to_string()),
+            Value::F64(n) if n.is_finite() => out.push_str(&n.to_string()),
+            Value::F64(_) => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Str(s) => {
+                out.push('"');
+                escape_into(&mut out, s);
+                out.push('"');
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn render_text(ts_ms: u64, level: Level, msg: &str, fields: &[(&str, Value<'_>)]) -> String {
+    use std::fmt::Write;
+    let mut out = String::with_capacity(48 + msg.len() + fields.len() * 12);
+    let _ = write!(out, "ts={ts_ms} level={} msg={msg:?}", level.as_str());
+    for (k, v) in fields {
+        let _ = match v {
+            Value::U64(n) => write!(out, " {k}={n}"),
+            Value::I64(n) => write!(out, " {k}={n}"),
+            Value::F64(n) => write!(out, " {k}={n}"),
+            Value::Bool(b) => write!(out, " {k}={b}"),
+            Value::Str(s) => write!(out, " {k}={s:?}"),
+        };
+    }
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_logger(level: Level) -> Logger {
+        Logger::with_ring(level, Format::Json, true, 8)
+    }
+
+    #[test]
+    fn level_filter_drops_below_threshold() {
+        let log = ring_logger(Level::Warn);
+        log.debug("dropped", &[]);
+        log.info("dropped", &[]);
+        log.warn("kept", &[]);
+        log.error("kept", &[]);
+        assert_eq!(log.tail(100).len(), 2);
+        assert_eq!(log.emitted(Level::Warn), 1);
+        assert_eq!(log.emitted(Level::Error), 1);
+        assert_eq!(log.emitted(Level::Debug), 0);
+        assert!(!log.enabled(Level::Info));
+        assert!(log.enabled(Level::Error));
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_newest() {
+        let log = ring_logger(Level::Info);
+        for i in 0..100 {
+            log.info(&format!("event-{i}"), &[]);
+        }
+        let tail = log.tail(1000);
+        assert_eq!(tail.len(), 8, "ring must stay bounded");
+        assert!(tail.last().unwrap().contains("event-99"));
+        assert!(tail.first().unwrap().contains("event-92"));
+        assert_eq!(log.tail(3).len(), 3);
+    }
+
+    #[test]
+    fn json_lines_are_well_formed() {
+        let log = ring_logger(Level::Debug);
+        log.debug(
+            "quote\" and \\slash\n",
+            &[
+                ("n", Value::U64(42)),
+                ("neg", Value::I64(-7)),
+                ("f", Value::F64(1.5)),
+                ("nan", Value::F64(f64::NAN)),
+                ("ok", Value::Bool(true)),
+                ("s", Value::Str("tab\there")),
+            ],
+        );
+        let line = log.tail(1).pop().unwrap();
+        assert!(line.starts_with("{\"ts_ms\":"), "{line}");
+        assert!(line.contains("\"level\":\"debug\""), "{line}");
+        assert!(line.contains("\\\" and \\\\slash\\n"), "{line}");
+        assert!(line.contains("\"n\":42"), "{line}");
+        assert!(line.contains("\"neg\":-7"), "{line}");
+        assert!(line.contains("\"nan\":null"), "{line}");
+        assert!(line.contains("\"ok\":true"), "{line}");
+        assert!(line.contains("\"s\":\"tab\\there\""), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+    }
+
+    #[test]
+    fn flag_parsing_roundtrips() {
+        for level in [Level::Error, Level::Warn, Level::Info, Level::Debug] {
+            assert_eq!(Level::from_flag(level.as_str()), Some(level));
+        }
+        assert_eq!(Level::from_flag("trace"), None);
+        assert_eq!(Format::from_flag("text"), Some(Format::Text));
+        assert_eq!(Format::from_flag("json"), Some(Format::Json));
+        assert_eq!(Format::from_flag("xml"), None);
+    }
+
+    #[test]
+    fn text_format_renders_fields() {
+        let line = render_text(5, Level::Warn, "slow", &[("us", Value::U64(9))]);
+        assert_eq!(line, "ts=5 level=warn msg=\"slow\" us=9");
+    }
+}

@@ -1,0 +1,214 @@
+//! Prometheus text exposition format rendering.
+//!
+//! [`PromText`] accumulates `# HELP`/`# TYPE` metadata and sample lines
+//! into the version 0.0.4 text format that `GET /metrics` serves.
+//! Histograms render from a [`Snapshot`]: cumulative `_bucket{le="..."}`
+//! lines, `_sum`, and `_count`. To keep 592-bucket histograms readable,
+//! only buckets where the cumulative count changes are emitted (plus a
+//! leading zero bucket and `+Inf`) — any subset of `le` thresholds is
+//! valid exposition as long as counts are cumulative and `+Inf` is
+//! present.
+
+use crate::hist::{bucket_bounds, Snapshot};
+
+/// Builder for a Prometheus text exposition body.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    /// An empty exposition body.
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(help);
+        self.out.push_str("\n# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: &str) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                self.out.push_str(v);
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(value);
+        self.out.push('\n');
+    }
+
+    /// A monotonically increasing counter.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        self.sample(name, &[], &value.to_string());
+    }
+
+    /// One counter family with one sample per label value.
+    pub fn counter_vec(&mut self, name: &str, help: &str, label: &str, samples: &[(&str, u64)]) {
+        self.header(name, help, "counter");
+        for (lv, value) in samples {
+            self.sample(name, &[(label, lv)], &value.to_string());
+        }
+    }
+
+    /// A point-in-time gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "gauge");
+        self.sample(name, &[], &fmt_f64(value));
+    }
+
+    /// A histogram rendered from `snap`, with every recorded value scaled
+    /// by `scale` (e.g. `1e-6` to expose microsecond samples in seconds,
+    /// per Prometheus base-unit convention).
+    pub fn histogram(&mut self, name: &str, help: &str, snap: &Snapshot, scale: f64) {
+        self.header(name, help, "histogram");
+        let bucket_name = format!("{name}_bucket");
+        let mut cumulative = 0u64;
+        let mut last_emitted = u64::MAX; // force the first bucket out
+        for (i, &c) in snap.counts.iter().enumerate() {
+            cumulative += c;
+            // Emit on every change plus the very first bucket, so the
+            // series always starts with an explicit lower edge.
+            if c > 0 || (i == 0 && last_emitted == u64::MAX) {
+                if cumulative == last_emitted && i != 0 {
+                    continue;
+                }
+                let (_, upper) = bucket_bounds(i);
+                // `le` is inclusive and our bucket upper bound is
+                // inclusive too, so the edge is exact.
+                let le = fmt_f64(upper as f64 * scale);
+                self.sample(&bucket_name, &[("le", &le)], &cumulative.to_string());
+                last_emitted = cumulative;
+            }
+        }
+        self.sample(&bucket_name, &[("le", "+Inf")], &snap.count.to_string());
+        self.sample(
+            &format!("{name}_sum"),
+            &[],
+            &fmt_f64(snap.sum as f64 * scale),
+        );
+        self.sample(&format!("{name}_count"), &[], &snap.count.to_string());
+    }
+
+    /// The finished exposition body.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Prometheus-friendly float formatting: plain decimal, no exponent for
+/// the magnitudes we emit, trailing zeros trimmed.
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        let s = format!("{v:.9}");
+        let s = s.trim_end_matches('0');
+        s.trim_end_matches('.').to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn counter_and_gauge_render() {
+        let mut p = PromText::new();
+        p.counter("bbs_requests_total", "Total requests.", 42);
+        p.gauge("bbs_uptime_seconds", "Uptime.", 1.5);
+        let body = p.finish();
+        assert!(body.contains("# HELP bbs_requests_total Total requests.\n"));
+        assert!(body.contains("# TYPE bbs_requests_total counter\n"));
+        assert!(body.contains("\nbbs_requests_total 42\n"));
+        assert!(body.contains("# TYPE bbs_uptime_seconds gauge\n"));
+        assert!(body.contains("bbs_uptime_seconds 1.5\n"));
+    }
+
+    #[test]
+    fn counter_vec_renders_labels() {
+        let mut p = PromText::new();
+        p.counter_vec(
+            "bbs_log_events_total",
+            "Log events by level.",
+            "level",
+            &[("error", 1), ("warn", 2)],
+        );
+        let body = p.finish();
+        assert!(body.contains("bbs_log_events_total{level=\"error\"} 1\n"));
+        assert!(body.contains("bbs_log_events_total{level=\"warn\"} 2\n"));
+        // One header for the whole family.
+        assert_eq!(body.matches("# TYPE bbs_log_events_total").count(), 1);
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let h = Histogram::new();
+        for v in [3u64, 3, 7, 100] {
+            h.record(v);
+        }
+        let mut p = PromText::new();
+        p.histogram("bbs_stage_seconds", "Stage latency.", &h.snapshot(), 1e-6);
+        let body = p.finish();
+        assert!(body.contains("# TYPE bbs_stage_seconds histogram\n"));
+        assert!(
+            body.contains("bbs_stage_seconds_bucket{le=\"0.000003\"} 2\n"),
+            "{body}"
+        );
+        assert!(
+            body.contains("bbs_stage_seconds_bucket{le=\"0.000007\"} 3\n"),
+            "{body}"
+        );
+        assert!(body.contains("bbs_stage_seconds_bucket{le=\"+Inf\"} 4\n"));
+        assert!(body.contains("bbs_stage_seconds_count 4\n"));
+        assert!(body.contains("bbs_stage_seconds_sum 0.000113\n"), "{body}");
+        // Cumulative counts never decrease.
+        let mut last = 0u64;
+        for line in body
+            .lines()
+            .filter(|l| l.contains("_bucket{le=") && !l.contains("+Inf"))
+        {
+            let n: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(n >= last, "non-cumulative: {line}");
+            last = n;
+        }
+    }
+
+    #[test]
+    fn empty_histogram_still_valid() {
+        let h = Histogram::new();
+        let mut p = PromText::new();
+        p.histogram("bbs_empty_seconds", "Empty.", &h.snapshot(), 1e-6);
+        let body = p.finish();
+        assert!(body.contains("bbs_empty_seconds_bucket{le=\"+Inf\"} 0\n"));
+        assert!(body.contains("bbs_empty_seconds_count 0\n"));
+        assert!(body.contains("bbs_empty_seconds_sum 0\n"));
+    }
+
+    #[test]
+    fn float_formatting_has_no_exponent() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(42.0), "42");
+        assert_eq!(fmt_f64(0.000003), "0.000003");
+        assert_eq!(fmt_f64(1.5), "1.5");
+    }
+}

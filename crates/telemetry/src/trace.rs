@@ -1,0 +1,98 @@
+//! Process-unique request trace ids.
+//!
+//! A trace id is a scrambled global counter: unique within the process by
+//! construction (the counter), and mixed through a SplitMix64-style
+//! finalizer seeded at startup so ids from different server runs don't
+//! collide on the same small integers. Ids render as 16 lowercase hex
+//! digits in the `x-bbs-trace` response header and span logs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+static SEED: OnceLock<u64> = OnceLock::new();
+
+fn seed() -> u64 {
+    *SEED.get_or_init(|| {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0x9e37_79b9_7f4a_7c15, |d| d.as_nanos() as u64);
+        nanos | 1 // never zero
+    })
+}
+
+/// SplitMix64 finalizer — a bijection on u64, so distinct counter values
+/// always yield distinct ids.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mints the next process-unique trace id. Never returns zero, so zero can
+/// mean "no trace" in connection state.
+pub fn next_trace_id() -> u64 {
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let id = mix(n.wrapping_add(seed()));
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+/// Formats a trace id as it appears in the `x-bbs-trace` header: 16
+/// lowercase hex digits.
+pub fn trace_hex(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let mut seen = HashSet::new();
+        for _ in 0..10_000 {
+            let id = next_trace_id();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "duplicate trace id {id:#x}");
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_across_threads() {
+        let handles: Vec<_> = (0..4)
+            .map(|_| std::thread::spawn(|| (0..2500).map(|_| next_trace_id()).collect::<Vec<_>>()))
+            .collect();
+        let mut seen = HashSet::new();
+        for h in handles {
+            for id in h.join().unwrap() {
+                assert!(seen.insert(id), "duplicate trace id {id:#x}");
+            }
+        }
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn hex_is_sixteen_lowercase_digits() {
+        assert_eq!(trace_hex(0), "0000000000000000");
+        assert_eq!(trace_hex(u64::MAX), "ffffffffffffffff");
+        let h = trace_hex(next_trace_id());
+        assert_eq!(h.len(), 16);
+        assert!(h
+            .bytes()
+            .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase()));
+    }
+
+    #[test]
+    fn mix_is_a_bijection_on_probes() {
+        let mut seen = HashSet::new();
+        for i in 0..100_000u64 {
+            assert!(seen.insert(mix(i)));
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for the log-linear histogram: percentiles agree with a
+//! sorted-vector oracle within the bucket quantization bound, and merging
+//! histograms is indistinguishable from recording every sample into one.
+
+use bbs_telemetry::hist::Histogram;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Exact quantile by the same rank rule the histogram uses:
+/// the `ceil(q * n)`-th smallest sample (1-based).
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #[test]
+    fn percentiles_match_sorted_vec_oracle(
+        samples in vec(0u64..=10_000_000, 1..=400),
+        qs in vec(0.0f64..=1.0, 1..=8),
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let snap = h.snapshot();
+
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.sum, samples.iter().sum::<u64>());
+        prop_assert_eq!(snap.max, *sorted.last().unwrap());
+
+        for &q in &qs {
+            let exact = oracle_quantile(&sorted, q);
+            // The exact quantile must land inside the bucket the
+            // histogram attributes it to: quantization never moves a
+            // sample across bucket boundaries.
+            let (lo, hi) = snap.quantile_bounds(q);
+            prop_assert!(
+                lo <= exact && exact <= hi,
+                "q={} exact={} outside bucket [{}, {}]",
+                q, exact, lo, hi
+            );
+            // And the reported percentile (bucket upper bound) is within
+            // the documented 1/16 relative error of the truth.
+            let p = snap.percentile(q);
+            prop_assert!(p >= exact);
+            prop_assert!(
+                (p - exact) as f64 <= exact as f64 / 16.0 + 1.0,
+                "q={} exact={} reported={}",
+                q, exact, p
+            );
+        }
+    }
+
+    #[test]
+    fn merge_matches_single_histogram(
+        a in vec(0u64..=1_000_000, 0..=200),
+        b in vec(0u64..=1_000_000, 0..=200),
+    ) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        let combined = Histogram::new();
+        for &s in &a {
+            ha.record(s);
+            combined.record(s);
+        }
+        for &s in &b {
+            hb.record(s);
+            combined.record(s);
+        }
+        ha.merge(&hb);
+        let (sm, sc) = (ha.snapshot(), combined.snapshot());
+        prop_assert_eq!(sm.counts, sc.counts);
+        prop_assert_eq!(sm.count, sc.count);
+        prop_assert_eq!(sm.sum, sc.sum);
+        prop_assert_eq!(sm.max, sc.max);
+        if !a.is_empty() || !b.is_empty() {
+            for q in [0.5, 0.9, 0.99, 1.0] {
+                prop_assert_eq!(sm.percentile(q), sc.percentile(q));
+            }
+        }
+    }
+}

@@ -25,7 +25,8 @@ use std::process::ExitCode;
 const USAGE: &str = "usage:
   bbs serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--max-cap N]
             [--max-connections N] [--idle-timeout-ms N] [--park-timeout-ms N]
-            [--poller auto|epoll|poll]
+            [--poller auto|epoll|poll] [--log-level LVL] [--log-format FMT]
+            [--slow-ms N]
   bbs sweep (--addr HOST:PORT | --self-host) --models A,B --accelerators X,Y
             [--seeds S,..] [--caps C,..] [--pe-cols P,..]
   bbs models
@@ -40,6 +41,9 @@ serve options:
   --idle-timeout-ms N  idle keep-alive / slow-client reap deadline (default 120000)
   --park-timeout-ms N  queue-full parking deadline; 0 = immediate 503 (default 10000)
   --poller KIND        readiness backend: auto (default), epoll, poll
+  --log-level LVL      stderr log threshold: error, warn, info (default), debug
+  --log-format FMT     stderr log format: json (default) or text
+  --slow-ms N          log requests slower than N ms at warn level (default 500)
 
 sweep options (cells stream to stdout as NDJSON, summary record last):
   --addr HOST:PORT   sweep against a running bbs-serve instance
@@ -111,6 +115,21 @@ fn serve(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            ("--log-level", _) => match bbs::telemetry::Level::from_flag(value) {
+                Some(level) => config.log_level = level,
+                None => {
+                    eprintln!("bbs serve: --log-level must be error, warn, info or debug\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            ("--log-format", _) => match bbs::telemetry::Format::from_flag(value) {
+                Some(format) => config.log_format = format,
+                None => {
+                    eprintln!("bbs serve: --log-format must be text or json\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            ("--slow-ms", Ok(n)) => config.slow_ms = n as u64,
             _ => {
                 eprintln!("bbs serve: bad argument '{flag} {value}'\n{USAGE}");
                 return ExitCode::FAILURE;
@@ -132,7 +151,9 @@ fn serve(args: &[String]) -> ExitCode {
         config.service.queue_depth,
         server.backend()
     );
-    println!("routes: POST /simulate /sweep · GET /stats /healthz /models /accelerators");
+    println!(
+        "routes: POST /simulate /sweep · GET /stats /metrics /logs/tail /healthz /models /accelerators"
+    );
 
     // Serve until killed: the accept loop runs on its own thread, so just
     // park this one.

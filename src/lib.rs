@@ -14,6 +14,8 @@
 //! * [`sim`] — cycle-accurate accelerator simulators,
 //! * [`serve`] — simulation-as-a-service (worker pool, request
 //!   coalescing, content-addressed result cache); `bbs serve` starts it,
+//! * [`telemetry`] — latency histograms, structured logging and request
+//!   tracing behind `/metrics`, `/stats` and `/logs/tail`,
 //! * [`json`] — the std-only JSON codec the serialization layer rides on.
 //!
 //! # Quickstart
@@ -35,4 +37,5 @@ pub use bbs_json as json;
 pub use bbs_models as models;
 pub use bbs_serve as serve;
 pub use bbs_sim as sim;
+pub use bbs_telemetry as telemetry;
 pub use bbs_tensor as tensor;
