@@ -20,6 +20,7 @@
 use crate::encoding::{BbsMetadata, CompressedGroup, ConstantKind};
 use crate::redundant::MAX_ENCODED_REDUNDANT;
 use bbs_tensor::bits::{redundant_sign_bits, BitGroup, PackedGroup, WEIGHT_BITS};
+use bbs_tensor::lanes::{Backend, Lanes, U64x4};
 
 /// Inclusive search range of the signed 6-bit shift constant.
 pub const SHIFT_MIN: i32 = -32;
@@ -271,134 +272,407 @@ fn sse_planes(u: &[u64; 9], s: &[u64; 8], lanes: u64) -> u64 {
     sse_of_magnitudes(&m[..8])
 }
 
-/// The packed-representation shifting kernel: evaluates all 64 shift
-/// constants with bit-sliced lane-parallel arithmetic. Bit-identical to
-/// [`zero_point_shifting_scalar`] (same winning constant under the same
-/// tie-breaking, same stored columns).
-///
-/// # Panics
-///
-/// Panics if `target_sparse >= 8`.
-pub fn zero_point_shifting_packed(packed: &PackedGroup, target_sparse: usize) -> CompressedGroup {
-    assert!(target_sparse < WEIGHT_BITS);
-    let lanes = packed.lane_mask();
+/// Clips, counts redundant columns, rounds and scores one already-shifted
+/// candidate sum `u` (9 planes). Returns the rounded columns, the
+/// redundant count and the exact integer SSE — the per-candidate body
+/// shared by the scalar search and the batched searches' divergent path.
+fn eval_candidate(
+    u: &[u64; 9],
+    lanes: u64,
+    target_sparse: usize,
+) -> ([u64; WEIGHT_BITS], usize, u64) {
+    // Clip to the INT8 rails: 127 sets bits 0..=6, -128 only bit 7.
+    let clip_hi = !u[8] & u[7] & lanes; // ≥ 128  → 127
+    let clip_lo = u[8] & !u[7] & lanes; // < -128 → -128
+    let keep = !(clip_hi | clip_lo);
+    let mut t = [0u64; 8];
+    for (b, out) in t.iter_mut().enumerate() {
+        let rail = if b < 7 { clip_hi } else { clip_lo };
+        *out = (u[b] & keep) | rail;
+    }
+    let msb = t[7];
+    let mut r = 0usize;
+    while r < MAX_ENCODED_REDUNDANT && t[6 - r] == msb {
+        r += 1;
+    }
+    let g = target_sparse.saturating_sub(r);
+    let clipped = clip_hi | clip_lo;
 
+    if g == 0 {
+        // No rounding: the only error source is clipping.
+        let sse = if clipped == 0 {
+            0
+        } else {
+            sse_planes(u, &t, lanes)
+        };
+        (t, r, sse)
+    } else {
+        // Round to the nearest multiple of 2^g, ties away from zero
+        // (f64::round): floor((t + step/2 - [t < 0]) / step) · step.
+        let neg = t[7];
+        let mut a = widen9(&t);
+        let mut borrow = neg;
+        for plane in a.iter_mut() {
+            if borrow == 0 {
+                break;
+            }
+            let x = *plane;
+            *plane = x ^ borrow;
+            borrow &= !x;
+        }
+        // step/2 is a single bit: a carry ripple from plane g-1.
+        let mut carry = lanes;
+        for plane in a.iter_mut().skip(g - 1) {
+            if carry == 0 {
+                break;
+            }
+            let x = *plane;
+            *plane = x ^ carry;
+            carry &= x;
+        }
+        let mut a_low = [0u64; 7];
+        a_low[..g].copy_from_slice(&a[..g]);
+        for plane in a.iter_mut().take(g) {
+            *plane = 0;
+        }
+        // The only value outside [lo, hi] the rounding can produce is
+        // exactly 2^(7-r) (hi + step): positive with bit 7-r set. Mux
+        // those lanes down to hi.
+        let ov = a[7 - r] & !a[8] & lanes;
+        let hi_val = (1i32 << (7 - r)) - (1i32 << g);
+        let mut s = [0u64; 8];
+        for (b, out) in s.iter_mut().enumerate() {
+            let mut v = a[b] & !ov;
+            if (hi_val >> b) & 1 != 0 {
+                v |= ov;
+            }
+            *out = v;
+        }
+        let sse = if clipped | ov == 0 {
+            sse_low(&a_low, g, neg, lanes)
+        } else {
+            sse_planes(u, &s, lanes)
+        };
+        (s, r, sse)
+    }
+}
+
+/// Running winner of the constant search, with the oracle's tie rules:
+/// lowest SSE, then more redundant columns (more free compression), then
+/// the smaller shift magnitude.
+struct BestShift {
+    sse: u64,
+    r: usize,
+    c: i32,
+    s: [u64; WEIGHT_BITS],
+}
+
+impl BestShift {
+    fn new() -> Self {
+        BestShift {
+            sse: u64::MAX,
+            r: 0,
+            c: 0,
+            s: [0u64; WEIGHT_BITS],
+        }
+    }
+
+    #[inline]
+    fn consider(&mut self, sse: u64, r: usize, c: i32, s: &[u64; WEIGHT_BITS]) {
+        let better = sse < self.sse
+            || (sse == self.sse && r > self.r)
+            || (sse == self.sse && r == self.r && c.abs() < self.c.abs());
+        if better {
+            self.sse = sse;
+            self.r = r;
+            self.c = c;
+            self.s = *s;
+        }
+    }
+}
+
+/// The original one-candidate-at-a-time packed search (the `scalar`
+/// backend, kept as the wide backends' differential oracle).
+fn search_scalar(packed: &PackedGroup, target_sparse: usize) -> BestShift {
+    let lanes = packed.lane_mask();
     let mut u = widen9(packed.columns());
     add_const9(&mut u, SHIFT_MIN, lanes);
 
-    let mut best_sse = u64::MAX;
-    let mut best_r = 0usize;
-    let mut best_c = 0i32;
-    let mut best_s = [0u64; WEIGHT_BITS];
-
+    let mut best = BestShift::new();
     for constant in SHIFT_MIN..=SHIFT_MAX {
         if constant != SHIFT_MIN {
             increment9(&mut u, lanes);
         }
-        // Clip to the INT8 rails: 127 sets bits 0..=6, -128 only bit 7.
-        let clip_hi = !u[8] & u[7] & lanes; // ≥ 128  → 127
-        let clip_lo = u[8] & !u[7] & lanes; // < -128 → -128
-        let keep = !(clip_hi | clip_lo);
-        let mut t = [0u64; 8];
-        for (b, out) in t.iter_mut().enumerate() {
-            let rail = if b < 7 { clip_hi } else { clip_lo };
-            *out = (u[b] & keep) | rail;
-        }
-        let msb = t[7];
-        let mut r = 0usize;
-        while r < MAX_ENCODED_REDUNDANT && t[6 - r] == msb {
-            r += 1;
-        }
-        let g = target_sparse.saturating_sub(r);
-        let clipped = clip_hi | clip_lo;
+        let (s, r, sse) = eval_candidate(&u, lanes, target_sparse);
+        best.consider(sse, r, constant, &s);
+    }
+    best
+}
 
-        let (s, sse) = if g == 0 {
-            // No rounding: the only error source is clipping.
-            let sse = if clipped == 0 {
-                0
-            } else {
-                sse_planes(&u, &t, lanes)
-            };
-            (t, sse)
-        } else {
-            // Round to the nearest multiple of 2^g, ties away from zero
-            // (f64::round): floor((t + step/2 - [t < 0]) / step) · step.
-            let neg = t[7];
-            let mut a = widen9(&t);
-            let mut borrow = neg;
-            for plane in a.iter_mut() {
-                if borrow == 0 {
-                    break;
-                }
-                let x = *plane;
-                *plane = x ^ borrow;
-                borrow &= !x;
+/// Batched mirror of [`sse_planes`]: per-word exact integer SSE
+/// `Σ (u_i - s_i)²`. Where the scalar kernel picks between this and the
+/// [`sse_low`] fast path, the batched kernel always scores the full
+/// planes — both compute the same exact integer, so selection (and every
+/// tie) is unchanged.
+#[inline(always)]
+fn sse_planes_batched<L: Lanes>(u: &[L; 9], s: &[L; 8], lanes_v: L) -> [u64; 4] {
+    // e = u - s as 9-plane two's complement.
+    let mut e = [L::zero(); 9];
+    let mut carry = lanes_v;
+    for (b, plane) in e.iter_mut().enumerate() {
+        let a = u[b];
+        let nb = lanes_v.andnot(s[b.min(7)]);
+        *plane = a.xor(nb).xor(carry);
+        carry = a.and(nb).or(carry.and(a.xor(nb)));
+    }
+    // Conditional negate to magnitudes.
+    let neg = e[8];
+    let mut m = [L::zero(); 9];
+    let mut carry = neg;
+    for (b, plane) in m.iter_mut().enumerate() {
+        let x = e[b].xor(neg);
+        *plane = x.xor(carry);
+        carry = carry.and(x);
+    }
+    debug_assert!(m[8].is_zero(), "error magnitude exceeds 8 bits");
+    sse_of_magnitudes_batched(&m[..8])
+}
+
+/// Batched mirror of [`sse_of_magnitudes`]: per-word plane-pair popcount
+/// sums. Skipping an all-zero vector plane drops only zero terms, so each
+/// word's sum equals its scalar counterpart exactly.
+#[inline(always)]
+fn sse_of_magnitudes_batched<L: Lanes>(m: &[L]) -> [u64; 4] {
+    let mut sse = [0u64; 4];
+    for (b, &pb) in m.iter().enumerate() {
+        if pb.is_zero() {
+            continue;
+        }
+        let c = pb.popcounts();
+        for (j, out) in sse.iter_mut().enumerate() {
+            *out += (c[j] as u64) << (2 * b);
+        }
+        for (b2, &pb2) in m.iter().enumerate().skip(b + 1) {
+            if pb2.is_zero() {
+                continue;
             }
-            // step/2 is a single bit: a carry ripple from plane g-1.
-            let mut carry = lanes;
-            for plane in a.iter_mut().skip(g - 1) {
-                if carry == 0 {
-                    break;
-                }
-                let x = *plane;
-                *plane = x ^ carry;
-                carry &= x;
+            let c = pb.and(pb2).popcounts();
+            for (j, out) in sse.iter_mut().enumerate() {
+                *out += (c[j] as u64) << (b + b2 + 1);
             }
-            let mut a_low = [0u64; 7];
-            a_low[..g].copy_from_slice(&a[..g]);
-            for plane in a.iter_mut().take(g) {
-                *plane = 0;
-            }
-            // The only value outside [lo, hi] the rounding can produce is
-            // exactly 2^(7-r) (hi + step): positive with bit 7-r set. Mux
-            // those lanes down to hi.
-            let ov = a[7 - r] & !a[8] & lanes;
-            let hi_val = (1i32 << (7 - r)) - (1i32 << g);
-            let mut s = [0u64; 8];
-            for (b, out) in s.iter_mut().enumerate() {
-                let mut v = a[b] & !ov;
-                if (hi_val >> b) & 1 != 0 {
-                    v |= ov;
-                }
-                *out = v;
-            }
-            let sse = if clipped | ov == 0 {
-                sse_low(&a_low, g, neg, lanes)
-            } else {
-                sse_planes(&u, &s, lanes)
-            };
-            (s, sse)
-        };
-        // Ties broken toward more redundant columns (more free
-        // compression), then toward the smaller shift magnitude — the
-        // scalar oracle's rules on exact integers.
-        let better = sse < best_sse
-            || (sse == best_sse && r > best_r)
-            || (sse == best_sse && r == best_r && constant.abs() < best_c.abs());
-        if better {
-            best_sse = sse;
-            best_r = r;
-            best_c = constant;
-            best_s = s;
         }
     }
+    sse
+}
 
-    let g = target_sparse.saturating_sub(best_r);
+/// Candidate-batched search: 16 rounds of 4 consecutive constants, each
+/// round evaluated across one [`Lanes`] vector (word `j` = candidate
+/// `c0 + j`). The shift add, clip, rounding and SSE all run 4 candidates
+/// wide; the only per-word scalar work is assembling the tiny
+/// constant-dependent masks (rounding bias, low-plane clear, overflow
+/// rail) from the already-stored redundant counts. Candidates are still
+/// considered in ascending order, preserving the oracle's tie-breaking
+/// bit-for-bit.
+///
+/// `#[inline(always)]` so the AVX2 monomorphization inlines into its
+/// `#[target_feature(enable = "avx2")]` wrapper — otherwise the
+/// feature-gated intrinsics cannot inline and every mask op becomes an
+/// out-of-line call.
+#[inline(always)]
+fn search_batched<L: Lanes>(packed: &PackedGroup, target_sparse: usize) -> BestShift {
+    let lanes = packed.lane_mask();
+    let lanes_v = L::splat(lanes);
+    let w9 = widen9(packed.columns());
+
+    let mut best = BestShift::new();
+    let mut c0 = SHIFT_MIN;
+    while c0 <= SHIFT_MAX {
+        // u_j = W + (c0 + j): full adder with per-word constant planes.
+        let mut u = [L::zero(); 9];
+        let mut carry = L::zero();
+        for (b, plane) in u.iter_mut().enumerate() {
+            let mut kw = [0u64; 4];
+            for (j, w) in kw.iter_mut().enumerate() {
+                if ((c0 + j as i32) >> b) & 1 != 0 {
+                    *w = lanes;
+                }
+            }
+            let a = L::splat(w9[b]);
+            let kb = L::load(&kw);
+            *plane = a.xor(kb).xor(carry);
+            carry = a.and(kb).or(carry.and(a.xor(kb)));
+        }
+
+        // Clip to the INT8 rails, all four candidates at once.
+        let clip_hi = u[7].andnot(u[8]).and(lanes_v);
+        let clip_lo = u[8].andnot(u[7]).and(lanes_v);
+        let clipped = clip_hi.or(clip_lo);
+        let mut t = [L::zero(); 8];
+        for (b, out) in t.iter_mut().enumerate() {
+            let rail = if b < 7 { clip_hi } else { clip_lo };
+            *out = u[b].andnot(clipped).or(rail);
+        }
+
+        // Redundant count (hence rounding step) per candidate.
+        let ts: [[u64; 4]; 8] = core::array::from_fn(|b| t[b].store());
+        let mut r4 = [0usize; 4];
+        let mut g4 = [0usize; 4];
+        for j in 0..4 {
+            let msb = ts[7][j];
+            let mut r = 0usize;
+            while r < MAX_ENCODED_REDUNDANT && ts[6 - r][j] == msb {
+                r += 1;
+            }
+            r4[j] = r;
+            g4[j] = target_sparse.saturating_sub(r);
+        }
+
+        // Round to the nearest multiple of 2^g_j, ties away from zero:
+        // add the combined bias `2^(g_j-1) - [t < 0]` (zero for g_j = 0 —
+        // no rounding), then clear the g_j low planes. The bias is a
+        // per-word 9-plane constant assembled from the negative-lane mask:
+        // negative lanes add `2^(g-1) - 1` (bits 0..=g-2), non-negative
+        // lanes add `2^(g-1)` (bit g-1).
+        let negw = &ts[7];
+        let mut a = [L::zero(); 9];
+        a[..8].copy_from_slice(&t);
+        a[8] = t[7];
+        let mut carry = L::zero();
+        for (b, plane) in a.iter_mut().enumerate() {
+            let mut kw = [0u64; 4];
+            for (j, w) in kw.iter_mut().enumerate() {
+                let g = g4[j];
+                if g == 0 {
+                    continue;
+                }
+                if b + 1 < g {
+                    *w = negw[j];
+                } else if b + 1 == g {
+                    *w = !negw[j] & lanes;
+                }
+            }
+            let kb = L::load(&kw);
+            let x = *plane;
+            *plane = x.xor(kb).xor(carry);
+            carry = x.and(kb).or(carry.and(x.xor(kb)));
+        }
+        let max_g = g4.iter().copied().max().unwrap_or(0);
+        for (b, plane) in a.iter_mut().enumerate().take(max_g) {
+            let mut zw = [0u64; 4];
+            for (j, w) in zw.iter_mut().enumerate() {
+                if b < g4[j] {
+                    *w = u64::MAX;
+                }
+            }
+            *plane = plane.andnot(L::load(&zw));
+        }
+
+        // Overflow mux: the only out-of-range rounding result is exactly
+        // 2^(7-r_j) — positive with bit 7-r_j set. Rail those lanes down
+        // to hi = 2^(7-r_j) - 2^g_j.
+        let sa: [[u64; 4]; 9] = core::array::from_fn(|b| a[b].store());
+        let mut ovw = [0u64; 4];
+        for (j, w) in ovw.iter_mut().enumerate() {
+            *w = sa[7 - r4[j]][j] & !sa[8][j] & lanes;
+        }
+        let ov = L::load(&ovw);
+        let mut s = [L::zero(); 8];
+        for (b, out) in s.iter_mut().enumerate() {
+            let mut hw = [0u64; 4];
+            for (j, w) in hw.iter_mut().enumerate() {
+                if g4[j] > 0 {
+                    let hi_val = (1i32 << (7 - r4[j])) - (1i32 << g4[j]);
+                    if (hi_val >> b) & 1 != 0 {
+                        *w = ovw[j];
+                    }
+                }
+            }
+            *out = a[b].andnot(ov).or(L::load(&hw));
+        }
+
+        let sse4 = sse_planes_batched(&u, &s, lanes_v);
+        let ss: [[u64; 4]; 8] = core::array::from_fn(|b| s[b].store());
+        for j in 0..4 {
+            let sj: [u64; 8] = core::array::from_fn(|b| ss[b][j]);
+            best.consider(sse4[j], r4[j], c0 + j as i32, &sj);
+        }
+        c0 += 4;
+    }
+    best
+}
+
+/// AVX2 monomorphization of [`search_batched`].
+///
+/// # Safety
+///
+/// The caller must have verified `is_x86_feature_detected!("avx2")`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn search_avx2(packed: &PackedGroup, target_sparse: usize) -> BestShift {
+    search_batched::<bbs_tensor::lanes::Avx2>(packed, target_sparse)
+}
+
+/// [`zero_point_shifting_packed`] with an explicit [`Backend`] — what the
+/// differential tests use to force every compiled backend in-process.
+///
+/// # Panics
+///
+/// Panics if `target_sparse >= 8`.
+pub fn zero_point_shifting_packed_with(
+    backend: Backend,
+    packed: &PackedGroup,
+    target_sparse: usize,
+) -> CompressedGroup {
+    assert!(target_sparse < WEIGHT_BITS);
+    let best = match backend {
+        Backend::Scalar => search_scalar(packed, target_sparse),
+        Backend::U64x4 => search_batched::<U64x4>(packed, target_sparse),
+        Backend::Native => {
+            #[cfg(target_arch = "x86_64")]
+            {
+                if Backend::native_available() {
+                    // Safety: AVX2 support was just verified.
+                    unsafe { search_avx2(packed, target_sparse) }
+                } else {
+                    search_batched::<U64x4>(packed, target_sparse)
+                }
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            {
+                search_batched::<U64x4>(packed, target_sparse)
+            }
+        }
+    };
+
+    let g = target_sparse.saturating_sub(best.r);
     debug_assert!(
-        best_s.iter().take(g).all(|&c| c == 0),
+        best.s.iter().take(g).all(|&c| c == 0),
         "generated low columns must be all-zero"
     );
-    let kept: Vec<u64> = best_s[g..WEIGHT_BITS - best_r].to_vec();
+    let kept: Vec<u64> = best.s[g..WEIGHT_BITS - best.r].to_vec();
 
     CompressedGroup::from_parts(
         packed.len(),
         kept,
         BbsMetadata {
-            num_redundant: best_r as u8,
-            constant: best_c as i8,
+            num_redundant: best.r as u8,
+            constant: best.c as i8,
         },
         ConstantKind::ZeroPointShift,
     )
+}
+
+/// The packed-representation shifting kernel: evaluates all 64 shift
+/// constants with bit-sliced lane-parallel arithmetic on the process-wide
+/// [`Backend::active`] backend. Bit-identical to
+/// [`zero_point_shifting_scalar`] (same winning constant under the same
+/// tie-breaking, same stored columns) on every backend.
+///
+/// # Panics
+///
+/// Panics if `target_sparse >= 8`.
+pub fn zero_point_shifting_packed(packed: &PackedGroup, target_sparse: usize) -> CompressedGroup {
+    zero_point_shifting_packed_with(Backend::active(), packed, target_sparse)
 }
 
 /// Scalar reference oracle for [`zero_point_shifting`]: the per-weight
@@ -586,6 +860,53 @@ mod tests {
                     zero_point_shifting_scalar(&group, target),
                     "group {group:?} target {target}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn every_backend_matches_scalar_oracle() {
+        // Satellite differential test: the batched searches must agree
+        // with the per-weight oracle bit-for-bit on every compiled
+        // backend, including ragged group sizes.
+        let mut rng = SeededRng::new(91);
+        for case in 0..120 {
+            let n = rng.uniform_usize(1, 65);
+            let group: Vec<i8> = if case % 2 == 0 {
+                (0..n).map(|_| rng.any_i8()).collect()
+            } else {
+                (0..n).map(|_| rng.gaussian_i8(0.0, 35.0)).collect()
+            };
+            let packed = PackedGroup::from_words(&group);
+            for target in 0..WEIGHT_BITS {
+                let oracle = zero_point_shifting_scalar(&group, target);
+                for backend in Backend::available() {
+                    assert_eq!(
+                        zero_point_shifting_packed_with(backend, &packed, target),
+                        oracle,
+                        "backend {backend:?} group {group:?} target {target}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_i8_single_weight_all_backends() {
+        // Every i8 value as a 1-weight group, every target, every
+        // backend — exercises the clip/overflow corners exhaustively.
+        for w in i8::MIN..=i8::MAX {
+            let group = [w];
+            let packed = PackedGroup::from_words(&group);
+            for target in 0..WEIGHT_BITS {
+                let oracle = zero_point_shifting_scalar(&group, target);
+                for backend in Backend::available() {
+                    assert_eq!(
+                        zero_point_shifting_packed_with(backend, &packed, target),
+                        oracle,
+                        "backend {backend:?} weight {w} target {target}"
+                    );
+                }
             }
         }
     }

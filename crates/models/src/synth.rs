@@ -78,14 +78,20 @@ pub fn synthesize_weights_sampled(
         } else {
             base
         };
-        for _ in 0..epc {
-            let v = if heavy_tail && rng.uniform() < 0.02 {
-                // Sparse heavy tail inside normal channels too.
-                rng.student_t(4) * sigma
-            } else {
-                rng.gaussian(0.0, sigma)
-            };
-            data.push(v as f32);
+        if heavy_tail {
+            for _ in 0..epc {
+                let v = if rng.uniform() < 0.02 {
+                    // Sparse heavy tail inside normal channels too.
+                    rng.student_t(4) * sigma
+                } else {
+                    rng.gaussian(0.0, sigma)
+                };
+                data.push(v as f32);
+            }
+        } else {
+            // CNN channels are pure Gaussians: bulk-fill the row (identical
+            // sample sequence, hot-loop dispatch hoisted).
+            rng.extend_gaussian_f32(&mut data, epc, 0.0, sigma);
         }
     }
     let tensor = Tensor::from_vec(Shape::matrix(spec.channels, epc), data)

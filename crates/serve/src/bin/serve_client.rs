@@ -483,8 +483,17 @@ fn connections_bench(addr: SocketAddr, args: &Args) -> Result<Json, String> {
 
     let stats_text = warmer.get("/stats").map_err(|e| e.to_string())?.1;
     let stats = Json::parse(&stats_text).map_err(|e| e.to_string())?;
+    // The backend the *server* selected for its kernels (its /stats
+    // advertisement) — top-level so BENCH_async.json runs are comparable
+    // across hosts without digging into the embedded stats blob.
+    let server_backend = stats
+        .get("simd_backend")
+        .and_then(Json::as_str)
+        .unwrap_or("unknown")
+        .to_string();
     let mut fields = vec![
         ("schema", Json::str("bbs-serve-async/v1")),
+        ("server_simd_backend", Json::Str(server_backend)),
         (
             "config",
             Json::obj(vec![

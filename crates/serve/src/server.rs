@@ -175,6 +175,10 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         &[
             ("addr", Value::Str(&addr.to_string())),
             ("backend", Value::Str(backend)),
+            (
+                "simd_backend",
+                Value::Str(bbs_tensor::lanes::Backend::active().label()),
+            ),
         ],
     );
 
@@ -380,6 +384,12 @@ fn metrics_body(shared: &Shared) -> String {
     let service: &Arc<SimService> = shared.service.service();
     let store = service.workload_store();
     let mut p = PromText::new();
+    p.counter_vec(
+        "bbs_simd_backend_info",
+        "Kernel lane backend selected at startup (constant 1 per backend).",
+        "backend",
+        &[(bbs_tensor::lanes::Backend::active().label(), 1)],
+    );
     p.counter(
         "bbs_requests_total",
         "POST /simulate and /sweep requests routed.",
@@ -483,6 +493,10 @@ fn stats_body(shared: &Shared) -> String {
     let service: &Arc<SimService> = shared.service.service();
     Json::obj(vec![
         ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+        (
+            "simd_backend",
+            Json::str(bbs_tensor::lanes::Backend::active().label()),
+        ),
         ("uptime_s", Json::Num(shared.telemetry.uptime_seconds())),
         (
             "requests",

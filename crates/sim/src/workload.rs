@@ -151,6 +151,11 @@ impl LayerWorkload {
 
 /// Lowers a model into per-layer workloads with deterministic synthesis.
 ///
+/// Layers are synthesized in parallel (each layer draws from its own
+/// `layer_seed`-derived generator, so per-layer streams are independent of
+/// scheduling) and collected in layer order — the result is bit-identical
+/// to a sequential lowering for any `RAYON_NUM_THREADS`.
+///
 /// `max_weights_per_layer` caps the materialized fan-in per layer; cycle
 /// and traffic results are extrapolated by the recorded sample factor.
 pub fn lower_model(
@@ -158,10 +163,13 @@ pub fn lower_model(
     seed: u64,
     max_weights_per_layer: usize,
 ) -> Vec<LayerWorkload> {
+    use rayon::prelude::*;
     model
         .layers
         .iter()
         .enumerate()
+        .collect::<Vec<_>>()
+        .into_par_iter()
         .map(|(i, spec)| {
             let layer_seed = seed.wrapping_mul(0x9e37_79b9).wrapping_add(i as u64);
             let synth =

@@ -6,6 +6,8 @@
 //! observation of BBS is that any bit vector is at least 50% sparse once the
 //! majority symbol (zero or one) is treated as the sparse one.
 
+use crate::lanes::{Backend, Lanes, U64x4, WORDS};
+
 /// Number of bits in a weight (the paper's operand precision `p`).
 pub const WEIGHT_BITS: usize = 8;
 
@@ -219,20 +221,82 @@ fn transpose8(mut x: u64) -> u64 {
     x
 }
 
+/// [`transpose8`] applied to four chunks at once over a lane vector: the
+/// Hacker's Delight network is pure shift/xor/and, so it maps one-for-one
+/// onto [`Lanes`] mask ops and stays bit-identical per word.
+#[inline(always)]
+fn transpose8_batched<L: Lanes>(mut x: L) -> L {
+    let t = x.xor(x.shr(7)).and(L::splat(0x00aa_00aa_00aa_00aa));
+    x = x.xor(t).xor(t.shl(7));
+    let t = x.xor(x.shr(14)).and(L::splat(0x0000_cccc_0000_cccc));
+    x = x.xor(t).xor(t.shl(14));
+    let t = x.xor(x.shr(28)).and(L::splat(0x0000_0000_f0f0_f0f0));
+    x = x.xor(t).xor(t.shl(28));
+    x
+}
+
+#[inline(always)]
+fn transpose_rows_batched<L: Lanes>(rows: &mut [u64; 8], nchunks: usize) {
+    let mut ci = 0;
+    while ci + WORDS <= nchunks {
+        let quad: [u64; WORDS] = rows[ci..ci + WORDS].try_into().expect("quad slice");
+        let tw = transpose8_batched(L::load(&quad)).store();
+        rows[ci..ci + WORDS].copy_from_slice(&tw);
+        ci += WORDS;
+    }
+    while ci < nchunks {
+        rows[ci] = transpose8(rows[ci]);
+        ci += 1;
+    }
+}
+
+// `target_feature` functions only inline into other AVX2 functions, so the
+// generic body must be `#[inline(always)]` (see `transpose8_batched`) for
+// the intrinsics to fuse into one straight-line network.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn transpose_rows_avx2(rows: &mut [u64; 8], nchunks: usize) {
+    transpose_rows_batched::<crate::lanes::Avx2>(rows, nchunks);
+}
+
+/// Transposes the first `nchunks` 8×8 bit matrices under the selected lane
+/// backend. All backends are bit-identical (differentially tested); the
+/// wide ones run the transpose network over four chunks per instruction.
+fn transpose_rows_with(backend: Backend, rows: &mut [u64; 8], nchunks: usize) {
+    match backend {
+        Backend::Scalar => {
+            for r in rows[..nchunks].iter_mut() {
+                *r = transpose8(*r);
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        Backend::Native if Backend::native_available() => {
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { transpose_rows_avx2(rows, nchunks) }
+        }
+        _ => transpose_rows_batched::<U64x4>(rows, nchunks),
+    }
+}
+
 /// The shared chunk/transpose/scatter packing loop, generic over the
 /// word-to-byte view (`i8` two's complement or raw `u8`). The closure is
 /// monomorphized and inlined, so both entry points compile to the same
 /// code as a hand-written loop.
 #[inline]
 fn pack_planes_with<T: Copy>(words: &[T], to_byte: impl Fn(T) -> u8) -> [u64; WEIGHT_BITS] {
-    let mut cols = [0u64; WEIGHT_BITS];
     debug_assert!(words.len() <= MAX_GROUP);
+    let mut rows = [0u64; 8];
+    let nchunks = words.len().div_ceil(8);
     for (ci, chunk) in words.chunks(8).enumerate() {
         let mut x = 0u64;
         for (i, &w) in chunk.iter().enumerate() {
             x |= (to_byte(w) as u64) << (8 * i);
         }
-        let t = transpose8(x);
+        rows[ci] = x;
+    }
+    transpose_rows_with(Backend::active(), &mut rows, nchunks);
+    let mut cols = [0u64; WEIGHT_BITS];
+    for (ci, &t) in rows[..nchunks].iter().enumerate() {
         for (b, col) in cols.iter_mut().enumerate() {
             *col |= ((t >> (8 * b)) & 0xff) << (8 * ci);
         }
@@ -260,13 +324,18 @@ pub fn pack_planes(words: &[i8]) -> [u64; WEIGHT_BITS] {
 /// Panics if `n > MAX_GROUP`.
 pub fn unpack_planes(cols: &[u64; WEIGHT_BITS], n: usize) -> Vec<i8> {
     assert!(n <= MAX_GROUP, "at most {MAX_GROUP} lanes");
-    let mut out = Vec::with_capacity(n);
-    for ci in 0..n.div_ceil(8) {
-        let mut t = 0u64;
+    let nchunks = n.div_ceil(8);
+    let mut rows = [0u64; 8];
+    for (ci, row) in rows[..nchunks].iter_mut().enumerate() {
         for (b, col) in cols.iter().enumerate() {
-            t |= ((col >> (8 * ci)) & 0xff) << (8 * b);
+            *row |= ((col >> (8 * ci)) & 0xff) << (8 * b);
         }
-        let x = transpose8(t);
+    }
+    // The transpose is an involution, so unpacking reuses the same batched
+    // network as packing.
+    transpose_rows_with(Backend::active(), &mut rows, nchunks);
+    let mut out = Vec::with_capacity(n);
+    for (ci, &x) in rows[..nchunks].iter().enumerate() {
         let take = (n - ci * 8).min(8);
         for i in 0..take {
             out.push(((x >> (8 * i)) & 0xff) as u8 as i8);
@@ -430,8 +499,26 @@ impl PackedGroup {
     ///
     /// Panics if `g > 8`.
     pub fn low_bits_sum(&self, g: usize) -> u32 {
+        self.low_bits_sum_with(Backend::active(), g)
+    }
+
+    /// [`PackedGroup::low_bits_sum`] under an explicit lane backend (the
+    /// wide paths batch the per-plane popcounts four planes at a time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g > 8`.
+    pub fn low_bits_sum_with(&self, backend: Backend, g: usize) -> u32 {
         assert!(g <= WEIGHT_BITS);
-        (0..g).map(|b| (self.cols[b].count_ones()) << b).sum()
+        match backend {
+            Backend::Scalar => (0..g).map(|b| (self.cols[b].count_ones()) << b).sum(),
+            #[cfg(target_arch = "x86_64")]
+            Backend::Native if Backend::native_available() => {
+                // SAFETY: AVX2 support was just verified at runtime.
+                unsafe { low_bits_sum_avx2(&self.cols, g) }
+            }
+            _ => low_bits_sum_batched::<U64x4>(&self.cols, g),
+        }
     }
 
     /// Reconstructs the word at lane `i`.
@@ -468,6 +555,29 @@ impl From<&PackedGroup> for BitGroup {
             n: g.n,
         }
     }
+}
+
+#[inline(always)]
+fn low_bits_sum_batched<L: Lanes>(cols: &[u64; WEIGHT_BITS], g: usize) -> u32 {
+    let mut quad = [0u64; WORDS];
+    for (b, q) in quad.iter_mut().enumerate().take(g.min(WORDS)) {
+        *q = cols[b];
+    }
+    let lo = L::load(&quad).popcounts();
+    let mut quad = [0u64; WORDS];
+    for (b, q) in quad.iter_mut().enumerate().take(g.saturating_sub(WORDS)) {
+        *q = cols[b + WORDS];
+    }
+    let hi = L::load(&quad).popcounts();
+    (0..WORDS)
+        .map(|b| (lo[b] << b) + (hi[b] << (b + WORDS)))
+        .sum()
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn low_bits_sum_avx2(cols: &[u64; WEIGHT_BITS], g: usize) -> u32 {
+    low_bits_sum_batched::<crate::lanes::Avx2>(cols, g)
 }
 
 fn lane_mask_of(n: usize) -> u64 {
@@ -694,6 +804,29 @@ mod tests {
     }
 
     #[test]
+    fn batched_transpose_matches_scalar_on_every_backend() {
+        let mut rng = crate::rng::SeededRng::new(17);
+        for backend in Backend::available() {
+            for nchunks in 0..=8usize {
+                let mut probe = [0u64; 8];
+                for p in probe.iter_mut() {
+                    *p = (rng.any_i8() as u8 as u64)
+                        | ((rng.any_i8() as u8 as u64) << 21)
+                        | ((rng.any_i8() as u8 as u64) << 42)
+                        | ((rng.any_i8() as u8 as u64) << 56);
+                }
+                let mut want = probe;
+                for r in want[..nchunks].iter_mut() {
+                    *r = transpose8(*r);
+                }
+                let mut got = probe;
+                transpose_rows_with(backend, &mut got, nchunks);
+                assert_eq!(got, want, "{backend:?} nchunks={nchunks}");
+            }
+        }
+    }
+
+    #[test]
     fn packed_group_matches_bitgroup() {
         let mut rng = crate::rng::SeededRng::new(14);
         for n in [1usize, 3, 8, 17, 32, 63, 64] {
@@ -739,6 +872,9 @@ mod tests {
                 let mask = if g == 8 { 0xff } else { (1u32 << g) - 1 };
                 let expect: u32 = words.iter().map(|&w| (w as u8 as u32) & mask).sum();
                 assert_eq!(p.low_bits_sum(g), expect, "g={g}");
+                for backend in Backend::available() {
+                    assert_eq!(p.low_bits_sum_with(backend, g), expect, "{backend:?} g={g}");
+                }
             }
         }
     }

@@ -10,7 +10,10 @@
 //! * [`metrics`] — MSE / SQNR / KL-divergence used throughout the paper's
 //!   fidelity arguments (Figs. 1, 6, 11, 16, 17),
 //! * [`bits`] — bit-plane views of `i8` groups, sign-magnitude conversion and
-//!   the value/bit/BBS sparsity statistics behind Fig. 3.
+//!   the value/bit/BBS sparsity statistics behind Fig. 3,
+//! * [`lanes`] — the runtime-dispatched wide-lane substrate (`scalar` /
+//!   `u64x4` / `native` backends, `BBS_SIMD` override) the packed kernels
+//!   batch their mask arithmetic over.
 //!
 //! # Example
 //!
@@ -30,6 +33,7 @@
 
 pub mod bits;
 pub mod error;
+pub mod lanes;
 pub mod metrics;
 pub mod quant;
 pub mod rng;

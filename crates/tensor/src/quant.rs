@@ -10,6 +10,7 @@
 //!   dithered quantizer (Table III comparison points).
 
 use crate::error::TensorError;
+use crate::lanes::Backend;
 use crate::metrics;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
@@ -75,9 +76,113 @@ pub fn qmax(bits: u8) -> i32 {
     (1i32 << (bits - 1)) - 1
 }
 
+/// `max |w|` as `f64`, dispatched over the active lane backend.
+///
+/// Max is associative and commutative over non-NaN values and both paths
+/// take `|w|` with an exact sign-bit clear followed by an exact f32→f64
+/// conversion, so the wide path is bit-identical to the scalar fold.
+fn absmax_f64(channel: &[f32]) -> f64 {
+    absmax_f64_with(Backend::active(), channel)
+}
+
+fn absmax_f64_with(backend: Backend, channel: &[f32]) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    if backend == Backend::Native && Backend::native_available() {
+        // SAFETY: AVX2 support was just verified at runtime.
+        return unsafe { absmax_avx2(channel) };
+    }
+    let _ = backend;
+    channel.iter().fold(0.0f64, |m, &w| m.max(w.abs() as f64))
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn absmax_avx2(channel: &[f32]) -> f64 {
+    use core::arch::x86_64::*;
+    let abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fff_ffff));
+    let mut m_lo = _mm256_setzero_pd();
+    let mut m_hi = _mm256_setzero_pd();
+    let mut chunks = channel.chunks_exact(8);
+    for ch in &mut chunks {
+        let v = _mm256_and_ps(_mm256_loadu_ps(ch.as_ptr()), abs_mask);
+        m_lo = _mm256_max_pd(m_lo, _mm256_cvtps_pd(_mm256_castps256_ps128(v)));
+        m_hi = _mm256_max_pd(m_hi, _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1)));
+    }
+    let mut lanes = [0.0f64; 4];
+    _mm256_storeu_pd(lanes.as_mut_ptr(), _mm256_max_pd(m_lo, m_hi));
+    let vec_max = lanes[0].max(lanes[1]).max(lanes[2]).max(lanes[3]);
+    chunks
+        .remainder()
+        .iter()
+        .fold(vec_max, |m, &w| m.max(w.abs() as f64))
+}
+
+/// One weight quantized to the symmetric `[-qm, qm]` grid — the scalar
+/// definition every wide path must reproduce bit-for-bit.
+#[inline]
+fn quantize_one(w: f32, s: f32, qm: i32) -> i8 {
+    let q = (w / s).round() as i32;
+    q.clamp(-qm, qm) as i8
+}
+
+fn quantize_row(row: &[f32], s: f32, qm: i32, out: &mut Vec<i8>) {
+    quantize_row_with(Backend::active(), row, s, qm, out)
+}
+
+fn quantize_row_with(backend: Backend, row: &[f32], s: f32, qm: i32, out: &mut Vec<i8>) {
+    #[cfg(target_arch = "x86_64")]
+    if backend == Backend::Native && Backend::native_available() {
+        // SAFETY: AVX2 support was just verified at runtime.
+        unsafe { quantize_row_avx2(row, s, qm, out) };
+        return;
+    }
+    let _ = backend;
+    out.extend(row.iter().map(|&w| quantize_one(w, s, qm)));
+}
+
+/// Eight-wide quantization, bit-identical to [`quantize_one`].
+///
+/// `vdivps` is exact IEEE division, but `vroundps` rounds halves to even
+/// while `f32::round` rounds halves away from zero, so rounding is emulated
+/// as truncate-then-adjust: the fraction `q - trunc(q)` is exact (both are
+/// multiples of `ulp(q)` and the difference is < 1), and `|frac| >= 0.5`
+/// adds `copysign(1, q)`. Clamping happens on the float grid (integers up
+/// to `qm <= 127` are exact in f32, and ±inf from overflowed divides clamp
+/// like the scalar saturating `as i32` cast); an ordered-compare mask zeroes
+/// NaN lanes (`0.0 / 0.0`) to match `f32::NAN as i32 == 0`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn quantize_row_avx2(row: &[f32], s: f32, qm: i32, out: &mut Vec<i8>) {
+    use core::arch::x86_64::*;
+    let sv = _mm256_set1_ps(s);
+    let qmv = _mm256_set1_ps(qm as f32);
+    let neg_qmv = _mm256_set1_ps(-(qm as f32));
+    let half = _mm256_set1_ps(0.5);
+    let one = _mm256_set1_ps(1.0);
+    let sign_mask = _mm256_castsi256_ps(_mm256_set1_epi32(i32::MIN));
+    let abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fff_ffff));
+    let mut chunks = row.chunks_exact(8);
+    for ch in &mut chunks {
+        let q = _mm256_div_ps(_mm256_loadu_ps(ch.as_ptr()), sv);
+        let t = _mm256_round_ps(q, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+        let frac = _mm256_and_ps(_mm256_sub_ps(q, t), abs_mask);
+        let adj = _mm256_and_ps(
+            _mm256_cmp_ps(frac, half, _CMP_GE_OQ),
+            _mm256_or_ps(one, _mm256_and_ps(q, sign_mask)),
+        );
+        let r = _mm256_add_ps(t, adj);
+        let c = _mm256_max_ps(_mm256_min_ps(r, qmv), neg_qmv);
+        let c = _mm256_and_ps(c, _mm256_cmp_ps(q, q, _CMP_ORD_Q));
+        let mut lane = [0i32; 8];
+        _mm256_storeu_si256(lane.as_mut_ptr() as *mut __m256i, _mm256_cvttps_epi32(c));
+        out.extend(lane.iter().map(|&v| v as i8));
+    }
+    out.extend(chunks.remainder().iter().map(|&w| quantize_one(w, s, qm)));
+}
+
 fn channel_scale(channel: &[f32], bits: u8, method: ScaleMethod) -> f32 {
     let qm = qmax(bits) as f64;
-    let absmax = channel.iter().fold(0.0f64, |m, &w| m.max(w.abs() as f64));
+    let absmax = absmax_f64(channel);
     if absmax == 0.0 {
         return 1.0;
     }
@@ -144,10 +249,7 @@ pub fn quantize_per_channel(
         let row = weights.row(c);
         let s = channel_scale(row, bits, method);
         scales.push(s);
-        data.extend(row.iter().map(|&w| {
-            let q = (w / s).round() as i32;
-            q.clamp(-qm, qm) as i8
-        }));
+        quantize_row(row, s, qm, &mut data);
     }
     Ok(QuantTensor {
         data: Tensor::from_vec(Shape::matrix(chans, epc), data)?,
@@ -404,6 +506,90 @@ mod tests {
         // 6-bit quantization step on this range is ~2; dithered error stays
         // in the same ballpark.
         assert!(mse < 8.0, "mse {mse}");
+    }
+
+    #[test]
+    fn quantize_row_matches_scalar_on_every_backend() {
+        let mut rng = SeededRng::new(77);
+        // Adversarial values around the rounding and saturation edges; the
+        // 0.49999997 pair is the nearest-below-half f32 that naive
+        // `x + copysign(0.5, x)` emulations round incorrectly.
+        let edges: Vec<f32> = vec![
+            0.0,
+            -0.0,
+            0.5,
+            -0.5,
+            1.5,
+            -2.5,
+            126.5,
+            -126.5,
+            127.5,
+            0.499_999_97,
+            -0.499_999_97,
+            200.0,
+            -200.0,
+            1e30,
+            -1e30,
+            1e-30,
+            f32::MIN_POSITIVE,
+        ];
+        for backend in Backend::available() {
+            for s in [1.0f32, 0.02, 3.7e-3] {
+                for qm in [127, 7, 1] {
+                    let mut want = Vec::new();
+                    quantize_row_with(Backend::Scalar, &edges, s, qm, &mut want);
+                    let mut got = Vec::new();
+                    quantize_row_with(backend, &edges, s, qm, &mut got);
+                    assert_eq!(got, want, "{backend:?} s={s} qm={qm}");
+                }
+            }
+            for case in 0..40 {
+                let n = rng.uniform_usize(1, 70);
+                let row: Vec<f32> = (0..n).map(|_| rng.gaussian(0.0, 0.05) as f32).collect();
+                let s = channel_scale(&row, 8, ScaleMethod::AbsMax);
+                let mut want = Vec::new();
+                quantize_row_with(Backend::Scalar, &row, s, 127, &mut want);
+                let mut got = Vec::new();
+                quantize_row_with(backend, &row, s, 127, &mut got);
+                assert_eq!(got, want, "{backend:?} case {case} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_row_zero_scale_matches_scalar() {
+        // A denormal-small absmax can underflow the f32 scale to zero;
+        // 0/0 = NaN must quantize to 0 and ±x/0 = ±inf must saturate,
+        // exactly like the scalar `as i32` cast path.
+        let row = [0.0f32, 1.0, -1.0, 5.5, -0.25, 0.0, 2.0, -3.0, 0.0];
+        for backend in Backend::available() {
+            let mut want = Vec::new();
+            quantize_row_with(Backend::Scalar, &row, 0.0, 127, &mut want);
+            let mut got = Vec::new();
+            quantize_row_with(backend, &row, 0.0, 127, &mut got);
+            assert_eq!(got, want, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn absmax_matches_scalar_on_every_backend() {
+        let mut rng = SeededRng::new(78);
+        for backend in Backend::available() {
+            for case in 0..40 {
+                let n = rng.uniform_usize(1, 70);
+                let row: Vec<f32> = (0..n)
+                    .map(|_| {
+                        (rng.gaussian(0.0, 0.05) * 10f64.powi(rng.uniform_usize(0, 9) as i32 - 4))
+                            as f32
+                    })
+                    .collect();
+                let want = absmax_f64_with(Backend::Scalar, &row);
+                let got = absmax_f64_with(backend, &row);
+                assert_eq!(got.to_bits(), want.to_bits(), "{backend:?} case {case}");
+            }
+            assert_eq!(absmax_f64_with(backend, &[]), 0.0);
+            assert_eq!(absmax_f64_with(backend, &[-0.0f32; 11]), 0.0);
+        }
     }
 
     #[test]

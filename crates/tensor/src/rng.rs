@@ -8,6 +8,43 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+#[cfg(unix)]
+extern "C" {
+    /// libm's paired sine/cosine — one argument reduction for both values.
+    fn sincos(x: f64, s: *mut f64, c: *mut f64);
+}
+
+/// Whether the platform `sincos` is bit-identical to separate `sin`/`cos`
+/// calls, checked once over deterministic probe points spanning the
+/// Box-Muller theta range. Determinism of the output stream is
+/// non-negotiable, so the paired call is only used when it provably agrees.
+#[cfg(unix)]
+fn sincos_is_exact() -> bool {
+    use std::sync::OnceLock;
+    static EXACT: OnceLock<bool> = OnceLock::new();
+    *EXACT.get_or_init(|| {
+        (0..257).all(|i| {
+            let x = std::f64::consts::TAU * i as f64 / 256.0;
+            let (mut s, mut c) = (0.0f64, 0.0f64);
+            unsafe { sincos(x, &mut s, &mut c) };
+            s.to_bits() == x.sin().to_bits() && c.to_bits() == x.cos().to_bits()
+        })
+    })
+}
+
+/// `(x.sin(), x.cos())` with one shared argument reduction where the
+/// platform guarantees bit-identical results, separate calls otherwise.
+#[inline]
+fn sin_cos_exact(x: f64) -> (f64, f64) {
+    #[cfg(unix)]
+    if sincos_is_exact() {
+        let (mut s, mut c) = (0.0f64, 0.0f64);
+        unsafe { sincos(x, &mut s, &mut c) };
+        return (s, c);
+    }
+    (x.sin(), x.cos())
+}
+
 /// A deterministic random source with the distribution samplers the
 /// reproduction needs.
 ///
@@ -66,8 +103,9 @@ impl SeededRng {
         let u2 = self.uniform();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
-        self.spare = Some(r * theta.sin());
-        r * theta.cos()
+        let (sin, cos) = sin_cos_exact(theta);
+        self.spare = Some(r * sin);
+        r * cos
     }
 
     /// Normal sample with the given mean and standard deviation.
@@ -99,6 +137,41 @@ impl SeededRng {
         let z = self.standard_normal();
         let chi2: f64 = (0..df).map(|_| self.standard_normal().powi(2)).sum();
         z / (chi2 / df as f64).sqrt()
+    }
+
+    /// Appends `n` Gaussian `f32` samples, consuming the generator state
+    /// exactly as `n` successive [`SeededRng::gaussian`] calls would (the
+    /// cached spare is drained first and an odd trailing sample re-arms it),
+    /// but with the per-call dispatch hoisted out of the hot loop.
+    pub fn extend_gaussian_f32(&mut self, out: &mut Vec<f32>, n: usize, mean: f64, std: f64) {
+        out.reserve(n);
+        let mut rem = n;
+        if rem > 0 {
+            if let Some(z) = self.spare.take() {
+                out.push((mean + std * z) as f32);
+                rem -= 1;
+            }
+        }
+        while rem > 0 {
+            let u1 = loop {
+                let u = self.uniform();
+                if u > f64::EPSILON {
+                    break u;
+                }
+            };
+            let u2 = self.uniform();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            let (sin, cos) = sin_cos_exact(theta);
+            out.push((mean + std * (r * cos)) as f32);
+            rem -= 1;
+            if rem > 0 {
+                out.push((mean + std * (r * sin)) as f32);
+                rem -= 1;
+            } else {
+                self.spare = Some(r * sin);
+            }
+        }
     }
 
     /// Fills a vector with Gaussian samples.
@@ -143,6 +216,52 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.standard_normal(), b.standard_normal());
         }
+    }
+
+    #[test]
+    fn paired_sincos_matches_direct_formula() {
+        // The fast path must reproduce the exact pre-sincos f64 sequence:
+        // r*sin(theta) then r*cos(theta) computed with separate libm calls.
+        let mut fast = SeededRng::new(0xb0c5);
+        let mut src = SeededRng::new(0xb0c5);
+        for _ in 0..10_000 {
+            let u1 = loop {
+                let u = src.uniform();
+                if u > f64::EPSILON {
+                    break u;
+                }
+            };
+            let u2 = src.uniform();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            assert_eq!(
+                fast.standard_normal().to_bits(),
+                (r * theta.cos()).to_bits()
+            );
+            assert_eq!(
+                fast.standard_normal().to_bits(),
+                (r * theta.sin()).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn extend_gaussian_matches_per_call_sequence() {
+        let mut bulk = SeededRng::new(99);
+        let mut solo = SeededRng::new(99);
+        let mut got = Vec::new();
+        for n in [0usize, 1, 2, 5, 8, 3] {
+            // A lone draw between bulk calls forces the cached spare to
+            // cross the bulk-call boundary in both directions.
+            got.push(bulk.gaussian(0.5, 2.0) as f32);
+            bulk.extend_gaussian_f32(&mut got, n, 0.5, 2.0);
+        }
+        let want: Vec<f32> = (0..got.len())
+            .map(|_| solo.gaussian(0.5, 2.0) as f32)
+            .collect();
+        let got_bits: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+        let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got_bits, want_bits);
     }
 
     #[test]

@@ -1,0 +1,28 @@
+//! Prints the kernel lane-dispatch picture for this host — which backend
+//! `Backend::active()` selected, which backends could run here, and the
+//! detected CPU features. `scripts/bench_baseline.sh` shells out to this
+//! to stamp provenance into `BENCH_simd.json`.
+//!
+//! ```sh
+//! cargo run --release --example simd_probe            # active backend label
+//! cargo run --release --example simd_probe backends   # "<BBS_SIMD value> <label>" per line
+//! cargo run --release --example simd_probe features   # comma-joined CPU features
+//! ```
+
+use bbs::tensor::lanes::{cpu_features, Backend};
+
+fn main() {
+    match std::env::args().nth(1).as_deref() {
+        None | Some("active") => println!("{}", Backend::active().label()),
+        Some("backends") => {
+            for b in Backend::available() {
+                println!("{} {}", b.name(), b.label());
+            }
+        }
+        Some("features") => println!("{}", cpu_features()),
+        Some(other) => {
+            eprintln!("simd_probe: unknown mode '{other}' (active|backends|features)");
+            std::process::exit(2);
+        }
+    }
+}

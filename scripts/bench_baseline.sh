@@ -7,7 +7,15 @@
 # port: SERVE_REQUESTS unique requests cold, then the same again warm) and
 # writes the cold/warm latency + dedup counters to BENCH_serve.json, then an
 # open-loop keep-alive concurrency sweep (ASYNC_CONNECTIONS simultaneous
-# connections against the event loop) to BENCH_async.json.
+# connections against the event loop) to BENCH_async.json, and finally a
+# per-backend kernel sweep (BBS_SIMD=scalar/u64x4/native) to BENCH_simd.json.
+#
+# Baseline lineage (each snapshot taken after the PR that named it):
+#   BENCH_seed.json    – thread-per-connection seed
+#   BENCH_packed.json  – bit-plane packed kernels
+#   BENCH_lowered.json – store-shared lowering + profile memo
+#   BENCH_async.json   – readiness event loop (concurrency sweep)
+#   BENCH_simd.json    – runtime lane dispatch (this file's simd sweep)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,28 +38,64 @@ echo "wrote BENCH_serve.json (serve load: ${SERVE_REQUESTS} requests, ${SERVE_CL
     --cap "${ASYNC_CAP}" > BENCH_async.json
 echo "wrote BENCH_async.json (keep-alive sweep: ${ASYNC_CONNECTIONS} connections, ${ASYNC_ROUNDS} rounds)" >&2
 
+# Criterion shim lines look like: "bench: <name> ... median <ns> ns/iter".
+# kernel_medians INDENT — run the kernel benches under the current BBS_SIMD
+# and print the medians as JSON object fields at the given indent.
+kernel_medians() {
+    { cargo bench -p bbs-bench --bench compression 2>/dev/null
+      cargo bench -p bbs-bench --bench simulator 2>/dev/null || true; } |
+    awk -v ind="$1" '/^bench: .* median /{
+        name=$2; ns=$(NF-1);
+        printf "%s%s\"%s\": %s", sep, ind, name, ns; sep=",\n"
+    } END { print "" }'
+}
+
+# Per-backend kernel sweep: every backend this host can run, each forced
+# via BBS_SIMD so the medians isolate the lane implementation.
+backend_active=$(./target/release/examples/simd_probe active)
+cpu_features=$(./target/release/examples/simd_probe features)
+simd_blocks=""
+sep=""
+while read -r env_name label; do
+    echo "simd sweep: BBS_SIMD=${env_name} (${label})" >&2
+    block=$(BBS_SIMD="${env_name}" kernel_medians "        ")
+    simd_blocks+="${sep}    \"${label}\": {
+${block}    }"
+    sep=",\n"
+done < <(./target/release/examples/simd_probe backends)
+
+cat > BENCH_simd.json <<EOF
+{
+  "schema": "bbs-simd-kernels/v1",
+  "host": {
+    "cpus": $(nproc),
+    "rustc": "$(rustc --version | cut -d' ' -f2)",
+    "cpu_features": "${cpu_features}"
+  },
+  "backend": "${backend_active}",
+  "criterion_median_ns_by_backend": {
+$(printf "%b" "${simd_blocks}")
+  }
+}
+EOF
+echo "wrote BENCH_simd.json (backends: $(./target/release/examples/simd_probe backends | awk '{printf "%s%s", s, $2; s=","}'))" >&2
+
 start=$(date +%s.%N)
 BBS_CAP=4096 ./target/release/repro > /dev/null
 end=$(date +%s.%N)
 repro_s=$(echo "$end $start" | awk '{printf "%.2f", $1 - $2}')
 
-# Criterion shim lines look like: "bench: <name> ... median <ns> ns/iter".
-medians=$(
-    { cargo bench -p bbs-bench --bench compression 2>/dev/null
-      cargo bench -p bbs-bench --bench simulator 2>/dev/null || true; } |
-    awk '/^bench: .* median /{
-        name=$2; ns=$(NF-1);
-        printf "%s        \"%s\": %s", sep, name, ns; sep=",\n"
-    } END { print "" }'
-)
+medians=$(kernel_medians "        ")
 
 cat <<EOF
 {
   "schema": "bbs-perf-baseline/v1",
   "host": {
     "cpus": $(nproc),
-    "rustc": "$(rustc --version | cut -d' ' -f2)"
+    "rustc": "$(rustc --version | cut -d' ' -f2)",
+    "cpu_features": "${cpu_features}"
   },
+  "backend": "${backend_active}",
   "repro": {
     "bbs_cap": 4096,
     "wall_clock_s": ${repro_s}

@@ -145,11 +145,12 @@ fn serve(args: &[String]) -> ExitCode {
         }
     };
     println!(
-        "bbs-serve listening on http://{} ({} workers, queue depth {}, {} event loop)",
+        "bbs-serve listening on http://{} ({} workers, queue depth {}, {} event loop, {} kernels)",
         server.addr(),
         config.service.workers,
         config.service.queue_depth,
-        server.backend()
+        server.backend(),
+        bbs_tensor::lanes::Backend::active().label()
     );
     println!(
         "routes: POST /simulate /sweep · GET /stats /metrics /logs/tail /healthz /models /accelerators"
