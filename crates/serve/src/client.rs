@@ -1,9 +1,20 @@
 //! A tiny blocking HTTP/1.1 client over one keep-alive connection —
 //! enough for the integration tests, the load generator and scripted
 //! interaction with a running `bbs serve`.
+//!
+//! Failure handling lives here too: [`Client::request_with_retry`] wraps
+//! one request in bounded reconnect-and-retry with exponential backoff
+//! (safe — the API is idempotent, every job content-addressed by key),
+//! and [`sweep_with_resume`] recovers a sweep whose stream died mid-way
+//! by re-requesting only the failed or never-received cells over
+//! `POST /simulate`.
 
+use crate::service::Served;
+use crate::sweep::{error_record, result_record, SweepPlan};
+use bbs_json::Json;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
 /// Default socket timeout for reads and writes — matches the server's
 /// default [`crate::server::IDLE_TIMEOUT`], so a peer that neither frames
@@ -119,8 +130,39 @@ impl Client {
                 reader: self.reader,
                 sized: content_length,
                 trace,
+                timeout: self.timeout,
             },
         ))
+    }
+
+    /// One request with bounded reconnect-and-retry: a fresh connection
+    /// per attempt, exponential backoff with deterministic jitter between
+    /// attempts. Retries on connection/transport errors and on `503`
+    /// (backpressure); any other status returns immediately. Safe to
+    /// repeat because the API is idempotent — every simulation is
+    /// content-addressed, so a retried request lands on the cache entry
+    /// the first attempt may already have produced.
+    pub fn request_with_retry(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        body: &str,
+        policy: &RetryPolicy,
+    ) -> io::Result<(u16, String)> {
+        let attempts = policy.attempts.max(1);
+        let mut last: io::Result<(u16, String)> =
+            Err(io::Error::other("retry policy allowed zero attempts"));
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(policy.backoff(attempt - 1));
+            }
+            last = Client::connect(addr).and_then(|mut c| c.request(method, path, body));
+            match &last {
+                Ok((status, _)) if *status != 503 => return last,
+                _ => {}
+            }
+        }
+        last
     }
 
     fn read_line(&mut self) -> io::Result<String> {
@@ -216,6 +258,58 @@ impl Client {
     }
 }
 
+/// Bounded-retry schedule: exponential backoff from `base` capped at
+/// `max`, plus deterministic jitter derived from `seed` (reproducible
+/// runs — two clients with different seeds still decorrelate).
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try included). Zero behaves as one.
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub max: Duration,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base: Duration::from_millis(50),
+            max: Duration::from_secs(2),
+            seed: 0x1bb5,
+        }
+    }
+}
+
+/// SplitMix64 — the same generator the fault plan uses; enough bits to
+/// decorrelate retry storms without pulling in a rand dependency.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (0-based): half the capped
+    /// exponential deterministically, half jittered — so concurrent
+    /// clients retrying the same outage spread out instead of thundering
+    /// back in lockstep.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX));
+        let capped = exp.min(self.max);
+        let half = capped / 2;
+        let span_ns = half.as_nanos().max(1) as u64;
+        let jitter_ns = splitmix64(self.seed ^ u64::from(attempt)) % span_ns;
+        half + Duration::from_nanos(jitter_ns)
+    }
+}
+
 /// The body of a [`Client::sweep`] response, yielded line by line —
 /// records arrive as the server completes cells, so iterating observes
 /// the stream live rather than after the whole grid finishes.
@@ -226,6 +320,9 @@ pub struct SweepLines {
     sized: Option<usize>,
     /// The stream's `x-bbs-trace` header (`id=<16 hex>`), if present.
     trace: Option<String>,
+    /// The connection's read deadline, echoed into timeout errors so a
+    /// stall mid-stream reads as "timed out" and not a bare `WouldBlock`.
+    timeout: Duration,
 }
 
 impl SweepLines {
@@ -238,6 +335,28 @@ impl SweepLines {
     /// one — the trace id covers every cell of this sweep.
     pub fn trace_header(&self) -> Option<&str> {
         self.trace.as_deref()
+    }
+
+    /// Rewraps a socket-timeout error so the caller sees *what* timed out
+    /// (waiting for the next record of a live stream) and after how long,
+    /// instead of the platform-dependent `TimedOut`/`WouldBlock` raw kind.
+    fn clarify_stream_timeout(&self, e: io::Error) -> io::Error {
+        if matches!(
+            e.kind(),
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+        ) {
+            io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!(
+                    "timed out waiting for the next sweep record after {:?} \
+                     (stream stalled mid-sweep; completed cells stay cached \
+                     server-side — resume to fetch the rest)",
+                    self.timeout
+                ),
+            )
+        } else {
+            e
+        }
     }
 }
 
@@ -253,7 +372,7 @@ impl Iterator for SweepLines {
             }
             let mut body = vec![0u8; len];
             if let Err(e) = self.reader.read_exact(&mut body) {
-                return Some(Err(e));
+                return Some(Err(self.clarify_stream_timeout(e)));
             }
             return match String::from_utf8(body) {
                 Ok(s) => Some(Ok(s)),
@@ -274,10 +393,146 @@ impl Iterator for SweepLines {
                     }
                     return Some(Ok(line.to_string()));
                 }
-                Err(e) => return Some(Err(e)),
+                Err(e) => return Some(Err(self.clarify_stream_timeout(e))),
             }
         }
     }
+}
+
+/// What [`sweep_with_resume`] recovered: one record per grid cell in cell
+/// order (resumed cells spliced in the stream's own NDJSON format), plus
+/// the trailing summary when the stream delivered it.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// One NDJSON record (newline included) per cell, ordered by index.
+    pub records: Vec<String>,
+    /// The stream's trailing summary line, if it arrived intact.
+    pub summary: Option<String>,
+    /// Why the stream broke, when it did (`None` = clean EOF).
+    pub stream_error: Option<String>,
+    /// Cells recovered via `POST /simulate` after the stream failed or
+    /// returned an error record for them.
+    pub resumed: usize,
+}
+
+/// Runs a sweep and, if the stream dies mid-way (connection reset, read
+/// deadline, server restart) or individual cells come back as error
+/// records, re-requests **only the failed or never-received cells** over
+/// `POST /simulate` — completed cells are never re-simulated (and the
+/// re-requests themselves usually land on the server's cache, since every
+/// cell the first pass finished is already stored under its key).
+///
+/// Cells poisoned by an unresolvable axis entry (unknown model or
+/// accelerator) are never re-requested; their error records are
+/// regenerated locally, byte-identical to what the server streams.
+pub fn sweep_with_resume(
+    addr: SocketAddr,
+    body: &str,
+    retry: &RetryPolicy,
+) -> io::Result<SweepOutcome> {
+    let parsed =
+        Json::parse(body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    // `usize::MAX` keeps client-side expansion clamp-free; the echo `cap`
+    // of resumed records then matches the request, like the server's.
+    let plan = SweepPlan::from_json(&parsed, usize::MAX)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let cells = plan.cell_count();
+    let mut records: Vec<Option<String>> = (0..cells).map(|_| None).collect();
+    let mut summary = None;
+    let mut stream_error = None;
+
+    match Client::connect(addr).and_then(|c| c.sweep(body)) {
+        Ok((200, lines)) => {
+            for line in lines {
+                let line = match line {
+                    Ok(l) => l,
+                    Err(e) => {
+                        stream_error = Some(e.to_string());
+                        break;
+                    }
+                };
+                let Ok(v) = Json::parse(&line) else { continue };
+                if let Some(idx) = v.get("cell").and_then(|c| c.as_usize()) {
+                    // Error records are left empty so the resume pass
+                    // retries them (transient failures — queue-full,
+                    // worker panic — often succeed on a second attempt).
+                    if idx < cells && v.get("error").is_none() {
+                        records[idx] = Some(format!("{line}\n"));
+                    }
+                } else if v.get("summary").is_some() {
+                    summary = Some(format!("{line}\n"));
+                }
+            }
+        }
+        Ok((status, lines)) => {
+            let detail = lines.collect_lines().unwrap_or_default().join(" ");
+            return Err(io::Error::other(format!(
+                "sweep rejected with status {status}: {detail}"
+            )));
+        }
+        Err(e) => stream_error = Some(e.to_string()),
+    }
+
+    let mut resumed = 0;
+    for (i, slot) in records.iter_mut().enumerate() {
+        if slot.is_some() {
+            continue;
+        }
+        let cell = plan.cell(i);
+        let meta = cell.meta();
+        let record = match cell.request {
+            Err(message) => error_record(&meta, &message),
+            Ok(request) => {
+                let sim_body = request.to_json().to_string();
+                match Client::request_with_retry(addr, "POST", "/simulate", &sim_body, retry) {
+                    Ok((200, resp)) => match splice_simulate_record(&meta, &resp) {
+                        Some(rec) => {
+                            resumed += 1;
+                            rec
+                        }
+                        None => error_record(&meta, "malformed /simulate response"),
+                    },
+                    Ok((_, resp)) => {
+                        let message = Json::parse(&resp)
+                            .ok()
+                            .and_then(|v| v.get("error").and_then(|e| e.as_str().map(String::from)))
+                            .unwrap_or(resp);
+                        error_record(&meta, &message)
+                    }
+                    Err(e) => error_record(&meta, &e.to_string()),
+                }
+            }
+        };
+        *slot = Some(record);
+    }
+
+    Ok(SweepOutcome {
+        records: records.into_iter().flatten().collect(),
+        summary,
+        stream_error,
+        resumed,
+    })
+}
+
+/// Rebuilds a sweep result record from a `/simulate` response body
+/// (`{"meta":{..,"served":..,"key":..},"result":R}`). The result text is
+/// spliced verbatim — never re-encoded — so a resumed record is
+/// byte-identical to the record the stream would have carried (modulo the
+/// `served` label, which truthfully reports how the re-request was
+/// answered).
+fn splice_simulate_record(meta: &crate::sweep::CellMeta, resp: &str) -> Option<String> {
+    let v = Json::parse(resp).ok()?;
+    let head = v.get("meta")?;
+    let key = u64::from_str_radix(head.get("key")?.as_str()?, 16).ok()?;
+    let served = match head.get("served")?.as_str()? {
+        "cache" => Served::Hit,
+        "coalesced" => Served::Coalesced,
+        _ => Served::Fresh,
+    };
+    let marker = ",\"result\":";
+    let pos = resp.find(marker)?;
+    let result_text = resp.get(pos + marker.len()..resp.len() - 1)?;
+    Some(result_record(meta, key, served, result_text))
 }
 
 #[cfg(test)]
@@ -360,6 +615,85 @@ mod tests {
             err.to_string().contains("transfer-encoding"),
             "error: {err}"
         );
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let policy = RetryPolicy::default();
+        for attempt in 0..8 {
+            let a = policy.backoff(attempt);
+            let b = policy.backoff(attempt);
+            assert_eq!(a, b, "same seed, same attempt, same sleep");
+            assert!(
+                a <= policy.max,
+                "attempt {attempt}: {a:?} > {:?}",
+                policy.max
+            );
+            assert!(a >= policy.base / 2, "attempt {attempt}: {a:?} too small");
+        }
+        // Growth: a late attempt waits at least as long as half the cap.
+        assert!(policy.backoff(12) >= policy.max / 2);
+        // Different seeds decorrelate.
+        let other = RetryPolicy {
+            seed: 0x9999,
+            ..RetryPolicy::default()
+        };
+        assert_ne!(policy.backoff(0), other.backoff(0));
+    }
+
+    #[test]
+    fn request_with_retry_recovers_from_a_503() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let responses: [&[u8]; 2] = [
+                b"HTTP/1.1 503 Service Unavailable\r\ncontent-length: 2\r\n\r\n{}",
+                b"HTTP/1.1 200 OK\r\ncontent-length: 11\r\n\r\n{\"ok\":true}",
+            ];
+            for resp in responses {
+                let (mut sock, _) = listener.accept().unwrap();
+                let mut head = Vec::new();
+                let mut buf = [0u8; 1024];
+                loop {
+                    match io::Read::read(&mut sock, &mut buf) {
+                        Ok(0) | Err(_) => break,
+                        Ok(k) => {
+                            head.extend_from_slice(&buf[..k]);
+                            if head.windows(4).any(|w| w == b"\r\n\r\n") {
+                                break;
+                            }
+                        }
+                    }
+                }
+                sock.write_all(resp).unwrap();
+            }
+        });
+        let policy = RetryPolicy {
+            attempts: 3,
+            base: Duration::from_millis(1),
+            max: Duration::from_millis(4),
+            ..RetryPolicy::default()
+        };
+        let (status, body) =
+            Client::request_with_retry(addr, "GET", "/whatever", "", &policy).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"ok\":true}");
+    }
+
+    #[test]
+    fn request_with_retry_gives_up_after_attempts() {
+        // Nothing listens on this address once the listener drops.
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let policy = RetryPolicy {
+            attempts: 2,
+            base: Duration::from_millis(1),
+            max: Duration::from_millis(2),
+            ..RetryPolicy::default()
+        };
+        assert!(Client::request_with_retry(addr, "GET", "/whatever", "", &policy).is_err());
     }
 
     #[test]

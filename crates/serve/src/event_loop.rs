@@ -489,6 +489,9 @@ pub struct LoopOptions {
     pub high_water: usize,
     /// Readiness backend selection.
     pub poller: PollerKind,
+    /// How long `stop()` lets in-flight exchanges finish before dropping
+    /// their connections.
+    pub drain_timeout: Duration,
 }
 
 const TOKEN_LISTENER: u64 = 0;
@@ -504,8 +507,6 @@ const READ_CHUNK: usize = 16 * 1024;
 /// Stop reading a connection whose parser has buffered this much without
 /// completing a request (the parser's own limits will 400 it).
 const READ_CAP: usize = MAX_BODY + 64 * 1024;
-/// How long `stop()` lets in-flight exchanges finish before dropping them.
-const STOP_GRACE: Duration = Duration::from_secs(10);
 
 /// A completed job coming back from the worker pool.
 enum Done {
@@ -666,6 +667,7 @@ fn route_label(path: &str) -> &'static str {
         "/metrics" => "/metrics",
         "/logs/tail" => "/logs/tail",
         "/healthz" => "/healthz",
+        "/readyz" => "/readyz",
         "/models" => "/models",
         "/accelerators" => "/accelerators",
         _ => "other",
@@ -845,7 +847,7 @@ impl EventLoop {
             }
 
             if self.shared.stopping.load(Ordering::SeqCst) {
-                let deadline = *stop_deadline.get_or_insert(now + STOP_GRACE);
+                let deadline = *stop_deadline.get_or_insert(now + self.opts.drain_timeout);
                 self.wind_down();
                 if self.conns.is_empty() || now >= deadline {
                     break;
@@ -887,6 +889,12 @@ impl EventLoop {
             };
             let _ = stream.set_nodelay(true);
             if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            // Fault site: a chaos plan can sever fresh connections, the
+            // way a flaky LB or mid-handshake peer crash would. Dropping
+            // the stream here sends RST/FIN before any HTTP exchange.
+            if self.shared.service.service().faults().reset_connection() {
                 continue;
             }
             let stopping = self.shared.stopping.load(Ordering::SeqCst);
@@ -1109,6 +1117,7 @@ impl EventLoop {
                 let completion = sim_completion(&self.done_tx, &self.waker, token, key);
                 match self.shared.service.service().submit(request, completion) {
                     Submitted::Hit(bytes) => {
+                        self.shared.saturated.store(false, Ordering::SeqCst);
                         let (_, header) = finish_trace(
                             &self.shared.telemetry,
                             &ctx,
@@ -1131,11 +1140,16 @@ impl EventLoop {
                         }
                     }
                     Submitted::Pending => {
+                        self.shared.saturated.store(false, Ordering::SeqCst);
                         conn.trace = Some(ctx);
                         conn.state = ConnState::Waiting { close };
                     }
                     Submitted::Busy(request) => {
                         if self.opts.park_timeout.is_zero() {
+                            // Fail-fast saturation is readiness-visible
+                            // immediately; with parking it only counts once
+                            // a request waits out the full park deadline.
+                            self.shared.saturated.store(true, Ordering::SeqCst);
                             let (_, header) = finish_trace(
                                 &self.shared.telemetry,
                                 &ctx,
@@ -1404,6 +1418,7 @@ impl EventLoop {
             let completion = sim_completion(&self.done_tx, &self.waker, token, key);
             match self.shared.service.service().submit(*request, completion) {
                 Submitted::Hit(bytes) => {
+                    self.shared.saturated.store(false, Ordering::SeqCst);
                     let header = conn.trace.take().map(|mut ctx| {
                         ctx.park_us = parked_us;
                         finish_trace(
@@ -1430,6 +1445,7 @@ impl EventLoop {
                     }
                 }
                 Submitted::Pending => {
+                    self.shared.saturated.store(false, Ordering::SeqCst);
                     if let Some(ctx) = conn.trace.as_mut() {
                         ctx.park_us = parked_us;
                     }
@@ -1525,6 +1541,9 @@ impl EventLoop {
             self.remove_conn(token);
         }
         for token in to_expire {
+            // A request waited out the whole park deadline and still found
+            // the queue full: the instance is saturated, not just bursty.
+            self.shared.saturated.store(true, Ordering::SeqCst);
             self.expire_parked(token, "queue full, retry later");
         }
     }

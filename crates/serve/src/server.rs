@@ -11,6 +11,7 @@
 //! | `/metrics`         | GET    | Prometheus text exposition                |
 //! | `/logs/tail`       | GET    | recent log events (bounded NDJSON ring)   |
 //! | `/healthz`         | GET    | liveness                                  |
+//! | `/readyz`          | GET    | readiness (503 draining / saturated)      |
 //! | `/models`          | GET    | zoo model names                           |
 //! | `/accelerators`    | GET    | canonical accelerator ids                 |
 //!
@@ -64,6 +65,9 @@ pub const PARK_TIMEOUT: Duration = Duration::from_secs(10);
 /// requests (and a sweep pauses cell submission) once this many response
 /// bytes are buffered, resuming as writes drain.
 pub const HIGH_WATER: usize = 256 * 1024;
+/// Default drain deadline (`--drain-timeout-ms`): how long shutdown waits
+/// for in-flight exchanges before closing their connections.
+pub const DRAIN_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -94,6 +98,9 @@ pub struct ServeConfig {
     /// Requests slower than this many milliseconds log at `warn`
     /// (`--slow-ms`).
     pub slow_ms: u64,
+    /// Shutdown drain deadline: in-flight work past it is abandoned (its
+    /// connections closed), parked requests answer 503 immediately.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -110,6 +117,7 @@ impl Default for ServeConfig {
             log_format: Format::Json,
             log_quiet: false,
             slow_ms: SLOW_MS,
+            drain_timeout: DRAIN_TIMEOUT,
         }
     }
 }
@@ -124,6 +132,11 @@ pub(crate) struct Shared {
     pub(crate) connections_peak: AtomicUsize,
     pub(crate) connections_parked: AtomicUsize,
     pub(crate) stopping: AtomicBool,
+    /// Set when a request waits out the park timeout (or is 503'd with
+    /// parking disabled) on a full queue; cleared when a submit gets
+    /// through. `/readyz` answers 503 while it holds, so load balancers
+    /// rotate a saturated instance out of service.
+    pub(crate) saturated: AtomicBool,
 }
 
 /// A running server; dropping it does *not* stop it — call
@@ -154,6 +167,7 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         connections_peak: AtomicUsize::new(0),
         connections_parked: AtomicUsize::new(0),
         stopping: AtomicBool::new(false),
+        saturated: AtomicBool::new(false),
     });
 
     let (waker, waker_rx) = waker_pair()?;
@@ -163,6 +177,7 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         park_timeout: config.park_timeout,
         high_water: config.high_water,
         poller: config.poller,
+        drain_timeout: config.drain_timeout,
     };
     let event_loop = EventLoop::new(listener, Arc::clone(&shared), opts, waker.clone(), waker_rx)?;
     let backend = event_loop.backend_name();
@@ -280,6 +295,24 @@ pub(crate) fn route_request(request: &Request, shared: &Shared) -> RouteOutcome 
             200,
             Json::obj(vec![("status", Json::str("ok"))]).to_string(),
         ),
+        // Readiness, distinct from liveness: a draining or saturated
+        // instance is alive (healthz 200) but should get no new traffic.
+        ("GET", "/readyz") => {
+            let status = if shared.stopping.load(Ordering::SeqCst) {
+                "draining"
+            } else if shared.saturated.load(Ordering::SeqCst) {
+                "saturated"
+            } else {
+                "ready"
+            };
+            RouteOutcome::Respond {
+                status: if status == "ready" { 200 } else { 503 },
+                body: Json::obj(vec![("status", Json::str(status))]).to_string(),
+                content_type: "application/json",
+                retry_after: status != "ready",
+                close_conn: false,
+            }
+        }
         ("GET", "/models") => respond(
             200,
             Json::obj(vec![(
@@ -471,6 +504,70 @@ fn metrics_body(shared: &Shared) -> String {
         "Connections currently parked on a full queue.",
         shared.connections_parked.load(Ordering::SeqCst) as f64,
     );
+    p.counter(
+        "bbs_worker_panics_total",
+        "Worker panics survived (cell failed, pool intact).",
+        service.worker_panics(),
+    );
+    let disk = service.disk_stats().unwrap_or_default();
+    let wdisk = service.workload_disk_stats().unwrap_or_default();
+    p.counter_vec(
+        "bbs_disk_lookups_total",
+        "Durable result-tier lookups by outcome.",
+        "outcome",
+        &[("hit", disk.hits), ("miss", disk.misses)],
+    );
+    p.counter_vec(
+        "bbs_workload_disk_lookups_total",
+        "Durable workload-tier lookups by outcome.",
+        "outcome",
+        &[("hit", wdisk.hits), ("miss", wdisk.misses)],
+    );
+    p.counter(
+        "bbs_disk_writes_total",
+        "Records written to the durable tier (both stores).",
+        disk.writes + wdisk.writes,
+    );
+    p.counter(
+        "bbs_disk_quarantined_total",
+        "Corrupt/torn records detected and quarantined.",
+        disk.quarantined + wdisk.quarantined,
+    );
+    p.counter(
+        "bbs_disk_evictions_total",
+        "Records evicted past the disk byte budget.",
+        disk.evictions + wdisk.evictions,
+    );
+    p.counter_vec(
+        "bbs_disk_errors_total",
+        "Disk-tier I/O failures by operation.",
+        "op",
+        &[
+            ("read", disk.read_errors + wdisk.read_errors),
+            ("write", disk.write_errors + wdisk.write_errors),
+        ],
+    );
+    p.gauge(
+        "bbs_disk_degraded",
+        "1 when a disk tier has fallen back to memory-only.",
+        u64::from(disk.degraded || wdisk.degraded) as f64,
+    );
+    p.gauge(
+        "bbs_disk_entries",
+        "Records currently in the durable tier (both stores).",
+        (disk.entries + wdisk.entries) as f64,
+    );
+    p.gauge(
+        "bbs_disk_bytes",
+        "Bytes currently in the durable tier (both stores).",
+        (disk.bytes + wdisk.bytes) as f64,
+    );
+    p.counter_vec(
+        "bbs_faults_injected_total",
+        "Faults injected by the BBS_FAULTS plan, by site.",
+        "site",
+        &service.faults().injected_counts(),
+    );
     shared.telemetry.append_prometheus(&mut p);
     p.finish()
 }
@@ -491,6 +588,10 @@ fn logs_tail_body(shared: &Shared) -> String {
 
 fn stats_body(shared: &Shared) -> String {
     let service: &Arc<SimService> = shared.service.service();
+    let disk = service.disk_stats();
+    let wdisk = service.workload_disk_stats();
+    let disk_or = |f: fn(&bbs_store::DiskStats) -> u64| disk.as_ref().map_or(0, f);
+    let wdisk_or = |f: fn(&bbs_store::DiskStats) -> u64| wdisk.as_ref().map_or(0, f);
     Json::obj(vec![
         ("version", Json::str(env!("CARGO_PKG_VERSION"))),
         (
@@ -530,6 +631,68 @@ fn stats_body(shared: &Shared) -> String {
         (
             "workload_bytes",
             Json::from_usize(service.workload_store().bytes()),
+        ),
+        (
+            "workload_tier_hits",
+            Json::from_u64(service.workload_store().tier_hits()),
+        ),
+        // Durable tier: present (zeroed) even without --cache-dir so
+        // dashboards need no conditional schema. `disk_enabled`
+        // disambiguates "no disk" from "disk with no traffic yet".
+        ("disk_enabled", Json::Bool(disk.is_some())),
+        ("disk_hits", Json::from_u64(disk_or(|d| d.hits))),
+        ("disk_misses", Json::from_u64(disk_or(|d| d.misses))),
+        ("disk_writes", Json::from_u64(disk_or(|d| d.writes))),
+        ("disk_entries", Json::from_u64(disk_or(|d| d.entries))),
+        ("disk_bytes", Json::from_u64(disk_or(|d| d.bytes))),
+        (
+            "disk_warm_entries",
+            Json::from_u64(disk_or(|d| d.warm_entries)),
+        ),
+        (
+            "disk_quarantined",
+            Json::from_u64(disk_or(|d| d.quarantined) + wdisk_or(|d| d.quarantined)),
+        ),
+        (
+            "disk_evictions",
+            Json::from_u64(disk_or(|d| d.evictions) + wdisk_or(|d| d.evictions)),
+        ),
+        (
+            "disk_read_errors",
+            Json::from_u64(disk_or(|d| d.read_errors) + wdisk_or(|d| d.read_errors)),
+        ),
+        (
+            "disk_write_errors",
+            Json::from_u64(disk_or(|d| d.write_errors) + wdisk_or(|d| d.write_errors)),
+        ),
+        (
+            "disk_degraded",
+            Json::Bool(
+                disk.as_ref().is_some_and(|d| d.degraded)
+                    || wdisk.as_ref().is_some_and(|d| d.degraded),
+            ),
+        ),
+        ("workload_disk_hits", Json::from_u64(wdisk_or(|d| d.hits))),
+        (
+            "workload_disk_writes",
+            Json::from_u64(wdisk_or(|d| d.writes)),
+        ),
+        (
+            "workload_disk_warm_entries",
+            Json::from_u64(wdisk_or(|d| d.warm_entries)),
+        ),
+        ("worker_panics", Json::from_u64(service.worker_panics())),
+        (
+            "faults_injected",
+            Json::from_u64(service.faults().injected_total()),
+        ),
+        (
+            "draining",
+            Json::Bool(shared.stopping.load(Ordering::SeqCst)),
+        ),
+        (
+            "saturated",
+            Json::Bool(shared.saturated.load(Ordering::SeqCst)),
         ),
         ("errors", Json::from_u64(service.errors())),
         ("queued", Json::from_usize(service.queued())),

@@ -17,7 +17,21 @@
 //!
 //! The engine call is wrapped in `catch_unwind` so a panic (e.g. a
 //! degenerate custom layer table) fails that one request instead of
-//! killing the worker.
+//! killing the worker. If a panic ever escapes that guard the worker
+//! thread itself is replaced (a drop guard respawns it) and the job's
+//! flight is failed rather than abandoned — a dying worker never hangs
+//! its waiters and never shrinks the pool.
+//!
+//! ## Durable tier
+//!
+//! With [`ServiceConfig::cache_dir`] set, a checksummed
+//! [`bbs_store::DiskStore`] sits under both caches: result-cache misses
+//! probe `<dir>/results` before registering a flight, workers write every
+//! fresh result through, and the [`WorkloadStore`] persists lowered models
+//! to `<dir>/workloads` via [`bbs_sim::persist`]. A restarted server
+//! warm-starts from whatever reached disk; disk trouble degrades the
+//! service to memory-only (warn log + counters), never takes it down.
+//! Without `cache_dir` the service touches no filesystem at all.
 
 use crate::cache::ShardedCache;
 use crate::queue::{Bounded, PushError};
@@ -26,11 +40,15 @@ use crate::request::SimRequest;
 use crate::telemetry::Telemetry;
 use bbs_sim::engine::simulate_with_recorder;
 use bbs_sim::json::sim_result_to_json;
-use bbs_sim::store::WorkloadStore;
+use bbs_sim::store::{WorkloadStore, WorkloadTier};
 use bbs_sim::trace::{Recorder, Stage};
+use bbs_sim::workload::LayerWorkload;
+use bbs_store::{DiskStats, DiskStore};
+use bbs_telemetry::FaultPlan;
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -58,6 +76,15 @@ pub struct ServiceConfig {
     pub workload_entries: usize,
     /// Approximate byte bound on the workload store.
     pub workload_bytes: usize,
+    /// Root of the durable disk tier (`results/` + `workloads/` under it).
+    /// `None` (the default) means no filesystem access whatsoever.
+    pub cache_dir: Option<PathBuf>,
+    /// Byte budget for the disk tier, split evenly between results and
+    /// workloads; oldest records are evicted past it.
+    pub disk_bytes: u64,
+    /// Fault-injection plan shared by the disk tier, the worker pool and
+    /// the event loop. Defaults to `BBS_FAULTS` (inert when unset).
+    pub faults: Arc<FaultPlan>,
 }
 
 impl Default for ServiceConfig {
@@ -71,6 +98,9 @@ impl Default for ServiceConfig {
             max_cap: 64 * 1024,
             workload_entries: bbs_sim::store::DEFAULT_MAX_ENTRIES,
             workload_bytes: bbs_sim::store::DEFAULT_MAX_BYTES,
+            cache_dir: None,
+            disk_bytes: 1 << 30,
+            faults: Arc::new(FaultPlan::from_env()),
         }
     }
 }
@@ -228,7 +258,18 @@ pub struct SimService {
     sim_runs: AtomicU64,
     coalesced: AtomicU64,
     errors: AtomicU64,
+    worker_panics: AtomicU64,
     config: ServiceConfig,
+    /// Durable result tier (`<cache_dir>/results`), absent without
+    /// `cache_dir`.
+    disk: Option<Arc<DiskStore>>,
+    /// Durable workload tier (`<cache_dir>/workloads`), also plugged into
+    /// the [`WorkloadStore`] — kept here for stats and flushing.
+    workload_disk: Option<Arc<DiskStore>>,
+    faults: Arc<FaultPlan>,
+    /// Worker threads; respawned replacements land here too, so `stop`
+    /// joins everything ever spawned.
+    workers: Mutex<Vec<JoinHandle<()>>>,
     /// Stage histograms + logger, shared with the front end.
     telemetry: Arc<Telemetry>,
 }
@@ -236,9 +277,25 @@ pub struct SimService {
 /// The running service: shared state plus the worker threads.
 pub struct ServiceHandle {
     service: Arc<SimService>,
-    // Behind a mutex so `stop` works through shared references (the
-    // server's connection threads hold `Arc<ServiceHandle>` clones).
-    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Bridges the [`WorkloadStore`] to the checksummed disk store through the
+/// [`bbs_sim::persist`] codec. A decode failure (version skew) is a miss;
+/// the storage layer already quarantined anything corrupt.
+struct DiskWorkloadTier {
+    disk: Arc<DiskStore>,
+}
+
+impl WorkloadTier for DiskWorkloadTier {
+    fn load(&self, key: u64) -> Option<Vec<LayerWorkload>> {
+        let bytes = self.disk.get(key)?;
+        bbs_sim::persist::decode_workloads(&bytes).ok()
+    }
+
+    fn save(&self, key: u64, workloads: &[LayerWorkload]) {
+        self.disk
+            .put(key, &bbs_sim::persist::encode_workloads(workloads));
+    }
 }
 
 /// Spawns the worker pool with default (standalone) telemetry.
@@ -251,29 +308,112 @@ pub fn start(config: ServiceConfig) -> ServiceHandle {
 /// the same histograms `GET /metrics` renders.
 pub fn start_with(config: ServiceConfig, telemetry: Arc<Telemetry>) -> ServiceHandle {
     assert!(config.workers > 0, "need at least one worker");
+    let faults = Arc::clone(&config.faults);
+
+    // The durable tier only exists when a cache dir is configured; an
+    // unusable dir (permissions, read-only fs) degrades to memory-only at
+    // startup instead of failing the server.
+    let mut disk = None;
+    let mut workload_disk = None;
+    if let Some(dir) = &config.cache_dir {
+        let open = |sub: &str, budget: u64| match DiskStore::open(
+            dir.join(sub),
+            budget,
+            Arc::clone(&faults),
+        ) {
+            Ok(store) => Some(Arc::new(store)),
+            Err(e) => {
+                telemetry.logger.warn(
+                    "disk cache unavailable, running memory-only",
+                    &[
+                        ("dir", bbs_telemetry::Value::Str(&dir.display().to_string())),
+                        ("tier", bbs_telemetry::Value::Str(sub)),
+                        ("error", bbs_telemetry::Value::Str(&e.to_string())),
+                    ],
+                );
+                None
+            }
+        };
+        let half = config.disk_bytes / 2;
+        disk = open("results", half);
+        workload_disk = open("workloads", config.disk_bytes - half);
+        let warm = |d: &Option<Arc<DiskStore>>| d.as_ref().map_or(0, |d| d.stats().warm_entries);
+        telemetry.logger.info(
+            "disk cache attached",
+            &[
+                ("dir", bbs_telemetry::Value::Str(&dir.display().to_string())),
+                ("warm_results", bbs_telemetry::Value::U64(warm(&disk))),
+                (
+                    "warm_workloads",
+                    bbs_telemetry::Value::U64(warm(&workload_disk)),
+                ),
+            ],
+        );
+    }
+
+    let workloads = WorkloadStore::new(config.workload_entries, config.workload_bytes);
+    if let Some(wd) = &workload_disk {
+        workloads.set_tier(Arc::new(DiskWorkloadTier {
+            disk: Arc::clone(wd),
+        }));
+    }
+
     let service = Arc::new(SimService {
         cache: ShardedCache::new(config.cache_shards, config.cache_entries),
-        workloads: WorkloadStore::new(config.workload_entries, config.workload_bytes),
+        workloads,
         inflight: Mutex::new(HashMap::new()),
         queue: Bounded::new(config.queue_depth),
         sim_runs: AtomicU64::new(0),
         coalesced: AtomicU64::new(0),
         errors: AtomicU64::new(0),
+        worker_panics: AtomicU64::new(0),
         config: config.clone(),
+        disk,
+        workload_disk,
+        faults,
+        workers: Mutex::new(Vec::with_capacity(config.workers)),
         telemetry,
     });
-    let workers = (0..config.workers)
-        .map(|i| {
-            let service = Arc::clone(&service);
-            std::thread::Builder::new()
-                .name(format!("bbs-serve-worker-{i}"))
-                .spawn(move || service.worker_loop())
-                .expect("spawn worker")
+    for i in 0..config.workers {
+        spawn_worker(&service, i);
+    }
+    ServiceHandle { service }
+}
+
+/// Spawns one worker thread and registers its handle for joining. The
+/// [`RespawnGuard`] replaces the thread if it ever dies by panic, so the
+/// pool never shrinks below its configured size.
+fn spawn_worker(service: &Arc<SimService>, index: usize) {
+    let svc = Arc::clone(service);
+    let handle = std::thread::Builder::new()
+        .name(format!("bbs-serve-worker-{index}"))
+        .spawn(move || {
+            let guard = RespawnGuard {
+                service: Arc::clone(&svc),
+                index,
+            };
+            svc.worker_loop();
+            // Clean exit (queue closed): no replacement wanted.
+            std::mem::forget(guard);
         })
-        .collect();
-    ServiceHandle {
-        service,
-        workers: Mutex::new(workers),
+        .expect("spawn worker");
+    service.workers.lock().unwrap().push(handle);
+}
+
+/// Replaces a worker whose thread unwinds past every per-job guard.
+struct RespawnGuard {
+    service: Arc<SimService>,
+    index: usize,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        self.service.worker_panics.fetch_add(1, Ordering::Relaxed);
+        self.service.telemetry.logger.warn(
+            "worker died by panic; respawning",
+            &[("worker", bbs_telemetry::Value::U64(self.index as u64))],
+        );
+        spawn_worker(&self.service, self.index);
     }
 }
 
@@ -289,14 +429,21 @@ impl ServiceHandle {
         self.service.execute(request)
     }
 
-    /// Closes the queue, drains pending jobs and joins the workers.
-    /// Idempotent: later calls find no workers left to join.
+    /// Closes the queue, drains pending jobs, joins the workers (looping,
+    /// since a panicking worker may respawn a replacement mid-join) and
+    /// flushes the disk tier. Idempotent: later calls find no workers left.
     pub fn stop(&self) {
         self.service.queue.close();
-        let workers = std::mem::take(&mut *self.workers.lock().unwrap());
-        for w in workers {
-            let _ = w.join();
+        loop {
+            let workers = std::mem::take(&mut *self.service.workers.lock().unwrap());
+            if workers.is_empty() {
+                break;
+            }
+            for w in workers {
+                let _ = w.join();
+            }
         }
+        self.service.flush_disk();
     }
 }
 
@@ -331,14 +478,76 @@ impl SimService {
         self.errors.load(Ordering::Relaxed)
     }
 
+    /// Worker panics survived (caught per-job or absorbed by a respawn).
+    pub fn worker_panics(&self) -> u64 {
+        self.worker_panics.load(Ordering::Relaxed)
+    }
+
     /// The shared workload store (hit/miss/entry counters for `/stats`).
     pub fn workload_store(&self) -> &WorkloadStore {
         &self.workloads
     }
 
+    /// The shared fault plan (inert unless configured).
+    pub fn faults(&self) -> &Arc<FaultPlan> {
+        &self.faults
+    }
+
+    /// Disk-tier counters for the result store, if a tier is attached.
+    pub fn disk_stats(&self) -> Option<DiskStats> {
+        self.disk.as_ref().map(|d| d.stats())
+    }
+
+    /// Disk-tier counters for the workload store, if a tier is attached.
+    pub fn workload_disk_stats(&self) -> Option<DiskStats> {
+        self.workload_disk.as_ref().map(|d| d.stats())
+    }
+
+    /// Best-effort durability barrier over both disk tiers (drain path).
+    pub fn flush_disk(&self) {
+        if let Some(d) = &self.disk {
+            d.flush();
+        }
+        if let Some(d) = &self.workload_disk {
+            d.flush();
+        }
+    }
+
+    /// Probes the durable tier after a memory miss, promoting hits into
+    /// the memory cache so the next probe is free. Returns `None` without
+    /// touching the filesystem when no tier is configured.
+    fn disk_fetch(&self, key: u64) -> Option<Arc<str>> {
+        let disk = self.disk.as_ref()?;
+        let bytes = disk.get(key);
+        self.note_disk_health();
+        // Results are serialized JSON; the record was checksum-clean, so a
+        // non-UTF-8 payload means version skew — treat as a miss.
+        let text = String::from_utf8(bytes?).ok()?;
+        let text: Arc<str> = Arc::from(text.as_str());
+        self.cache.insert(key, Arc::clone(&text));
+        Some(text)
+    }
+
+    /// Emits the memory-only degradation warning exactly once per tier.
+    fn note_disk_health(&self) {
+        for (tier, store) in [("results", &self.disk), ("workloads", &self.workload_disk)] {
+            if let Some(d) = store {
+                if d.degraded_event() {
+                    self.telemetry.logger.warn(
+                        "disk tier degraded to memory-only after repeated I/O errors",
+                        &[("tier", bbs_telemetry::Value::Str(tier))],
+                    );
+                }
+            }
+        }
+    }
+
     fn execute(&self, request: SimRequest) -> Result<(Arc<str>, Served), ExecuteError> {
         let key = request.key();
         if let Some(cached) = self.cache.get(key) {
+            return Ok((cached, Served::Hit));
+        }
+        if let Some(cached) = self.disk_fetch(key) {
             return Ok((cached, Served::Hit));
         }
 
@@ -394,6 +603,9 @@ impl SimService {
         if let Some(cached) = self.cache.get(key) {
             return Submitted::Hit(cached);
         }
+        if let Some(cached) = self.disk_fetch(key) {
+            return Submitted::Hit(cached);
+        }
 
         let (flight, owner) = {
             let mut inflight = self.inflight.lock().unwrap();
@@ -442,8 +654,24 @@ impl SimService {
 
     fn worker_loop(&self) {
         while let Some(job) = self.queue.pop() {
+            // If anything below unwinds past the per-job catch_unwind (the
+            // injected "hard" fault models exactly that), this guard fails
+            // the flight so waiters see an error instead of hanging, and
+            // the thread-level RespawnGuard replaces the worker.
+            let mut guard = JobGuard {
+                service: self,
+                key: job.key,
+                flight: Arc::clone(&job.flight),
+                armed: true,
+            };
             let queue_us = job.enqueued.elapsed().as_micros() as u64;
             self.telemetry.queue_us.record(queue_us);
+            if self.faults.hard_panic_on(job.key) {
+                panic!(
+                    "injected hard fault: worker killed on cell {:016x}",
+                    job.key
+                );
+            }
             // Double-check: the result may have been cached between the
             // caller's miss and this pop (see module docs).
             let outcome = match self.cache.peek(job.key) {
@@ -455,10 +683,16 @@ impl SimService {
                     },
                 )),
                 None => self
-                    .run_simulation(&job.request)
+                    .run_simulation(job.key, &job.request)
                     .map(|(text, mut timing)| {
                         let text: Arc<str> = Arc::from(text.as_str());
                         self.cache.insert(job.key, Arc::clone(&text));
+                        // Write-through to the durable tier (best-effort;
+                        // failures degrade the tier, never the request).
+                        if let Some(disk) = &self.disk {
+                            disk.put(job.key, text.as_bytes());
+                            self.note_disk_health();
+                        }
                         timing.queue_us = queue_us;
                         (text, timing)
                     })
@@ -479,6 +713,7 @@ impl SimService {
             if outcome.is_err() {
                 self.errors.fetch_add(1, Ordering::Relaxed);
             }
+            guard.armed = false;
             // Unregister *after* the cache insert so a key absent from the
             // in-flight table is always either uncached (never computed or
             // failed) or already visible in the cache.
@@ -487,9 +722,12 @@ impl SimService {
         }
     }
 
-    fn run_simulation(&self, request: &SimRequest) -> Result<(String, Timing), String> {
+    fn run_simulation(&self, key: u64, request: &SimRequest) -> Result<(String, Timing), String> {
         let accel = accelerator_by_name(request.accelerator)
             .ok_or_else(|| format!("accelerator '{}' vanished", request.accelerator))?;
+        if let Some(delay) = self.faults.sim_delay() {
+            std::thread::sleep(delay);
+        }
         // Captures lower/sim wall time from the engine's recorder hooks;
         // `Cell` suffices because each worker records into its own capture.
         let capture = StageCapture::default();
@@ -497,6 +735,9 @@ impl SimService {
         // assertions are unreachable for validated requests, but a panic
         // here must fail the request, not kill the worker.
         let (text, ser_us) = catch_unwind(AssertUnwindSafe(|| {
+            if self.faults.panic_on(key) {
+                panic!("injected fault: worker panic on cell {key:016x}");
+            }
             let sim = simulate_with_recorder(
                 &self.workloads,
                 accel.as_ref(),
@@ -511,6 +752,9 @@ impl SimService {
             (text, ser_started.elapsed().as_micros() as u64)
         }))
         .map_err(|panic| {
+            // Every unwind that lands here is a worker panic survived: the
+            // cell fails, the worker lives, the counter tells the story.
+            self.worker_panics.fetch_add(1, Ordering::Relaxed);
             let msg = panic
                 .downcast_ref::<&str>()
                 .map(|s| s.to_string())
@@ -531,6 +775,30 @@ impl SimService {
         self.telemetry.sim_us.record(timing.sim_us);
         self.telemetry.ser_us.record(ser_us);
         Ok((text, timing))
+    }
+}
+
+/// Fails a job's flight if the worker unwinds while holding it, so a dying
+/// worker thread never leaves waiters blocked or the in-flight table
+/// poisoned.
+struct JobGuard<'a> {
+    service: &'a SimService,
+    key: u64,
+    flight: Arc<Flight>,
+    armed: bool,
+}
+
+impl Drop for JobGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        self.service.errors.fetch_add(1, Ordering::Relaxed);
+        self.service.inflight.lock().unwrap().remove(&self.key);
+        self.flight.complete(Err(ExecuteError::Failed(format!(
+            "worker died while simulating cell {:016x}",
+            self.key
+        ))));
     }
 }
 
@@ -709,6 +977,107 @@ mod tests {
         let c = ServiceConfig::default();
         assert!(c.workers >= 1);
         assert!(c.queue_depth >= c.workers);
+        assert!(c.cache_dir.is_none(), "no filesystem access by default");
+        assert!(!c.faults.is_active(), "no faults unless configured");
         let _ = ArrayConfig::default();
+    }
+
+    fn tmp_cache_dir(tag: &str) -> std::path::PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "bbs-serve-svc-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn disk_tier_warm_starts_a_restarted_service() {
+        let dir = tmp_cache_dir("warm");
+        let config = ServiceConfig {
+            workers: 1,
+            queue_depth: 8,
+            cache_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        };
+        let req = request("ViT-Small", "stripes", 192);
+
+        let svc = start(config.clone());
+        let (first, how) = svc.execute(req.clone()).unwrap();
+        assert_eq!(how, Served::Fresh);
+        let stats = svc.service().disk_stats().unwrap();
+        assert_eq!(stats.writes, 1, "fresh result written through");
+        svc.stop();
+
+        // A "restarted server": new service, same cache dir.
+        let svc = start(config);
+        let (second, how) = svc.execute(req).unwrap();
+        assert_eq!(how, Served::Hit, "served from disk without simulating");
+        assert_eq!(first, second, "disk hit is byte-identical");
+        assert_eq!(svc.service().sim_runs(), 0);
+        let stats = svc.service().disk_stats().unwrap();
+        assert_eq!((stats.hits, stats.warm_entries), (1, 1));
+        let wl = svc.service().workload_disk_stats().unwrap();
+        assert_eq!(wl.warm_entries, 1, "lowering persisted too");
+        // A fresh result key over the same (model, seed, cap) loads the
+        // lowering from the workload tier instead of re-synthesizing.
+        svc.execute(request("ViT-Small", "bitlet", 192)).unwrap();
+        assert_eq!(svc.service().workload_store().tier_hits(), 1);
+        assert_eq!(svc.service().workload_store().misses(), 0);
+        svc.stop();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_panic_fails_only_its_cell() {
+        let req_bad = request("ViT-Small", "stripes", 128);
+        let req_good = request("ViT-Small", "bitlet", 128);
+        let svc = start(ServiceConfig {
+            workers: 1,
+            queue_depth: 8,
+            faults: Arc::new(
+                FaultPlan::parse(&format!("panic_key={:016x}", req_bad.key())).unwrap(),
+            ),
+            ..ServiceConfig::default()
+        });
+        let err = svc.execute(req_bad).unwrap_err();
+        assert!(matches!(&err, ExecuteError::Failed(m) if m.contains("injected fault")));
+        // The pool survived: the untouched cell still simulates.
+        let (bytes, _) = svc.execute(req_good).unwrap();
+        assert!(!bytes.is_empty());
+        assert_eq!(svc.service().worker_panics(), 1);
+        assert_eq!(svc.service().errors(), 1);
+        svc.stop();
+    }
+
+    #[test]
+    fn hard_panic_respawns_the_worker_and_fails_the_flight() {
+        let req_bad = request("ResNet-34", "stripes", 128);
+        let req_good = request("ResNet-34", "bitlet", 128);
+        // One worker: if the pool were not replenished, the second request
+        // would hang forever.
+        let svc = start(ServiceConfig {
+            workers: 1,
+            queue_depth: 8,
+            faults: Arc::new(
+                FaultPlan::parse(&format!("panic_hard_key={:016x}", req_bad.key())).unwrap(),
+            ),
+            ..ServiceConfig::default()
+        });
+        let err = svc.execute(req_bad).unwrap_err();
+        assert!(matches!(&err, ExecuteError::Failed(m) if m.contains("worker died")));
+        let (bytes, _) = svc.execute(req_good).unwrap();
+        assert!(!bytes.is_empty(), "replacement worker serves traffic");
+        assert!(svc.service().worker_panics() >= 1);
+        svc.stop();
+    }
+
+    #[test]
+    fn no_cache_dir_means_no_disk_io() {
+        let svc = test_service();
+        svc.execute(request("ViT-Small", "ant", 128)).unwrap();
+        assert!(svc.service().disk_stats().is_none());
+        assert!(svc.service().workload_disk_stats().is_none());
+        svc.stop();
     }
 }

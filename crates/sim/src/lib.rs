@@ -62,6 +62,7 @@ pub mod bitvert_func;
 pub mod config;
 pub mod engine;
 pub mod json;
+pub mod persist;
 pub mod store;
 pub mod sweep;
 pub mod trace;

@@ -1,0 +1,236 @@
+//! Binary serialization of lowered workloads, for the durable tier under
+//! [`crate::store::WorkloadStore`].
+//!
+//! The format is a straight field dump (little-endian, length-prefixed) of
+//! everything [`LayerWorkload`]'s `PartialEq` considers data — the
+//! [`crate::workload::ProfileMemo`] is a derived cache and is rebuilt
+//! lazily after decode. Round-trips are bit-identical (`f64`/`f32` travel
+//! as raw bits), so a workload loaded from disk simulates exactly like a
+//! freshly lowered one.
+//!
+//! Integrity is the *storage* layer's job: `bbs-store` wraps these bytes in
+//! a checksummed record, so [`decode_workloads`] only ever sees
+//! checksum-clean input. Its own error path covers version skew and
+//! logic bugs, and is treated as a cache miss, never a failure.
+
+use crate::workload::LayerWorkload;
+use bbs_models::layer::ModelFamily;
+use bbs_tensor::quant::QuantTensor;
+use bbs_tensor::shape::Shape;
+use bbs_tensor::tensor::Tensor;
+
+const MAGIC: [u8; 4] = *b"BBSW";
+const VERSION: u16 = 1;
+
+fn family_code(family: ModelFamily) -> u8 {
+    match family {
+        ModelFamily::Cnn => 0,
+        ModelFamily::VisionTransformer => 1,
+        ModelFamily::Bert => 2,
+        ModelFamily::Llm => 3,
+    }
+}
+
+fn family_from_code(code: u8) -> Option<ModelFamily> {
+    match code {
+        0 => Some(ModelFamily::Cnn),
+        1 => Some(ModelFamily::VisionTransformer),
+        2 => Some(ModelFamily::Bert),
+        3 => Some(ModelFamily::Llm),
+        _ => None,
+    }
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u64(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+/// Encodes a lowering into a self-describing byte buffer.
+pub fn encode_workloads(workloads: &[LayerWorkload]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&[0u8; 2]);
+    put_u64(&mut out, workloads.len() as u64);
+    for wl in workloads {
+        put_bytes(&mut out, wl.name.as_bytes());
+        put_u64(&mut out, wl.channels as u64);
+        put_u64(&mut out, wl.elems_per_channel as u64);
+        put_u64(&mut out, wl.positions as u64);
+        put_u64(&mut out, wl.unique_input_elems as u64);
+        out.push(family_code(wl.family));
+        put_u64(&mut out, wl.sample_factor.to_bits());
+        // Weights: bit width, shape dims, i8 data, f32 scales.
+        out.push(wl.weights.bits);
+        let dims = wl.weights.data.shape().dims();
+        put_u64(&mut out, dims.len() as u64);
+        for &d in dims {
+            put_u64(&mut out, d as u64);
+        }
+        let data = wl.weights.data.as_slice();
+        put_u64(&mut out, data.len() as u64);
+        out.extend(data.iter().map(|&v| v as u8));
+        put_u64(&mut out, wl.weights.scales.len() as u64);
+        for &s in &wl.weights.scales {
+            out.extend_from_slice(&s.to_bits().to_le_bytes());
+        }
+        put_u64(&mut out, wl.activations.len() as u64);
+        out.extend(wl.activations.iter().map(|&v| v as u8));
+    }
+    out
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or("workload record ends early")?;
+        let out = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(out)
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn len(&mut self) -> Result<usize, String> {
+        let v = self.u64()?;
+        // A length that exceeds the bytes left is corrupt regardless of
+        // what it describes; refuse before any allocation.
+        if v > (self.bytes.len() - self.at) as u64 {
+            return Err("declared length exceeds record".into());
+        }
+        Ok(v as usize)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+}
+
+/// Decodes a buffer produced by [`encode_workloads`]. Errors mean version
+/// skew or corruption that slipped past the storage checksum; callers
+/// treat them as a miss and re-lower.
+pub fn decode_workloads(bytes: &[u8]) -> Result<Vec<LayerWorkload>, String> {
+    let mut r = Reader { bytes, at: 0 };
+    if r.take(4)? != MAGIC {
+        return Err("bad workload magic".into());
+    }
+    let version = u16::from_le_bytes(r.take(2)?.try_into().unwrap());
+    if version != VERSION {
+        return Err(format!("unknown workload version {version}"));
+    }
+    r.take(2)?; // reserved
+    let count = r.len()?;
+    let mut out = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        let name_len = r.len()?;
+        let name = String::from_utf8(r.take(name_len)?.to_vec())
+            .map_err(|_| "layer name is not UTF-8".to_string())?;
+        let channels = r.u64()? as usize;
+        let elems_per_channel = r.u64()? as usize;
+        let positions = r.u64()? as usize;
+        let unique_input_elems = r.u64()? as usize;
+        let family = family_from_code(r.u8()?).ok_or("unknown model family")?;
+        let sample_factor = f64::from_bits(r.u64()?);
+        let bits = r.u8()?;
+        let ndims = r.len()?;
+        let mut dims = Vec::with_capacity(ndims.min(8));
+        for _ in 0..ndims {
+            dims.push(r.u64()? as usize);
+        }
+        let data_len = r.len()?;
+        let data: Vec<i8> = r.take(data_len)?.iter().map(|&v| v as i8).collect();
+        let shape = Shape::new(dims).map_err(|e| format!("bad weight shape: {e:?}"))?;
+        let data =
+            Tensor::from_vec(shape, data).map_err(|e| format!("bad weight tensor: {e:?}"))?;
+        let scale_count = r.u64()? as usize;
+        let mut scales = Vec::with_capacity(scale_count.min(1 << 20));
+        for _ in 0..scale_count {
+            scales.push(f32::from_bits(u32::from_le_bytes(
+                r.take(4)?.try_into().unwrap(),
+            )));
+        }
+        let act_len = r.len()?;
+        let activations: Vec<i8> = r.take(act_len)?.iter().map(|&v| v as i8).collect();
+        out.push(LayerWorkload {
+            name,
+            channels,
+            elems_per_channel,
+            positions,
+            unique_input_elems,
+            family,
+            weights: QuantTensor { data, scales, bits },
+            sample_factor,
+            activations,
+            profiles: Default::default(),
+        });
+    }
+    if r.at != bytes.len() {
+        return Err("trailing bytes after workload record".into());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::lower_model;
+    use bbs_models::zoo;
+
+    #[test]
+    fn roundtrip_is_bit_identical() {
+        for model in [zoo::vit_small(), zoo::resnet34()] {
+            let lowered = lower_model(&model, 7, 256);
+            let bytes = encode_workloads(&lowered);
+            let decoded = decode_workloads(&bytes).unwrap();
+            assert_eq!(decoded, lowered, "decode must equal fresh lowering");
+            assert!(
+                decoded.iter().all(|wl| wl.profiles.is_empty()),
+                "profile memos start empty after decode"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_truncation_and_version_skew() {
+        let lowered = lower_model(&zoo::vit_small(), 7, 64);
+        let bytes = encode_workloads(&lowered);
+        for cut in [0, 3, 7, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_workloads(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+        let mut skewed = bytes.clone();
+        skewed[4] = 0xff;
+        assert!(decode_workloads(&skewed).is_err());
+        let mut magic = bytes.clone();
+        magic[0] = b'X';
+        assert!(decode_workloads(&magic).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(decode_workloads(&trailing).is_err());
+    }
+
+    #[test]
+    fn huge_declared_lengths_do_not_allocate() {
+        // magic + version + reserved + a count of u64::MAX.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 2]);
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_workloads(&bytes).is_err());
+    }
+}

@@ -43,6 +43,29 @@ pub const DEFAULT_MAX_BYTES: usize = 256 << 20;
 /// `(model fingerprint, seed, max_weights_per_layer)`.
 type Key = (u64, u64, usize);
 
+/// A durable tier under the store: content-addressed persistence of
+/// lowered workloads (see [`crate::persist`] for the byte format).
+/// `bbs-serve` plugs its checksummed disk store in through this, keeping
+/// the simulation core dependency-free. Implementations must never panic —
+/// a failed load is a miss, a failed save is silence; durability is
+/// best-effort under the authoritative in-memory store.
+pub trait WorkloadTier: Send + Sync {
+    /// Fetches a previously saved lowering, or `None`.
+    fn load(&self, key: u64) -> Option<Vec<LayerWorkload>>;
+    /// Persists a fresh lowering, best-effort.
+    fn save(&self, key: u64, workloads: &[LayerWorkload]);
+}
+
+/// Folds a store key into the single stable u64 the durable tier is
+/// addressed by.
+pub fn tier_key(fingerprint: u64, seed: u64, max_weights_per_layer: usize) -> u64 {
+    let mut buf = [0u8; 24];
+    buf[..8].copy_from_slice(&fingerprint.to_le_bytes());
+    buf[8..16].copy_from_slice(&seed.to_le_bytes());
+    buf[16..].copy_from_slice(&(max_weights_per_layer as u64).to_le_bytes());
+    fnv1a_64(&buf)
+}
+
 enum Slot {
     /// A thread is lowering this key; waiters block on the store condvar.
     Building,
@@ -68,6 +91,8 @@ pub struct WorkloadStore {
     max_bytes: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    tier: Mutex<Option<Arc<dyn WorkloadTier>>>,
+    tier_hits: AtomicU64,
 }
 
 impl Default for WorkloadStore {
@@ -142,7 +167,19 @@ impl WorkloadStore {
             max_bytes,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            tier: Mutex::new(None),
+            tier_hits: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches a durable tier consulted on every miss (before lowering)
+    /// and fed every fresh lowering.
+    pub fn set_tier(&self, tier: Arc<dyn WorkloadTier>) {
+        *self.tier.lock().unwrap() = Some(tier);
+    }
+
+    fn tier(&self) -> Option<Arc<dyn WorkloadTier>> {
+        self.tier.lock().unwrap().clone()
     }
 
     /// Returns the lowered workloads for `(model, seed, cap)`, lowering at
@@ -185,21 +222,46 @@ impl WorkloadStore {
                 }
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-
         let mut guard = BuildGuard {
             store: self,
             key,
             armed: true,
         };
+
+        // Durable tier first: a prior process may have paid for this
+        // lowering already. Loaded workloads are bit-identical to fresh
+        // lowering (checksummed storage + round-trip-exact codec), so they
+        // slot in exactly like a build.
+        let tier = self.tier();
+        if let Some(tier) = &tier {
+            if let Some(loaded) = tier.load(tier_key(key.0, key.1, key.2)) {
+                self.tier_hits.fetch_add(1, Ordering::Relaxed);
+                let workloads: Arc<[LayerWorkload]> = loaded.into();
+                guard.armed = false;
+                self.insert_ready(key, &workloads);
+                return workloads;
+            }
+        }
+
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let lower_started = Instant::now();
         let workloads: Arc<[LayerWorkload]> =
             lower_model(model, seed, max_weights_per_layer).into();
         rec.record(Stage::Lower, lower_started.elapsed().as_micros() as u64);
         guard.armed = false;
 
+        self.insert_ready(key, &workloads);
+        // Persist after publishing: waiters unblock before the disk write.
+        if let Some(tier) = &tier {
+            tier.save(tier_key(key.0, key.1, key.2), &workloads);
+        }
+        workloads
+    }
+
+    /// Publishes a ready lowering under `key` and wakes coalesced waiters.
+    fn insert_ready(&self, key: Key, workloads: &Arc<[LayerWorkload]>) {
         let mut inner = self.inner.lock().unwrap();
-        inner.slots.insert(key, Slot::Ready(Arc::clone(&workloads)));
+        inner.slots.insert(key, Slot::Ready(Arc::clone(workloads)));
         inner.order.push_back(key);
         // FIFO eviction against the *live* footprint (including profiles
         // memoized since earlier inserts); the entry just inserted is
@@ -215,7 +277,6 @@ impl WorkloadStore {
         }
         drop(inner);
         self.built.notify_all();
-        workloads
     }
 
     /// Current approximate footprint of all ready entries, memoized
@@ -236,9 +297,16 @@ impl WorkloadStore {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Lookups that had to lower the model.
+    /// Lookups that had to lower the model. Durable-tier loads are counted
+    /// under [`tier_hits`](WorkloadStore::tier_hits) instead — no lowering
+    /// happened.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Lookups served by the durable tier (disk warm start).
+    pub fn tier_hits(&self) -> u64 {
+        self.tier_hits.load(Ordering::Relaxed)
     }
 
     /// Lowered models currently cached.
@@ -352,5 +420,41 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_entry_store_rejected() {
         let _ = WorkloadStore::new(0, usize::MAX);
+    }
+
+    #[test]
+    fn durable_tier_warm_starts_a_fresh_store() {
+        struct MemTier(Mutex<HashMap<u64, Vec<u8>>>);
+        impl WorkloadTier for MemTier {
+            fn load(&self, key: u64) -> Option<Vec<LayerWorkload>> {
+                let bytes = self.0.lock().unwrap().get(&key)?.clone();
+                crate::persist::decode_workloads(&bytes).ok()
+            }
+            fn save(&self, key: u64, workloads: &[LayerWorkload]) {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .insert(key, crate::persist::encode_workloads(workloads));
+            }
+        }
+
+        let tier = Arc::new(MemTier(Mutex::new(HashMap::new())));
+        let model = zoo::vit_small();
+
+        let first = WorkloadStore::default();
+        first.set_tier(Arc::clone(&tier) as Arc<dyn WorkloadTier>);
+        let fresh = first.get_or_lower(&model, 7, 128);
+        assert_eq!((first.misses(), first.tier_hits()), (1, 0));
+
+        // A second store — a restarted server — loads instead of lowering.
+        let second = WorkloadStore::default();
+        second.set_tier(tier as Arc<dyn WorkloadTier>);
+        let loaded = second.get_or_lower(&model, 7, 128);
+        assert_eq!((second.misses(), second.tier_hits()), (0, 1));
+        assert_eq!(&loaded[..], &fresh[..], "tier load is bit-identical");
+        // And the loaded entry is now memory-cached.
+        let again = second.get_or_lower(&model, 7, 128);
+        assert!(Arc::ptr_eq(&again, &loaded));
+        assert_eq!(second.hits(), 1);
     }
 }

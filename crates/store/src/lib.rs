@@ -1,0 +1,560 @@
+//! # bbs-store — crash-safe content-addressed disk store
+//!
+//! The durable tier under `bbs-serve`'s sharded result cache and
+//! `bbs_sim::store::WorkloadStore`. Values are opaque byte payloads addressed
+//! by the tree's stable 64-bit FNV keys, so a record written by one process
+//! is valid for every future process: a restarted (or `kill -9`'d) server
+//! warm-starts from whatever reached disk.
+//!
+//! Guarantees:
+//!
+//! * **Atomic writes** — records are written to `tmp/`, fsync'd, then
+//!   `rename(2)`'d into place; readers never observe a half-written file
+//!   under its final name.
+//! * **Checksummed records** — every record carries a version header and an
+//!   FNV-1a checksum over header + payload ([`record`]). Torn or bit-flipped
+//!   records are detected on read, moved to `quarantine/` and reported as a
+//!   miss — never served, never fatal.
+//! * **Bounded** — a byte budget with oldest-first eviction (insertion
+//!   order, seeded from file mtimes on open).
+//! * **Degrades, never aborts** — repeated I/O failures flip the store into
+//!   a memory-only degraded mode; every error is counted for `/metrics`.
+//!
+//! Injected faults (disk EIO, torn writes, bit flips) come from a shared
+//! [`bbs_telemetry::FaultPlan`], so chaos tests drive these exact code paths.
+//!
+//! ```
+//! use bbs_store::DiskStore;
+//!
+//! let dir = std::env::temp_dir().join(format!("bbs-store-doc-{}", std::process::id()));
+//! let store = DiskStore::open(&dir, 1 << 20, Default::default()).unwrap();
+//! store.put(0xfeed_beef, b"cycle counts");
+//! assert_eq!(store.get(0xfeed_beef).as_deref(), Some(&b"cycle counts"[..]));
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+pub mod record;
+
+use bbs_telemetry::FaultPlan;
+use record::{decode, encode};
+use std::collections::{HashMap, VecDeque};
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Consecutive I/O failures (reads or writes) before the store degrades to
+/// memory-only. Checksum failures are corruption, not I/O trouble, and do
+/// not count toward degradation.
+const DEGRADE_AFTER: u64 = 8;
+
+/// Point-in-time counters for `/stats` and `/metrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    pub entries: u64,
+    pub bytes: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub writes: u64,
+    pub read_errors: u64,
+    pub write_errors: u64,
+    pub quarantined: u64,
+    pub evictions: u64,
+    pub degraded: bool,
+    /// Records found on disk when the store was opened (warm start).
+    pub warm_entries: u64,
+}
+
+struct Index {
+    /// key -> on-disk record size in bytes.
+    map: HashMap<u64, u64>,
+    /// Insertion order, oldest first (seeded from mtimes on open).
+    order: VecDeque<u64>,
+    total: u64,
+    /// Nonce for unique tmp-file names.
+    seq: u64,
+}
+
+/// A content-addressed store of checksummed records under one directory.
+///
+/// Layout: `<root>/<2-hex-shard>/<16-hex-key>.rec`, with `tmp/` for
+/// in-flight writes and `quarantine/` for records that failed validation.
+pub struct DiskStore {
+    root: PathBuf,
+    max_bytes: u64,
+    index: Mutex<Index>,
+    faults: Arc<FaultPlan>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    read_errors: AtomicU64,
+    write_errors: AtomicU64,
+    quarantined: AtomicU64,
+    evictions: AtomicU64,
+    consecutive_errors: AtomicU64,
+    degraded: AtomicBool,
+    /// One-shot latch so the owner logs the degradation exactly once.
+    degraded_logged: AtomicBool,
+    warm_entries: u64,
+}
+
+impl std::fmt::Debug for DiskStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskStore")
+            .field("root", &self.root)
+            .field("max_bytes", &self.max_bytes)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl DiskStore {
+    /// Opens (or creates) a store rooted at `root`, scanning any existing
+    /// records to rebuild the index — oldest first by mtime — and enforcing
+    /// the byte budget. Leftover tmp files from a crashed writer are
+    /// removed; they never carried a final name, so nothing is lost that
+    /// was ever promised durable.
+    pub fn open(
+        root: impl Into<PathBuf>,
+        max_bytes: u64,
+        faults: Arc<FaultPlan>,
+    ) -> io::Result<DiskStore> {
+        let root = root.into();
+        fs::create_dir_all(root.join("tmp"))?;
+        fs::create_dir_all(root.join("quarantine"))?;
+
+        // Clear crashed writers' leftovers.
+        for entry in fs::read_dir(root.join("tmp"))?.flatten() {
+            let _ = fs::remove_file(entry.path());
+        }
+
+        // Rebuild the index from surviving records, oldest mtime first.
+        let mut found: Vec<(std::time::SystemTime, u64, u64)> = Vec::new();
+        for shard in fs::read_dir(&root)?.flatten() {
+            let name = shard.file_name();
+            let name = name.to_string_lossy();
+            if name.len() != 2 || !shard.path().is_dir() {
+                continue;
+            }
+            for entry in fs::read_dir(shard.path())?.flatten() {
+                let fname = entry.file_name();
+                let fname = fname.to_string_lossy();
+                let Some(hex) = fname.strip_suffix(".rec") else {
+                    continue;
+                };
+                let Ok(key) = u64::from_str_radix(hex, 16) else {
+                    continue;
+                };
+                if let Ok(meta) = entry.metadata() {
+                    let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                    found.push((mtime, key, meta.len()));
+                }
+            }
+        }
+        found.sort();
+
+        let mut index = Index {
+            map: HashMap::with_capacity(found.len()),
+            order: VecDeque::with_capacity(found.len()),
+            total: 0,
+            seq: 0,
+        };
+        for (_, key, len) in &found {
+            if index.map.insert(*key, *len).is_none() {
+                index.order.push_back(*key);
+                index.total += len;
+            }
+        }
+        let warm_entries = index.map.len() as u64;
+
+        let store = DiskStore {
+            root,
+            max_bytes,
+            index: Mutex::new(index),
+            faults,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            read_errors: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            consecutive_errors: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
+            degraded_logged: AtomicBool::new(false),
+            warm_entries,
+        };
+        {
+            let mut index = store.index.lock().unwrap();
+            store.evict_over_budget(&mut index);
+        }
+        Ok(store)
+    }
+
+    fn record_path(&self, key: u64) -> PathBuf {
+        self.root
+            .join(format!("{:02x}", (key >> 56) as u8))
+            .join(format!("{key:016x}.rec"))
+    }
+
+    /// Looks up `key`. Corrupt records are quarantined and reported as a
+    /// miss; I/O errors count toward degradation. Never panics, never
+    /// propagates an error — the memory tier above is the fallback.
+    pub fn get(&self, key: u64) -> Option<Vec<u8>> {
+        if self.degraded.load(Ordering::Relaxed) {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        if self.faults.disk_read_error() {
+            self.note_error(false);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let path = self.record_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            Err(_) => {
+                self.note_error(false);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        self.ok_op();
+        match decode(&bytes) {
+            Ok((stored_key, payload)) if stored_key == key => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(payload)
+            }
+            Ok(_) | Err(_) => {
+                // Torn, flipped, or misfiled: out of the serving path it goes.
+                self.quarantine(key, &path);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores `payload` under `key` with an atomic tmp + rename write.
+    /// Returns whether the record landed; failures are counted and, when
+    /// persistent, degrade the store rather than surfacing to callers.
+    pub fn put(&self, key: u64, payload: &[u8]) -> bool {
+        if self.degraded.load(Ordering::Relaxed) {
+            return false;
+        }
+        let mut bytes = encode(key, payload);
+        // Fault injection corrupts the buffer *before* it hits disk, so a
+        // mangled record exercises the real detect-on-read path later.
+        self.faults.mangle_record(&mut bytes);
+        if self.faults.disk_write_error() {
+            self.note_error(true);
+            return false;
+        }
+        let record_len = bytes.len() as u64;
+        if record_len > self.max_bytes {
+            return false; // Larger than the whole budget: not storable.
+        }
+        let final_path = self.record_path(key);
+
+        let mut index = self.index.lock().unwrap();
+        index.seq += 1;
+        let tmp = self
+            .root
+            .join("tmp")
+            .join(format!("{key:016x}.{}.tmp", index.seq));
+        let written = (|| -> io::Result<()> {
+            if let Some(parent) = final_path.parent() {
+                fs::create_dir_all(parent)?;
+            }
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+            fs::rename(&tmp, &final_path)?;
+            Ok(())
+        })();
+        if let Err(_e) = written {
+            let _ = fs::remove_file(&tmp);
+            drop(index);
+            self.note_error(true);
+            return false;
+        }
+        self.ok_op();
+        self.writes.fetch_add(1, Ordering::Relaxed);
+
+        if let Some(old) = index.map.insert(key, record_len) {
+            index.total -= old;
+            index.order.retain(|k| *k != key);
+        }
+        index.order.push_back(key);
+        index.total += record_len;
+        self.evict_over_budget(&mut index);
+        true
+    }
+
+    /// Oldest-first eviction down to the byte budget. Caller holds the lock.
+    fn evict_over_budget(&self, index: &mut Index) {
+        while index.total > self.max_bytes {
+            let Some(oldest) = index.order.pop_front() else {
+                break;
+            };
+            if let Some(len) = index.map.remove(&oldest) {
+                index.total -= len;
+                let _ = fs::remove_file(self.record_path(oldest));
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Moves a failed record into `quarantine/` (or deletes it if even the
+    /// rename fails) so it is never read again.
+    fn quarantine(&self, key: u64, path: &Path) {
+        let n = self.quarantined.fetch_add(1, Ordering::Relaxed);
+        let dst = self
+            .root
+            .join("quarantine")
+            .join(format!("{key:016x}.{n}.rec"));
+        if fs::rename(path, &dst).is_err() {
+            let _ = fs::remove_file(path);
+        }
+        let mut index = self.index.lock().unwrap();
+        if let Some(len) = index.map.remove(&key) {
+            index.total -= len;
+            index.order.retain(|k| *k != key);
+        }
+    }
+
+    fn ok_op(&self) {
+        self.consecutive_errors.store(0, Ordering::Relaxed);
+    }
+
+    fn note_error(&self, is_write: bool) {
+        if is_write {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.read_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let run = self.consecutive_errors.fetch_add(1, Ordering::Relaxed) + 1;
+        if run >= DEGRADE_AFTER {
+            self.degraded.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// True once the store has given up on the disk (memory-only mode).
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// One-shot: true exactly once, after degradation — for the warn log.
+    pub fn degraded_event(&self) -> bool {
+        self.degraded() && !self.degraded_logged.swap(true, Ordering::Relaxed)
+    }
+
+    /// Best-effort directory fsync so renames are durable before shutdown
+    /// reports a clean drain.
+    pub fn flush(&self) {
+        for dir in [self.root.clone()] {
+            if let Ok(f) = fs::File::open(dir) {
+                let _ = f.sync_all();
+            }
+        }
+    }
+
+    pub fn stats(&self) -> DiskStats {
+        let (entries, bytes) = {
+            let index = self.index.lock().unwrap();
+            (index.map.len() as u64, index.total)
+        };
+        DiskStats {
+            entries,
+            bytes,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            read_errors: self.read_errors.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            degraded: self.degraded(),
+            warm_entries: self.warm_entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "bbs-store-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn open(root: &Path, max: u64) -> DiskStore {
+        DiskStore::open(root, max, Arc::new(FaultPlan::none())).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_and_miss() {
+        let root = tmp_root("rt");
+        let s = open(&root, 1 << 20);
+        assert_eq!(s.get(1), None);
+        assert!(s.put(1, b"hello"));
+        assert_eq!(s.get(1).as_deref(), Some(&b"hello"[..]));
+        assert!(s.put(1, b"replaced"));
+        assert_eq!(s.get(1).as_deref(), Some(&b"replaced"[..]));
+        let st = s.stats();
+        assert_eq!((st.entries, st.hits, st.misses, st.writes), (1, 2, 1, 2));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn warm_start_survives_reopen() {
+        let root = tmp_root("warm");
+        {
+            let s = open(&root, 1 << 20);
+            for k in 0..10u64 {
+                assert!(s.put(k << 56 | k, format!("value {k}").as_bytes()));
+            }
+        }
+        let s = open(&root, 1 << 20);
+        assert_eq!(s.stats().warm_entries, 10);
+        for k in 0..10u64 {
+            assert_eq!(
+                s.get(k << 56 | k).as_deref(),
+                Some(format!("value {k}").as_bytes())
+            );
+        }
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn byte_budget_evicts_oldest_first() {
+        let root = tmp_root("evict");
+        let record_len = record::encode(0, &[0u8; 100]).len() as u64;
+        let s = open(&root, 3 * record_len);
+        for k in 1..=4u64 {
+            assert!(s.put(k, &[k as u8; 100]));
+        }
+        assert_eq!(s.get(1), None, "oldest record should have been evicted");
+        for k in 2..=4u64 {
+            assert!(s.get(k).is_some(), "record {k} should survive");
+        }
+        let st = s.stats();
+        assert_eq!((st.entries, st.evictions), (3, 1));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn oversized_record_is_rejected_not_fatal() {
+        let root = tmp_root("big");
+        let s = open(&root, 64);
+        assert!(!s.put(1, &[0u8; 1024]));
+        assert_eq!(s.stats().entries, 0);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn corrupt_record_is_quarantined_not_served() {
+        let root = tmp_root("corrupt");
+        let s = open(&root, 1 << 20);
+        assert!(s.put(7, b"good bytes"));
+        // Flip one payload bit behind the store's back.
+        let path = s.record_path(7);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        fs::write(&path, &bytes).unwrap();
+
+        assert_eq!(s.get(7), None, "corrupt record must never be served");
+        assert_eq!(s.stats().quarantined, 1);
+        assert!(!path.exists(), "record should have been moved out");
+        assert_eq!(fs::read_dir(root.join("quarantine")).unwrap().count(), 1);
+        // And the slot is usable again.
+        assert!(s.put(7, b"fresh"));
+        assert_eq!(s.get(7).as_deref(), Some(&b"fresh"[..]));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn truncated_record_is_quarantined() {
+        let root = tmp_root("torn");
+        let s = open(&root, 1 << 20);
+        assert!(s.put(9, &[42u8; 256]));
+        let path = s.record_path(9);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert_eq!(s.get(9), None);
+        assert_eq!(s.stats().quarantined, 1);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn crashed_tmp_files_are_cleared_on_open() {
+        let root = tmp_root("tmpclean");
+        {
+            let s = open(&root, 1 << 20);
+            assert!(s.put(3, b"x"));
+        }
+        fs::write(root.join("tmp").join("deadbeef.1.tmp"), b"partial").unwrap();
+        let s = open(&root, 1 << 20);
+        assert_eq!(fs::read_dir(root.join("tmp")).unwrap().count(), 0);
+        assert_eq!(s.get(3).as_deref(), Some(&b"x"[..]));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn injected_write_errors_degrade_to_memory_only() {
+        let root = tmp_root("degrade");
+        let faults = Arc::new(FaultPlan::parse("disk_write_err=1").unwrap());
+        let s = DiskStore::open(&root, 1 << 20, faults).unwrap();
+        for k in 0..DEGRADE_AFTER {
+            assert!(!s.put(k, b"nope"));
+        }
+        assert!(s.degraded());
+        assert!(s.degraded_event());
+        assert!(!s.degraded_event(), "degradation event must be one-shot");
+        // Degraded store answers without touching the disk.
+        assert!(!s.put(99, b"skipped"));
+        assert_eq!(s.get(99), None);
+        let st = s.stats();
+        assert!(st.write_errors >= DEGRADE_AFTER);
+        assert!(st.degraded);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn injected_torn_writes_are_detected_on_read() {
+        let root = tmp_root("torn-inject");
+        let faults = Arc::new(FaultPlan::parse("torn_write=1").unwrap());
+        let s = DiskStore::open(&root, 1 << 20, faults).unwrap();
+        assert!(s.put(5, &[7u8; 512]));
+        assert_eq!(s.get(5), None, "torn record must be detected, not served");
+        assert_eq!(s.stats().quarantined, 1);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn reopen_respects_shrunk_budget() {
+        let root = tmp_root("shrink");
+        let record_len = record::encode(0, &[0u8; 100]).len() as u64;
+        {
+            let s = open(&root, 10 * record_len);
+            for k in 1..=6u64 {
+                assert!(s.put(k, &[k as u8; 100]));
+            }
+        }
+        let s = open(&root, 2 * record_len);
+        let st = s.stats();
+        assert!(st.entries <= 2, "entries={} after shrink", st.entries);
+        assert!(st.bytes <= 2 * record_len);
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

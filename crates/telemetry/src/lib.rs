@@ -18,6 +18,10 @@
 //!   response header.
 //! * [`prom`] — Prometheus text exposition format rendering for counters,
 //!   gauges and the histograms above.
+//! * [`faults`] — deterministic seeded fault injection ([`FaultPlan`]):
+//!   disk I/O errors, torn/bit-flipped records, worker panics on chosen
+//!   cell keys, injected latency and connection resets, driven by a
+//!   `BBS_FAULTS=` spec so chaos tests exercise real failure paths.
 //!
 //! The simulation core stays dependency-free: `bbs-sim` defines its own
 //! tiny `Recorder` trait and `bbs-serve` bridges it to these histograms.
@@ -35,11 +39,13 @@
 //! assert_eq!(snap.max, 15_000);
 //! ```
 
+pub mod faults;
 pub mod hist;
 pub mod log;
 pub mod prom;
 pub mod trace;
 
+pub use faults::FaultPlan;
 pub use hist::{Histogram, Snapshot};
 pub use log::{Format, Level, Logger, Value};
 pub use trace::{next_trace_id, trace_hex};

@@ -13,22 +13,26 @@
 //! bbs accelerators                        # list accelerator ids
 //! ```
 
-use bbs::serve::client::Client;
+use bbs::serve::client::{sweep_with_resume, Client, RetryPolicy};
 use bbs::serve::event_loop::PollerKind;
 use bbs::serve::server::{start, ServeConfig};
 use bbs::serve::service::ServiceConfig;
 use bbs::sim::json::array_config_to_json;
 use bbs::sim::ArrayConfig;
+use bbs::telemetry::FaultPlan;
 use bbs_json::Json;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 const USAGE: &str = "usage:
   bbs serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--max-cap N]
             [--max-connections N] [--idle-timeout-ms N] [--park-timeout-ms N]
             [--poller auto|epoll|poll] [--log-level LVL] [--log-format FMT]
-            [--slow-ms N]
+            [--slow-ms N] [--cache-dir PATH] [--disk-bytes N]
+            [--drain-timeout-ms N] [--faults SPEC]
   bbs sweep (--addr HOST:PORT | --self-host) --models A,B --accelerators X,Y
-            [--seeds S,..] [--caps C,..] [--pe-cols P,..]
+            [--seeds S,..] [--caps C,..] [--pe-cols P,..] [--resume]
   bbs models
   bbs accelerators
 
@@ -44,6 +48,15 @@ serve options:
   --log-level LVL      stderr log threshold: error, warn, info (default), debug
   --log-format FMT     stderr log format: json (default) or text
   --slow-ms N          log requests slower than N ms at warn level (default 500)
+  --cache-dir PATH     durable on-disk cache tier; survives restarts (warm
+                       start). Without it the server never touches the disk.
+  --disk-bytes N       byte budget for --cache-dir, oldest records evicted
+                       first (default 1073741824)
+  --drain-timeout-ms N shutdown grace for in-flight work on SIGTERM/SIGINT
+                       (default 10000)
+  --faults SPEC        deterministic fault-injection plan (chaos testing),
+                       e.g. 'seed=7;disk_read_err=0.1;torn_write=0.05';
+                       same grammar as the BBS_FAULTS env var
 
 sweep options (cells stream to stdout as NDJSON, summary record last):
   --addr HOST:PORT   sweep against a running bbs-serve instance
@@ -52,7 +65,9 @@ sweep options (cells stream to stdout as NDJSON, summary record last):
   --accelerators X,Y accelerator ids (see `bbs accelerators`)
   --seeds S,..       weight-synthesis seeds (default 7)
   --caps C,..        per-layer weight caps (default 4096)
-  --pe-cols P,..     PE-column variants of the paper 16x32 array (default: as-is)";
+  --pe-cols P,..     PE-column variants of the paper 16x32 array (default: as-is)
+  --resume           recover from a broken stream by re-requesting only the
+                     failed or missing cells (output ordered by cell index)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -130,6 +145,18 @@ fn serve(args: &[String]) -> ExitCode {
                 }
             },
             ("--slow-ms", Ok(n)) => config.slow_ms = n as u64,
+            ("--cache-dir", _) => config.service.cache_dir = Some(std::path::PathBuf::from(value)),
+            ("--disk-bytes", Ok(n)) if n > 0 => config.service.disk_bytes = n as u64,
+            ("--drain-timeout-ms", Ok(n)) => {
+                config.drain_timeout = std::time::Duration::from_millis(n as u64)
+            }
+            ("--faults", _) => match FaultPlan::parse(value) {
+                Ok(plan) => config.service.faults = Arc::new(plan),
+                Err(e) => {
+                    eprintln!("bbs serve: bad --faults spec: {e}\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
             _ => {
                 eprintln!("bbs serve: bad argument '{flag} {value}'\n{USAGE}");
                 return ExitCode::FAILURE;
@@ -153,15 +180,44 @@ fn serve(args: &[String]) -> ExitCode {
         bbs_tensor::lanes::Backend::active().label()
     );
     println!(
-        "routes: POST /simulate /sweep · GET /stats /metrics /logs/tail /healthz /models /accelerators"
+        "routes: POST /simulate /sweep · GET /stats /metrics /logs/tail /healthz /readyz /models /accelerators"
     );
 
-    // Serve until killed: the accept loop runs on its own thread, so just
-    // park this one.
-    loop {
-        std::thread::park();
+    // Serve until signalled. SIGTERM/SIGINT flip an AtomicBool (the only
+    // async-signal-safe thing a handler may do) and the main thread polls
+    // it, then runs the graceful drain: stop accepting, finish in-flight
+    // work inside --drain-timeout-ms, flush the disk tier, join workers.
+    install_stop_handler();
+    while !STOP.load(Ordering::SeqCst) {
+        std::thread::park_timeout(std::time::Duration::from_millis(200));
+    }
+    eprintln!("bbs-serve: caught shutdown signal, draining");
+    server.stop();
+    ExitCode::SUCCESS
+}
+
+static STOP: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_stop_handler() {
+    // std links libc, so a plain extern declaration reaches signal(2); the
+    // handler only stores to an atomic, which is async-signal-safe.
+    extern "C" fn on_stop(_sig: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_stop);
+        signal(SIGTERM, on_stop);
     }
 }
+
+#[cfg(not(unix))]
+fn install_stop_handler() {}
 
 /// Builds the `/sweep` grid body from comma-separated axis lists and
 /// streams the response lines to stdout as they arrive. Exits non-zero
@@ -169,6 +225,7 @@ fn serve(args: &[String]) -> ExitCode {
 fn sweep(args: &[String]) -> ExitCode {
     let mut addr: Option<String> = None;
     let mut self_host = false;
+    let mut resume = false;
     let mut models: Vec<String> = Vec::new();
     let mut accelerators: Vec<String> = Vec::new();
     let mut seeds: Vec<String> = Vec::new();
@@ -179,6 +236,10 @@ fn sweep(args: &[String]) -> ExitCode {
     while let Some(flag) = it.next() {
         if flag == "--self-host" {
             self_host = true;
+            continue;
+        }
+        if flag == "--resume" {
+            resume = true;
             continue;
         }
         let Some(value) = it.next() else {
@@ -276,7 +337,11 @@ fn sweep(args: &[String]) -> ExitCode {
         None => addr.unwrap(),
     };
 
-    let outcome = run_sweep(&resolved, &body);
+    let outcome = if resume {
+        run_sweep_resume(&resolved, &body)
+    } else {
+        run_sweep(&resolved, &body)
+    };
     if let Some(s) = server {
         s.stop();
     }
@@ -313,6 +378,39 @@ fn run_sweep(addr: &str, body: &str) -> Result<(), String> {
     if !saw_summary {
         // A clean EOF mid-grid would otherwise pass as success.
         return Err("stream ended without a summary record (truncated sweep)".to_string());
+    }
+    if cell_errors > 0 {
+        return Err(format!("{cell_errors} cell(s) failed"));
+    }
+    Ok(())
+}
+
+/// `--resume` mode: survives a mid-stream failure by re-requesting only
+/// the failed/missing cells; output comes out ordered by cell index
+/// (reassembled), not completion order.
+fn run_sweep_resume(addr: &str, body: &str) -> Result<(), String> {
+    let addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|e| format!("bad address '{addr}': {e}"))?;
+    let outcome =
+        sweep_with_resume(addr, body, &RetryPolicy::default()).map_err(|e| e.to_string())?;
+    let mut cell_errors = 0u64;
+    for record in &outcome.records {
+        print!("{record}");
+        if let Ok(v) = Json::parse(record) {
+            if v.get("error").is_some() {
+                cell_errors += 1;
+            }
+        }
+    }
+    if let Some(summary) = &outcome.summary {
+        print!("{summary}");
+    }
+    if let Some(e) = &outcome.stream_error {
+        eprintln!(
+            "bbs sweep: stream broke ({e}); recovered {} cell(s) via /simulate",
+            outcome.resumed
+        );
     }
     if cell_errors > 0 {
         return Err(format!("{cell_errors} cell(s) failed"));

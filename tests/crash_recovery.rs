@@ -1,0 +1,126 @@
+//! Crash-recovery smoke: a real `bbs serve` process with a durable cache
+//! tier is killed with SIGKILL (no drain, no flush opportunity) and
+//! restarted on the same directory. The restarted server must warm-start
+//! from disk — `disk_hits > 0` in `/stats` — and replay the sweep
+//! byte-identically without re-simulating.
+//!
+//! This is the CI chaos step; it drives the shipped binary, not the
+//! library, so it also covers flag parsing and the process lifecycle.
+
+use bbs::serve::client::Client;
+use bbs_json::Json;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+const SWEEP: &str = "{\"models\":[\"ViT-Small\"],\"accelerators\":[\"stripes\",\"bitlet\"],\
+                     \"seeds\":[7],\"max_weights_per_layer\":[128]}";
+
+fn tmp_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("bbs-crash-smoke-{}", std::process::id()))
+}
+
+fn spawn_server(dir: &Path) -> (Child, SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_bbs"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--cache-dir",
+        ])
+        .arg(dir)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn bbs serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("server exited before announcing its address")
+            .expect("read server stdout");
+        if let Some(rest) = line.split("listening on http://").nth(1) {
+            let addr = rest.split_whitespace().next().expect("address token");
+            break addr.parse::<SocketAddr>().expect("parse server address");
+        }
+    };
+    // Drain the rest of stdout so the child never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+/// Runs the sweep and returns its cell records sorted by cell index,
+/// excluding the trailing summary line (its `wall_ms` is nondeterministic).
+fn sweep_records(addr: SocketAddr) -> Vec<String> {
+    let client = Client::connect(addr).expect("connect");
+    let (status, lines) = client.sweep(SWEEP).expect("sweep");
+    assert_eq!(status, 200);
+    let lines = lines.collect_lines().expect("stream sweep");
+    let mut records: Vec<(u64, String)> = Vec::new();
+    for line in lines {
+        let v = Json::parse(&line).expect("well-formed record");
+        assert!(v.get("error").is_none(), "sweep cell failed: {line}");
+        match v.get("cell").and_then(Json::as_u64) {
+            Some(cell) => records.push((cell, line)),
+            None => assert!(v.get("summary").is_some(), "unexpected line: {line}"),
+        }
+    }
+    records.sort();
+    records.into_iter().map(|(_, line)| line).collect()
+}
+
+fn stats(addr: SocketAddr) -> Json {
+    let mut client = Client::connect(addr).expect("connect");
+    let (status, body) = client.get("/stats").expect("GET /stats");
+    assert_eq!(status, 200);
+    Json::parse(&body).expect("stats JSON")
+}
+
+fn stat(stats: &Json, key: &str) -> u64 {
+    stats.get(key).and_then(Json::as_u64).unwrap_or_else(|| {
+        panic!("stats missing {key}: {stats}");
+    })
+}
+
+#[test]
+fn sigkill_restart_warm_starts_from_disk_byte_identically() {
+    let dir = tmp_dir();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (mut server, addr) = spawn_server(&dir);
+    // First pass simulates and writes through to disk; the second is the
+    // all-cache reference: same record bytes a warm server must reproduce.
+    let cold = sweep_records(addr);
+    let reference = sweep_records(addr);
+    assert_eq!(cold.len(), 2);
+    assert_eq!(reference.len(), 2);
+    let s = stats(addr);
+    assert!(stat(&s, "disk_writes") >= 2, "{s}");
+
+    // SIGKILL: no drain, no flush — only already-durable records survive.
+    server.kill().expect("kill -9 the server");
+    server.wait().expect("reap the server");
+
+    let (mut server, addr) = spawn_server(&dir);
+    let s = stats(addr);
+    assert!(
+        stat(&s, "disk_warm_entries") >= 2,
+        "warm start found no records: {s}"
+    );
+    let replayed = sweep_records(addr);
+    assert_eq!(
+        replayed, reference,
+        "post-crash records must be byte-identical to the warm pass"
+    );
+    let s = stats(addr);
+    assert!(stat(&s, "disk_hits") > 0, "{s}");
+    assert_eq!(stat(&s, "sim_runs"), 0, "nothing re-simulated: {s}");
+
+    server.kill().expect("kill the server");
+    server.wait().expect("reap the server");
+    let _ = std::fs::remove_dir_all(&dir);
+}
