@@ -15,9 +15,15 @@
 //! event-loop thread. `--verify` additionally checks every response
 //! payload bit-identical against a direct in-process simulation.
 //!
+//! `--shards N` (with `--self-host`) starts N in-process downstream
+//! servers and puts the front end in coordinator mode, so the same sweep
+//! workload measures 1→N shard scaling — feeds `BENCH_shard.json` via
+//! `scripts/bench_shard.sh`.
+//!
 //! ```sh
 //! serve_client --self-host --requests 8 --clients 4 --cap 2048
 //! serve_client --self-host --sweep --requests 4 --clients 2 --cap 512
+//! serve_client --self-host --sweep --requests 8 --clients 4 --shards 4
 //! serve_client --addr 127.0.0.1:8080 --requests 16
 //! serve_client --self-host --connections 64,256,1024 --rounds 32 --cap 512
 //! serve_client --self-host --connections 256 --verify
@@ -53,6 +59,10 @@ struct Args {
     rounds: usize,
     /// Check responses bit-identical to direct in-process simulation.
     verify: bool,
+    /// `--self-host` only: start this many downstream shard servers and
+    /// run the front end in coordinator mode (`BENCH_shard.json` scaling
+    /// curve). Zero = plain single-server mode.
+    shards: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -67,6 +77,7 @@ fn parse_args() -> Result<Args, String> {
         connections: None,
         rounds: 32,
         verify: false,
+        shards: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -81,6 +92,7 @@ fn parse_args() -> Result<Args, String> {
             "--cap" => args.cap = parse_num(&value("--cap")?)?,
             "--warm-mult" => args.warm_mult = parse_num(&value("--warm-mult")?)?,
             "--rounds" => args.rounds = parse_num(&value("--rounds")?)?,
+            "--shards" => args.shards = parse_num(&value("--shards")?)?,
             "--connections" => {
                 args.connections = Some(
                     value("--connections")?
@@ -92,7 +104,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: serve_client (--self-host | --addr HOST:PORT) [--sweep] \
-                     [--requests N] [--clients C] [--cap CAP] [--warm-mult M]\n       \
+                     [--requests N] [--clients C] [--cap CAP] [--warm-mult M] \
+                     [--shards S]\n       \
                      serve_client (--self-host | --addr HOST:PORT) --connections N,.. \
                      [--rounds R] [--cap CAP] [--verify]"
                 );
@@ -109,6 +122,12 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.sweep && args.connections.is_some() {
         return Err("--sweep and --connections are mutually exclusive".to_string());
+    }
+    if args.shards > 0 && !args.self_host {
+        return Err("--shards requires --self-host".to_string());
+    }
+    if args.shards > 64 {
+        return Err("--shards supports at most 64 shards".to_string());
     }
     Ok(args)
 }
@@ -521,7 +540,7 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx]
 }
 
-fn phase_json(latencies: &mut [f64], wall_ms: f64) -> Json {
+fn phase_json(latencies: &mut [f64], wall_ms: f64, cells_per_request: usize) -> Json {
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let n = latencies.len() as f64;
     Json::obj(vec![
@@ -529,11 +548,18 @@ fn phase_json(latencies: &mut [f64], wall_ms: f64) -> Json {
         ("wall_ms", Json::Num(round2(wall_ms))),
         ("rps", Json::Num(round2(n / (wall_ms / 1e3)))),
         (
+            "cells_per_s",
+            Json::Num(round2(
+                n * cells_per_request as f64 / (wall_ms / 1e3).max(1e-9),
+            )),
+        ),
+        (
             "mean_ms",
             Json::Num(round2(latencies.iter().sum::<f64>() / n)),
         ),
         ("p50_ms", Json::Num(round2(percentile(latencies, 0.5)))),
         ("p95_ms", Json::Num(round2(percentile(latencies, 0.95)))),
+        ("p99_ms", Json::Num(round2(percentile(latencies, 0.99)))),
     ])
 }
 
@@ -558,6 +584,39 @@ fn main() -> ExitCode {
         // warmup/stats connection rides alongside the flood).
         let largest = points.iter().copied().max().unwrap_or(0);
         config.max_connections = config.max_connections.max(largest + 16);
+    }
+    // `--shards N`: N in-process downstream servers, with the self-hosted
+    // front end coordinating over them (the BENCH_shard.json topology).
+    let mut shard_servers = Vec::new();
+    if args.self_host && args.shards > 0 {
+        // Split the machine's cores across the shards (as a real
+        // deployment would split boxes) so the curve measures
+        // coordination overhead and cache partitioning, not N worker
+        // pools oversubscribing the same CPUs.
+        let cores = std::thread::available_parallelism().map_or(2, |p| p.get());
+        let shard_config = ServiceConfig {
+            workers: (cores / args.shards).clamp(1, 8),
+            ..ServiceConfig::default()
+        };
+        for _ in 0..args.shards {
+            match start(ServeConfig {
+                service: shard_config.clone(),
+                log_quiet: true,
+                ..ServeConfig::default()
+            }) {
+                Ok(s) => shard_servers.push(s),
+                Err(e) => {
+                    log.error(
+                        "failed to start shard",
+                        &[("error", Value::Str(&e.to_string()))],
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        config.shards = shard_servers.iter().map(|s| s.addr()).collect();
+        // The coordinator front end simulates nothing locally.
+        config.service.workers = 1;
     }
     let server = if args.self_host {
         match start(config) {
@@ -610,6 +669,11 @@ fn main() -> ExitCode {
             .1;
         let stats = Json::parse(&stats_text).map_err(|e| e.to_string())?;
 
+        let cells_per_request = if args.sweep {
+            MODELS.len() * ACCELS.len()
+        } else {
+            1
+        };
         Ok(Json::obj(vec![
             ("schema", Json::str("bbs-serve-load/v1")),
             (
@@ -620,22 +684,16 @@ fn main() -> ExitCode {
                         Json::str(if args.sweep { "sweep" } else { "simulate" }),
                     ),
                     ("requests", Json::from_usize(args.requests)),
-                    (
-                        "cells_per_request",
-                        Json::from_usize(if args.sweep {
-                            MODELS.len() * ACCELS.len()
-                        } else {
-                            1
-                        }),
-                    ),
+                    ("cells_per_request", Json::from_usize(cells_per_request)),
                     ("clients", Json::from_usize(args.clients)),
                     ("cap", Json::from_usize(args.cap)),
                     ("warm_mult", Json::from_usize(args.warm_mult)),
                     ("self_host", Json::Bool(args.self_host)),
+                    ("shards", Json::from_usize(args.shards)),
                 ]),
             ),
-            ("cold", phase_json(&mut cold, cold_wall)),
-            ("warm", phase_json(&mut warm, warm_wall)),
+            ("cold", phase_json(&mut cold, cold_wall, cells_per_request)),
+            ("warm", phase_json(&mut warm, warm_wall, cells_per_request)),
             ("stats", stats),
         ]))
     })();
@@ -652,6 +710,9 @@ fn main() -> ExitCode {
     };
     if let Some(s) = server {
         s.stop();
+    }
+    for shard in shard_servers {
+        shard.stop();
     }
     code
 }

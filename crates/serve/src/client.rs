@@ -10,10 +10,12 @@
 //! `POST /simulate`.
 
 use crate::service::Served;
-use crate::sweep::{error_record, result_record, SweepPlan};
+use crate::sweep::{error_record, result_record, summary_record, SweepPlan, SweepTally};
 use bbs_json::Json;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Default socket timeout for reads and writes — matches the server's
@@ -142,6 +144,11 @@ impl Client {
     /// repeat because the API is idempotent — every simulation is
     /// content-addressed, so a retried request lands on the cache entry
     /// the first attempt may already have produced.
+    ///
+    /// A `Retry-After` header on a 503 (the server sends `Retry-After: 1`
+    /// with every backpressure answer) is honored as the *floor* of the
+    /// next backoff, clamped to the policy's cap — the server knows its
+    /// own saturation better than our exponential guess does.
     pub fn request_with_retry(
         addr: SocketAddr,
         method: &str,
@@ -152,11 +159,28 @@ impl Client {
         let attempts = policy.attempts.max(1);
         let mut last: io::Result<(u16, String)> =
             Err(io::Error::other("retry policy allowed zero attempts"));
+        let mut server_floor: Option<Duration> = None;
         for attempt in 0..attempts {
             if attempt > 0 {
-                std::thread::sleep(policy.backoff(attempt - 1));
+                let mut wait = policy.backoff(attempt - 1);
+                if let Some(floor) = server_floor.take() {
+                    wait = wait.max(floor.min(policy.max));
+                }
+                std::thread::sleep(wait);
             }
-            last = Client::connect(addr).and_then(|mut c| c.request(method, path, body));
+            last = match Client::connect(addr) {
+                Ok(mut client) => {
+                    let result = client.request(method, path, body);
+                    if matches!(result, Ok((503, _))) {
+                        server_floor = client
+                            .response_header("retry-after")
+                            .and_then(|v| v.trim().parse::<u64>().ok())
+                            .map(Duration::from_secs);
+                    }
+                    result
+                }
+                Err(e) => Err(e),
+            };
             match &last {
                 Ok((status, _)) if *status != 503 => return last,
                 _ => {}
@@ -285,8 +309,9 @@ impl Default for RetryPolicy {
 }
 
 /// SplitMix64 — the same generator the fault plan uses; enough bits to
-/// decorrelate retry storms without pulling in a rand dependency.
-fn splitmix64(x: u64) -> u64 {
+/// decorrelate retry storms without pulling in a rand dependency. The
+/// coordinator reuses it to score shards for rendezvous hashing.
+pub(crate) fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -307,6 +332,80 @@ impl RetryPolicy {
         let span_ns = half.as_nanos().max(1) as u64;
         let jitter_ns = splitmix64(self.seed ^ u64::from(attempt)) % span_ns;
         half + Duration::from_nanos(jitter_ns)
+    }
+}
+
+/// A keep-alive connection pool to one address, shared across threads:
+/// [`get`](ClientPool::get) pops an idle connection or dials a fresh one,
+/// [`put`](ClientPool::put) returns it after a clean exchange. A
+/// connection whose exchange erred is simply dropped, never returned — a
+/// pooled slot always holds a connection whose last exchange succeeded,
+/// so the next borrower starts from a known-good keep-alive socket.
+pub struct ClientPool {
+    addr: SocketAddr,
+    timeout: Duration,
+    idle: Mutex<Vec<Client>>,
+    max_idle: usize,
+    dials: AtomicU64,
+    reuses: AtomicU64,
+}
+
+impl ClientPool {
+    /// A pool dialing `addr`, keeping at most `max_idle` idle connections
+    /// around, each with the default [`CLIENT_TIMEOUT`].
+    pub fn new(addr: SocketAddr, max_idle: usize) -> ClientPool {
+        ClientPool::with_timeout(addr, max_idle, CLIENT_TIMEOUT)
+    }
+
+    /// A pool with an explicit per-connection read/write timeout.
+    pub fn with_timeout(addr: SocketAddr, max_idle: usize, timeout: Duration) -> ClientPool {
+        ClientPool {
+            addr,
+            timeout,
+            idle: Mutex::new(Vec::new()),
+            max_idle: max_idle.max(1),
+            dials: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
+        }
+    }
+
+    /// The address this pool dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// An idle pooled connection, or a freshly dialed one.
+    pub fn get(&self) -> io::Result<Client> {
+        if let Some(client) = self.idle.lock().unwrap().pop() {
+            self.reuses.fetch_add(1, Ordering::Relaxed);
+            return Ok(client);
+        }
+        self.dials.fetch_add(1, Ordering::Relaxed);
+        Client::connect_with_timeout(self.addr, self.timeout)
+    }
+
+    /// Returns a connection after a successful exchange. Past `max_idle`
+    /// the connection is dropped (closed) instead.
+    pub fn put(&self, client: Client) {
+        let mut idle = self.idle.lock().unwrap();
+        if idle.len() < self.max_idle {
+            idle.push(client);
+        }
+    }
+
+    /// Drops every idle connection (e.g. after the peer restarted).
+    pub fn clear(&self) {
+        self.idle.lock().unwrap().clear();
+    }
+
+    /// Fresh connections dialed so far.
+    pub fn dials(&self) -> u64 {
+        self.dials.load(Ordering::Relaxed)
+    }
+
+    /// Exchanges served by a pooled (reused) connection.
+    pub fn reuses(&self) -> u64 {
+        self.reuses.load(Ordering::Relaxed)
     }
 }
 
@@ -401,13 +500,16 @@ impl Iterator for SweepLines {
 
 /// What [`sweep_with_resume`] recovered: one record per grid cell in cell
 /// order (resumed cells spliced in the stream's own NDJSON format), plus
-/// the trailing summary when the stream delivered it.
+/// a trailing summary recomputed from those records.
 #[derive(Debug)]
 pub struct SweepOutcome {
     /// One NDJSON record (newline included) per cell, ordered by index.
     pub records: Vec<String>,
-    /// The stream's trailing summary line, if it arrived intact.
-    pub summary: Option<String>,
+    /// The trailing summary line (newline included), recomputed locally
+    /// from the final record set — *not* the broken stream's summary,
+    /// whose counters describe only the cells that completed before the
+    /// break, contradicting the reassembled records.
+    pub summary: String,
     /// Why the stream broke, when it did (`None` = clean EOF).
     pub stream_error: Option<String>,
     /// Cells recovered via `POST /simulate` after the stream failed or
@@ -437,8 +539,8 @@ pub fn sweep_with_resume(
     let plan = SweepPlan::from_json(&parsed, usize::MAX)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     let cells = plan.cell_count();
+    let started = std::time::Instant::now();
     let mut records: Vec<Option<String>> = (0..cells).map(|_| None).collect();
-    let mut summary = None;
     let mut stream_error = None;
 
     match Client::connect(addr).and_then(|c| c.sweep(body)) {
@@ -456,11 +558,12 @@ pub fn sweep_with_resume(
                     // Error records are left empty so the resume pass
                     // retries them (transient failures — queue-full,
                     // worker panic — often succeed on a second attempt).
+                    // The stream's summary is dropped on the floor either
+                    // way: its counters describe the broken pass, not the
+                    // reassembled record set.
                     if idx < cells && v.get("error").is_none() {
                         records[idx] = Some(format!("{line}\n"));
                     }
-                } else if v.get("summary").is_some() {
-                    summary = Some(format!("{line}\n"));
                 }
             }
         }
@@ -505,22 +608,45 @@ pub fn sweep_with_resume(
         };
         *slot = Some(record);
     }
+    let records: Vec<String> = records.into_iter().flatten().collect();
+
+    // Recompute the summary from the final record set: after a resume
+    // pass the stream's own summary (when it survived at all) counts only
+    // the cells the broken pass finished, so `ok`/`errors`/`cache_hits`
+    // would contradict the records right above it.
+    let mut tally = SweepTally {
+        cells,
+        ..SweepTally::default()
+    };
+    for record in &records {
+        let Ok(v) = Json::parse(record) else { continue };
+        if v.get("error").is_some() {
+            tally.errors += 1;
+        } else {
+            tally.ok += 1;
+            match v.get("served").and_then(Json::as_str) {
+                Some("cache") => tally.cache_hits += 1,
+                Some("coalesced") => tally.coalesced += 1,
+                _ => tally.simulated += 1,
+            }
+        }
+    }
+    let summary = summary_record(&tally, started.elapsed().as_secs_f64() * 1e3);
 
     Ok(SweepOutcome {
-        records: records.into_iter().flatten().collect(),
+        records,
         summary,
         stream_error,
         resumed,
     })
 }
 
-/// Rebuilds a sweep result record from a `/simulate` response body
-/// (`{"meta":{..,"served":..,"key":..},"result":R}`). The result text is
-/// spliced verbatim — never re-encoded — so a resumed record is
-/// byte-identical to the record the stream would have carried (modulo the
-/// `served` label, which truthfully reports how the re-request was
-/// answered).
-fn splice_simulate_record(meta: &crate::sweep::CellMeta, resp: &str) -> Option<String> {
+/// Picks a `/simulate` 200 body apart into `(key, served, result text)`.
+/// The result text is a verbatim slice of the response — never re-encoded
+/// — ending at the envelope's closing `}`. The body may carry trailing
+/// whitespace (a newline-appending proxy, a hand-edited fixture): the
+/// slice ends at the *actual* JSON end, not at `len - 1`.
+pub(crate) fn parse_simulate_response(resp: &str) -> Option<(u64, Served, &str)> {
     let v = Json::parse(resp).ok()?;
     let head = v.get("meta")?;
     let key = u64::from_str_radix(head.get("key")?.as_str()?, 16).ok()?;
@@ -531,7 +657,19 @@ fn splice_simulate_record(meta: &crate::sweep::CellMeta, resp: &str) -> Option<S
     };
     let marker = ",\"result\":";
     let pos = resp.find(marker)?;
-    let result_text = resp.get(pos + marker.len()..resp.len() - 1)?;
+    let end = resp.trim_end().strip_suffix('}')?.len();
+    let result_text = resp.get(pos + marker.len()..end)?;
+    Some((key, served, result_text))
+}
+
+/// Rebuilds a sweep result record from a `/simulate` response body
+/// (`{"meta":{..,"served":..,"key":..},"result":R}`). The result text is
+/// spliced verbatim — never re-encoded — so a resumed record is
+/// byte-identical to the record the stream would have carried (modulo the
+/// `served` label, which truthfully reports how the re-request was
+/// answered).
+fn splice_simulate_record(meta: &crate::sweep::CellMeta, resp: &str) -> Option<String> {
+    let (key, served, result_text) = parse_simulate_response(resp)?;
     Some(result_record(meta, key, served, result_text))
 }
 
@@ -694,6 +832,201 @@ mod tests {
             ..RetryPolicy::default()
         };
         assert!(Client::request_with_retry(addr, "GET", "/whatever", "", &policy).is_err());
+    }
+
+    #[test]
+    fn request_with_retry_honors_retry_after_as_backoff_floor() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let responses: [&[u8]; 2] = [
+                b"HTTP/1.1 503 Service Unavailable\r\nretry-after: 1\r\ncontent-length: 2\r\n\r\n{}",
+                b"HTTP/1.1 200 OK\r\ncontent-length: 11\r\n\r\n{\"ok\":true}",
+            ];
+            for resp in responses {
+                let (mut sock, _) = listener.accept().unwrap();
+                let mut head = Vec::new();
+                let mut buf = [0u8; 1024];
+                loop {
+                    match io::Read::read(&mut sock, &mut buf) {
+                        Ok(0) | Err(_) => break,
+                        Ok(k) => {
+                            head.extend_from_slice(&buf[..k]);
+                            if head.windows(4).any(|w| w == b"\r\n\r\n") {
+                                break;
+                            }
+                        }
+                    }
+                }
+                sock.write_all(resp).unwrap();
+            }
+        });
+        // The policy's own backoff is ~1 ms; the server's Retry-After of
+        // one second must raise the wait — but only up to the cap.
+        let policy = RetryPolicy {
+            attempts: 2,
+            base: Duration::from_millis(1),
+            max: Duration::from_millis(80),
+            ..RetryPolicy::default()
+        };
+        let started = std::time::Instant::now();
+        let (status, body) =
+            Client::request_with_retry(addr, "GET", "/whatever", "", &policy).unwrap();
+        let waited = started.elapsed();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"ok\":true}");
+        assert!(
+            waited >= Duration::from_millis(60),
+            "Retry-After floor ignored: retried after only {waited:?}"
+        );
+        assert!(
+            waited < Duration::from_millis(900),
+            "Retry-After not clamped to the policy cap: waited {waited:?}"
+        );
+    }
+
+    #[test]
+    fn splice_survives_a_trailing_newline_in_the_response_body() {
+        let meta = crate::sweep::CellMeta {
+            index: 3,
+            model: "ViT-Small".to_string(),
+            accelerator: "stripes".to_string(),
+            config: 0,
+            seed: 7,
+            cap: 64,
+        };
+        let clean = "{\"meta\":{\"cached\":false,\"served\":\"simulated\",\
+             \"key\":\"00000000000000ff\"},\"result\":{\"x\":1}}";
+        let expected = result_record(&meta, 0xff, Served::Fresh, "{\"x\":1}");
+        assert_eq!(splice_simulate_record(&meta, clean), Some(expected.clone()));
+        // A newline-terminated body (proxy or middleware appending one)
+        // must splice identically, not corrupt the result text.
+        let trailing = format!("{clean}\n");
+        assert_eq!(splice_simulate_record(&meta, &trailing), Some(expected));
+        let padded = format!("{clean} \r\n\n");
+        assert_eq!(
+            splice_simulate_record(&meta, &padded),
+            Some(result_record(&meta, 0xff, Served::Fresh, "{\"x\":1}"))
+        );
+    }
+
+    const RESUME_SWEEP_BODY: &str = "{\"models\":[\"ViT-Small\",\"ResNet-34\"],\
+         \"accelerators\":[\"stripes\"],\"seeds\":[7],\"max_weights_per_layer\":[64]}";
+
+    fn resume_record(cell: usize, model: &str, served: &str) -> String {
+        format!(
+            "{{\"cell\":{cell},\"model\":\"{model}\",\"accelerator\":\"stripes\",\
+             \"config\":0,\"seed\":7,\"max_weights_per_layer\":64,\
+             \"key\":\"00000000000000a{cell}\",\"served\":\"{served}\",\"result\":{{\"r\":{cell}}}}}"
+        )
+    }
+
+    #[test]
+    fn resume_summary_is_recomputed_not_parroted() {
+        // The stream delivers every record *and* a summary whose counters
+        // are nonsense; the outcome's summary must come from the records.
+        let response = format!(
+            "HTTP/1.1 200 OK\r\ncontent-type: application/x-ndjson\r\n\
+             connection: close\r\n\r\n{}\n{}\n{}\n",
+            resume_record(0, "ViT-Small", "cache"),
+            resume_record(1, "ResNet-34", "simulated"),
+            "{\"summary\":{\"cells\":2,\"ok\":0,\"errors\":2,\"cache_hits\":0,\
+             \"coalesced\":0,\"simulated\":0,\"wall_ms\":0}}",
+        );
+        let addr = canned_server(Box::leak(response.into_bytes().into_boxed_slice()));
+        let outcome = sweep_with_resume(addr, RESUME_SWEEP_BODY, &RetryPolicy::default()).unwrap();
+        assert_eq!(outcome.records.len(), 2);
+        assert_eq!(outcome.resumed, 0);
+        let summary = Json::parse(&outcome.summary).unwrap();
+        let summary = summary.get("summary").expect("summary record");
+        assert_eq!(summary.get("cells").unwrap().as_usize(), Some(2));
+        assert_eq!(summary.get("ok").unwrap().as_usize(), Some(2));
+        assert_eq!(summary.get("errors").unwrap().as_usize(), Some(0));
+        assert_eq!(summary.get("cache_hits").unwrap().as_usize(), Some(1));
+        assert_eq!(summary.get("simulated").unwrap().as_usize(), Some(1));
+    }
+
+    #[test]
+    fn resume_recovers_missing_cells_and_summarizes_the_final_set() {
+        // Connection 1: the sweep stream dies after cell 0 (no summary).
+        // Connection 2: the /simulate re-request for cell 1 — answered
+        // with a trailing-newline body, so this also exercises the splice
+        // fix end-to-end.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stream_resp = format!(
+            "HTTP/1.1 200 OK\r\ncontent-type: application/x-ndjson\r\n\
+             connection: close\r\n\r\n{}\n",
+            resume_record(0, "ViT-Small", "simulated"),
+        );
+        let sim_body = "{\"meta\":{\"cached\":false,\"served\":\"simulated\",\
+             \"key\":\"00000000000000bb\"},\"result\":{\"r\":9}}\n";
+        let sim_resp = format!(
+            "HTTP/1.1 200 OK\r\ncontent-length: {}\r\n\r\n{sim_body}",
+            sim_body.len()
+        );
+        std::thread::spawn(move || {
+            for resp in [stream_resp, sim_resp] {
+                let (mut sock, _) = listener.accept().unwrap();
+                let mut head = Vec::new();
+                let mut buf = [0u8; 1024];
+                loop {
+                    match io::Read::read(&mut sock, &mut buf) {
+                        Ok(0) | Err(_) => break,
+                        Ok(k) => {
+                            head.extend_from_slice(&buf[..k]);
+                            if head.windows(4).any(|w| w == b"\r\n\r\n") {
+                                break;
+                            }
+                        }
+                    }
+                }
+                sock.write_all(resp.as_bytes()).unwrap();
+            }
+        });
+        let policy = RetryPolicy {
+            attempts: 2,
+            base: Duration::from_millis(1),
+            max: Duration::from_millis(4),
+            ..RetryPolicy::default()
+        };
+        let outcome = sweep_with_resume(addr, RESUME_SWEEP_BODY, &policy).unwrap();
+        assert_eq!(outcome.records.len(), 2);
+        assert_eq!(outcome.resumed, 1);
+        assert!(
+            outcome.records[1].contains("\"result\":{\"r\":9}"),
+            "resumed record corrupted: {}",
+            outcome.records[1]
+        );
+        let summary = Json::parse(&outcome.summary).unwrap();
+        let summary = summary.get("summary").expect("summary record");
+        assert_eq!(summary.get("ok").unwrap().as_usize(), Some(2));
+        assert_eq!(summary.get("errors").unwrap().as_usize(), Some(0));
+        assert_eq!(summary.get("simulated").unwrap().as_usize(), Some(2));
+    }
+
+    #[test]
+    fn pool_reuses_connections_and_drops_failed_ones() {
+        let server = crate::server::start(crate::server::ServeConfig {
+            log_quiet: true,
+            ..crate::server::ServeConfig::default()
+        })
+        .unwrap();
+        let pool = ClientPool::new(server.addr(), 2);
+        let mut c = pool.get().unwrap();
+        let (status, _) = c.get("/healthz").unwrap();
+        assert_eq!(status, 200);
+        pool.put(c);
+        assert_eq!((pool.dials(), pool.reuses()), (1, 0));
+        let mut c = pool.get().unwrap();
+        assert_eq!((pool.dials(), pool.reuses()), (1, 1));
+        let (status, _) = c.get("/healthz").unwrap();
+        assert_eq!(status, 200);
+        pool.put(c);
+        pool.clear();
+        let _c = pool.get().unwrap();
+        assert_eq!((pool.dials(), pool.reuses()), (2, 1));
+        server.stop();
     }
 
     #[test]

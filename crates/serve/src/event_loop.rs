@@ -1115,7 +1115,7 @@ impl EventLoop {
             }
             RouteOutcome::Simulate { request, key } => {
                 let completion = sim_completion(&self.done_tx, &self.waker, token, key);
-                match self.shared.service.service().submit(request, completion) {
+                match self.shared.submit_job(request, completion) {
                     Submitted::Hit(bytes) => {
                         self.shared.saturated.store(false, Ordering::SeqCst);
                         let (_, header) = finish_trace(
@@ -1210,12 +1210,14 @@ impl EventLoop {
         }
     }
 
-    /// Submits sweep cells while the stream has budget: at most `workers`
-    /// cells in flight, pausing above the out-buffer high-water mark.
-    /// Poisoned and queue-refused cells become error records inline —
-    /// exactly the records the blocking path produced.
+    /// Submits sweep cells while the stream has budget: at most
+    /// [`Shared::sweep_budget`] cells in flight (the worker count, or the
+    /// shard fan-out width in coordinator mode), pausing above the
+    /// out-buffer high-water mark. Poisoned and queue-refused cells become
+    /// error records inline — exactly the records the blocking path
+    /// produced.
     fn pump_sweep(&mut self, token: u64) {
-        let workers = self.shared.service.service().workers().max(1);
+        let workers = self.shared.sweep_budget();
         let high_water = self.opts.high_water;
         loop {
             let Some(conn) = self.conns.get_mut(&token) else {
@@ -1244,7 +1246,7 @@ impl EventLoop {
                     let key = request.key();
                     let completion =
                         sweep_completion(&self.done_tx, &self.waker, token, meta.clone(), key);
-                    match self.shared.service.service().submit(request, completion) {
+                    match self.shared.submit_job(request, completion) {
                         Submitted::Hit(bytes) => {
                             conn.out.extend_from_slice(
                                 result_record(&meta, key, Served::Hit, &bytes).as_bytes(),
@@ -1416,7 +1418,7 @@ impl EventLoop {
             let key = request.key();
             let parked_us = since.elapsed().as_micros() as u64;
             let completion = sim_completion(&self.done_tx, &self.waker, token, key);
-            match self.shared.service.service().submit(*request, completion) {
+            match self.shared.submit_job(*request, completion) {
                 Submitted::Hit(bytes) => {
                     self.shared.saturated.store(false, Ordering::SeqCst);
                     let header = conn.trace.take().map(|mut ctx| {

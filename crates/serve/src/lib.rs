@@ -57,6 +57,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod coordinator;
 pub mod event_loop;
 pub mod http;
 pub mod queue;

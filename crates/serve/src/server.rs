@@ -26,6 +26,7 @@
 //! `Connection: close` and EOF-framed newline-delimited JSON, one record
 //! per grid cell in completion order (see [`crate::sweep`]).
 
+use crate::coordinator::{Coordinator, CoordinatorConfig};
 use crate::event_loop::{waker_pair, EventLoop, LoopOptions, PollerKind, Waker};
 use crate::http::Request;
 use crate::registry::ACCELERATOR_IDS;
@@ -101,6 +102,11 @@ pub struct ServeConfig {
     /// Shutdown drain deadline: in-flight work past it is abandoned (its
     /// connections closed), parked requests answer 503 immediately.
     pub drain_timeout: Duration,
+    /// Downstream shard addresses (`--shard-of`). Non-empty turns this
+    /// instance into a coordinator: every `/simulate` request and `/sweep`
+    /// cell is rendezvous-hashed by its content key and forwarded to one
+    /// of these `bbs-serve` instances instead of the local worker pool.
+    pub shards: Vec<SocketAddr>,
 }
 
 impl Default for ServeConfig {
@@ -118,6 +124,7 @@ impl Default for ServeConfig {
             log_quiet: false,
             slow_ms: SLOW_MS,
             drain_timeout: DRAIN_TIMEOUT,
+            shards: Vec::new(),
         }
     }
 }
@@ -137,6 +144,34 @@ pub(crate) struct Shared {
     /// through. `/readyz` answers 503 while it holds, so load balancers
     /// rotate a saturated instance out of service.
     pub(crate) saturated: AtomicBool,
+    /// Present in coordinator mode (`--shard-of`): jobs go downstream
+    /// instead of to the local worker pool.
+    pub(crate) coordinator: Option<Coordinator>,
+}
+
+impl Shared {
+    /// The one seam the event loop submits jobs through: the coordinator
+    /// when configured, the local service otherwise. Both honor the same
+    /// nonblocking [`service::Submitted`] contract.
+    pub(crate) fn submit_job(
+        &self,
+        request: SimRequest,
+        done: service::Completion,
+    ) -> service::Submitted {
+        match &self.coordinator {
+            Some(coordinator) => coordinator.submit(request, done),
+            None => self.service.service().submit(request, done),
+        }
+    }
+
+    /// How many sweep cells to keep in flight at once: the local worker
+    /// count, or the full shard fan-out width in coordinator mode.
+    pub(crate) fn sweep_budget(&self) -> usize {
+        match &self.coordinator {
+            Some(coordinator) => coordinator.max_in_flight(),
+            None => self.service.service().workers().max(1),
+        }
+    }
 }
 
 /// A running server; dropping it does *not* stop it — call
@@ -157,6 +192,14 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         Logger::new(config.log_level, config.log_format, config.log_quiet),
         config.slow_ms,
     ));
+    let coordinator = if config.shards.is_empty() {
+        None
+    } else {
+        Some(Coordinator::start(
+            CoordinatorConfig::new(config.shards.clone()),
+            Arc::clone(&telemetry),
+        ))
+    };
     let shared = Arc::new(Shared {
         service: Arc::new(service::start_with(config.service, Arc::clone(&telemetry))),
         telemetry,
@@ -168,6 +211,7 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         connections_parked: AtomicUsize::new(0),
         stopping: AtomicBool::new(false),
         saturated: AtomicBool::new(false),
+        coordinator,
     });
 
     let (waker, waker_rx) = waker_pair()?;
@@ -193,6 +237,10 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
             (
                 "simd_backend",
                 Value::Str(bbs_tensor::lanes::Backend::active().label()),
+            ),
+            (
+                "shards",
+                Value::U64(shared.coordinator.as_ref().map_or(0, |c| c.shard_count()) as u64),
             ),
         ],
     );
@@ -231,6 +279,12 @@ impl ServerHandle {
         self.shared.stopping.store(true, Ordering::SeqCst);
         self.waker.wake();
         let _ = self.event_loop.join();
+        // The loop has stopped feeding jobs; drain the forwarders before
+        // the local pool so every completion has fired by the time the
+        // service joins its workers.
+        if let Some(coordinator) = &self.shared.coordinator {
+            coordinator.stop();
+        }
         self.shared.service.stop();
     }
 }
@@ -302,6 +356,13 @@ pub(crate) fn route_request(request: &Request, shared: &Shared) -> RouteOutcome 
                 "draining"
             } else if shared.saturated.load(Ordering::SeqCst) {
                 "saturated"
+            } else if shared
+                .coordinator
+                .as_ref()
+                .is_some_and(|c| !c.any_serviceable())
+            {
+                // A coordinator with no live shard can accept nothing.
+                "unreachable"
             } else {
                 "ready"
             };
@@ -568,6 +629,9 @@ fn metrics_body(shared: &Shared) -> String {
         "site",
         &service.faults().injected_counts(),
     );
+    if let Some(coordinator) = &shared.coordinator {
+        coordinator.append_prometheus(&mut p);
+    }
     shared.telemetry.append_prometheus(&mut p);
     p.finish()
 }
@@ -592,7 +656,7 @@ fn stats_body(shared: &Shared) -> String {
     let wdisk = service.workload_disk_stats();
     let disk_or = |f: fn(&bbs_store::DiskStats) -> u64| disk.as_ref().map_or(0, f);
     let wdisk_or = |f: fn(&bbs_store::DiskStats) -> u64| wdisk.as_ref().map_or(0, f);
-    Json::obj(vec![
+    let mut fields = vec![
         ("version", Json::str(env!("CARGO_PKG_VERSION"))),
         (
             "simd_backend",
@@ -718,6 +782,9 @@ fn stats_body(shared: &Shared) -> String {
             Json::from_u64(shared.telemetry.slow_requests.load(Ordering::Relaxed)),
         ),
         ("latency_us", shared.telemetry.latency_json()),
-    ])
-    .to_string()
+    ];
+    if let Some(coordinator) = &shared.coordinator {
+        fields.push(("coordinator", coordinator.stats_json()));
+    }
+    Json::obj(fields).to_string()
 }

@@ -75,6 +75,14 @@ impl PromText {
         self.sample(name, &[], &fmt_f64(value));
     }
 
+    /// One gauge family with one sample per label value.
+    pub fn gauge_vec(&mut self, name: &str, help: &str, label: &str, samples: &[(&str, f64)]) {
+        self.header(name, help, "gauge");
+        for (lv, value) in samples {
+            self.sample(name, &[(label, lv)], &fmt_f64(*value));
+        }
+    }
+
     /// A histogram rendered from `snap`, with every recorded value scaled
     /// by `scale` (e.g. `1e-6` to expose microsecond samples in seconds,
     /// per Prometheus base-unit convention).
@@ -158,6 +166,22 @@ mod tests {
         assert!(body.contains("bbs_log_events_total{level=\"warn\"} 2\n"));
         // One header for the whole family.
         assert_eq!(body.matches("# TYPE bbs_log_events_total").count(), 1);
+    }
+
+    #[test]
+    fn gauge_vec_renders_labels() {
+        let mut p = PromText::new();
+        p.gauge_vec(
+            "bbs_shard_up",
+            "Shard liveness.",
+            "shard",
+            &[("a:1", 1.0), ("b:2", 0.0)],
+        );
+        let body = p.finish();
+        assert!(body.contains("# TYPE bbs_shard_up gauge\n"));
+        assert!(body.contains("bbs_shard_up{shard=\"a:1\"} 1\n"));
+        assert!(body.contains("bbs_shard_up{shard=\"b:2\"} 0\n"));
+        assert_eq!(body.matches("# TYPE bbs_shard_up").count(), 1);
     }
 
     #[test]

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Shard-scaling bench: runs the serve_client sweep workload against a
+# self-hosted coordinator with 1..SHARD_MAX in-process downstream shards
+# and assembles the per-point summaries into BENCH_shard.json — the 1→N
+# scaling curve (cells/s cold and warm, p99 per sweep) for the
+# shard-coordinator mode. Run from the repo root; builds release first.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SHARD_MAX="${SHARD_MAX:-4}"
+SHARD_REQUESTS="${SHARD_REQUESTS:-8}"
+SHARD_CLIENTS="${SHARD_CLIENTS:-4}"
+SHARD_CAP="${SHARD_CAP:-512}"
+
+cargo build --release -p bbs-serve --bin serve_client >&2
+
+points=""
+sep=""
+for n in $(seq 1 "${SHARD_MAX}"); do
+    echo "shard sweep: ${n} shard(s)" >&2
+    run=$(./target/release/serve_client --self-host --sweep --shards "${n}" \
+        --requests "${SHARD_REQUESTS}" --clients "${SHARD_CLIENTS}" \
+        --cap "${SHARD_CAP}")
+    points+="${sep}${run}"
+    sep=","
+done
+
+cat > BENCH_shard.json <<EOF
+{
+  "schema": "bbs-serve-shard/v1",
+  "host": {
+    "cpus": $(nproc),
+    "rustc": "$(rustc --version | cut -d' ' -f2)"
+  },
+  "config": {
+    "shard_counts": "1..${SHARD_MAX}",
+    "requests": ${SHARD_REQUESTS},
+    "clients": ${SHARD_CLIENTS},
+    "cap": ${SHARD_CAP}
+  },
+  "points": [${points}]
+}
+EOF
+echo "wrote BENCH_shard.json (1..${SHARD_MAX} shards, ${SHARD_REQUESTS} sweeps/point)" >&2

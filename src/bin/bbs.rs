@@ -30,7 +30,7 @@ const USAGE: &str = "usage:
             [--max-connections N] [--idle-timeout-ms N] [--park-timeout-ms N]
             [--poller auto|epoll|poll] [--log-level LVL] [--log-format FMT]
             [--slow-ms N] [--cache-dir PATH] [--disk-bytes N]
-            [--drain-timeout-ms N] [--faults SPEC]
+            [--drain-timeout-ms N] [--faults SPEC] [--shard-of A1,A2,..]
   bbs sweep (--addr HOST:PORT | --self-host) --models A,B --accelerators X,Y
             [--seeds S,..] [--caps C,..] [--pe-cols P,..] [--resume]
   bbs models
@@ -57,6 +57,11 @@ serve options:
   --faults SPEC        deterministic fault-injection plan (chaos testing),
                        e.g. 'seed=7;disk_read_err=0.1;torn_write=0.05';
                        same grammar as the BBS_FAULTS env var
+  --shard-of A1,A2,..  coordinator mode: forward every /simulate request and
+                       /sweep cell to one of these downstream bbs-serve
+                       instances, rendezvous-hashed by its content key (so
+                       each shard's caches hold only its slice); this
+                       instance runs no simulations of its own
 
 sweep options (cells stream to stdout as NDJSON, summary record last):
   --addr HOST:PORT   sweep against a running bbs-serve instance
@@ -157,6 +162,26 @@ fn serve(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            ("--shard-of", _) => {
+                let mut shards = Vec::new();
+                for part in value.split(',').filter(|p| !p.trim().is_empty()) {
+                    match part.trim().parse::<std::net::SocketAddr>() {
+                        Ok(addr) => shards.push(addr),
+                        Err(_) => {
+                            eprintln!(
+                                "bbs serve: --shard-of expects HOST:PORT,HOST:PORT,.. \
+                                 (bad entry '{part}')\n{USAGE}"
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                if shards.is_empty() || shards.len() > 64 {
+                    eprintln!("bbs serve: --shard-of needs 1..=64 addresses\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+                config.shards = shards;
+            }
             _ => {
                 eprintln!("bbs serve: bad argument '{flag} {value}'\n{USAGE}");
                 return ExitCode::FAILURE;
@@ -403,9 +428,7 @@ fn run_sweep_resume(addr: &str, body: &str) -> Result<(), String> {
             }
         }
     }
-    if let Some(summary) = &outcome.summary {
-        print!("{summary}");
-    }
+    print!("{}", outcome.summary);
     if let Some(e) = &outcome.stream_error {
         eprintln!(
             "bbs sweep: stream broke ({e}); recovered {} cell(s) via /simulate",
